@@ -1,0 +1,64 @@
+"""Benchmark harness configuration.
+
+Each ``test_bench_*`` module regenerates one table or figure of the
+paper's evaluation at the default experiment scale, asserts the paper's
+qualitative shape (who wins, roughly by how much), and writes the
+rendered table to ``benchmarks/results/<name>.txt`` so the output can be
+compared with the paper side by side.
+
+Scale can be overridden via environment variables::
+
+    HERMES_BENCH_N=4000 HERMES_BENCH_SERVERS=16 pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.common import ClusterScale, GraphScale
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def _env_int(name, default):
+    value = os.environ.get(name)
+    return int(value) if value else default
+
+
+@pytest.fixture(scope="session")
+def graph_scale() -> GraphScale:
+    return GraphScale(
+        n=_env_int("HERMES_BENCH_N", 2000),
+        num_partitions=_env_int("HERMES_BENCH_SERVERS", 8),
+        seed=_env_int("HERMES_BENCH_SEED", 7),
+    )
+
+
+@pytest.fixture(scope="session")
+def cluster_scale() -> ClusterScale:
+    return ClusterScale(
+        n=_env_int("HERMES_BENCH_CLUSTER_N", 800),
+        num_servers=_env_int("HERMES_BENCH_SERVERS", 8),
+        seed=_env_int("HERMES_BENCH_SEED", 7),
+    )
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> str:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_table(results_dir):
+    """Write a rendered experiment table under benchmarks/results/."""
+
+    def _record(name: str, text: str) -> str:
+        path = os.path.join(results_dir, f"{name}.txt")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        return path
+
+    return _record

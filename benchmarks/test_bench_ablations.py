@@ -1,0 +1,27 @@
+"""Benchmark: design-choice ablations (Figure 2 oscillation, epsilon)."""
+
+from repro.experiments import ablations
+
+
+def test_bench_ablations(benchmark, graph_scale, record_table):
+    result = benchmark.pedantic(
+        ablations.run, args=(graph_scale,), rounds=1, iterations=1
+    )
+    record_table("ablations", ablations.render(result))
+
+    by_mode = {cell.mode: cell for cell in result.stage_cells}
+    # Figure 2: the two-stage rule converges and improves the cut...
+    assert by_mode["two-stage"].converged
+    assert by_mode["two-stage"].final_edge_cut < by_mode["two-stage"].initial_edge_cut
+    # ...while single-stage migration oscillates without improving it.
+    assert not by_mode["single-stage"].converged
+    assert (
+        by_mode["single-stage"].final_edge_cut
+        >= by_mode["single-stage"].initial_edge_cut
+    )
+    # Epsilon sweep: the balance bound is respected at every setting.
+    for cell in result.epsilon_cells:
+        assert cell.final_imbalance <= cell.epsilon + 0.05
+    benchmark.extra_info["oscillation_moves"] = {
+        cell.mode: cell.logical_migrations for cell in result.stage_cells
+    }

@@ -1,0 +1,38 @@
+"""Benchmark: the streaming-baseline bake-off extension."""
+
+from repro.experiments import baselines
+
+
+def test_bench_baselines(benchmark, graph_scale, record_table):
+    result = benchmark.pedantic(
+        baselines.run, args=(graph_scale,), rounds=1, iterations=1
+    )
+    record_table("baselines", baselines.render(result))
+
+    indexed = {(c.dataset, c.strategy): c for c in result.cells}
+    for dataset in ("orkut", "twitter", "dblp"):
+        hash_cell = indexed[(dataset, "hash")]
+        ldg = indexed[(dataset, "LDG")]
+        fennel = indexed[(dataset, "Fennel")]
+        jabeja = indexed[(dataset, "JA-BE-JA")]
+        metis = indexed[(dataset, "Metis-like")]
+        # Streaming/swap partitioners beat hashing at placement time...
+        assert ldg.initial_cut < hash_cell.initial_cut
+        assert fennel.initial_cut < hash_cell.initial_cut
+        assert jabeja.initial_cut < hash_cell.initial_cut
+        # ...but not the multilevel gold standard.
+        assert metis.initial_cut <= min(ldg.initial_cut, fennel.initial_cut)
+        # The repartitioner never worsens the cut much and restores the
+        # popularity-weight balance every count-balancing strategy misses.
+        for cell in (hash_cell, ldg, fennel, jabeja, metis):
+            assert cell.refined_cut <= cell.initial_cut + 0.02
+            assert cell.refined_imbalance <= 1.15
+    # The paper's JA-BE-JA critique: count-perfect, weight-imbalanced.
+    worst_jabeja = max(
+        indexed[(d, "JA-BE-JA")].initial_imbalance
+        for d in ("orkut", "twitter", "dblp")
+    )
+    assert worst_jabeja > 1.1
+    benchmark.extra_info["initial_cuts"] = {
+        f"{c.dataset}/{c.strategy}": round(c.initial_cut, 3) for c in result.cells
+    }

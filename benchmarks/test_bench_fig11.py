@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Figure 11 (edge-cut sensitivity to k)."""
+
+from repro.experiments import fig11
+
+
+def test_bench_fig11(benchmark, graph_scale, record_table):
+    result = benchmark.pedantic(fig11.run, args=(graph_scale,), rounds=1, iterations=1)
+    record_table("fig11", fig11.render(result))
+
+    by_dataset = {}
+    for entry in result.runs:
+        by_dataset.setdefault(entry.dataset, []).append(entry)
+    for dataset, entries in by_dataset.items():
+        # Repartitioning always improves the sub-optimal initial state.
+        for entry in entries:
+            assert entry.final_edge_cut < entry.initial_edge_cut
+        # Paper: final edge-cut is almost the same across k values.
+        cuts = [entry.final_edge_cut for entry in entries]
+        assert max(cuts) <= 1.4 * min(cuts)
+        # Section 5.3.4: balance stays near the epsilon band for every k.
+        for entry in entries:
+            assert entry.final_imbalance <= 1.25
+    benchmark.extra_info["final_cuts"] = {
+        f"{entry.dataset}@k={entry.paper_k}": entry.final_edge_cut
+        for entry in result.runs
+    }

@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Figure 7 (edge-cut %, Hermes vs Metis)."""
+
+from repro.experiments import fig7
+
+
+def test_bench_fig7(benchmark, graph_scale, record_table):
+    result = benchmark.pedantic(fig7.run, args=(graph_scale,), rounds=1, iterations=1)
+    record_table("fig7", fig7.render(result))
+
+    for study in result.studies:
+        # Paper: the difference in edge-cut is small — Hermes produces
+        # partitionings almost as good as Metis (within a few points,
+        # sometimes better).
+        assert study.hermes_cut_fraction <= study.metis_cut_fraction + 0.08
+        # And both stay sane relative to the skewed initial state.
+        assert study.hermes_cut_fraction <= study.initial_cut_fraction + 0.05
+    benchmark.extra_info["cut_fractions"] = {
+        study.dataset: {
+            "metis": round(study.metis_cut_fraction, 4),
+            "hermes": round(study.hermes_cut_fraction, 4),
+        }
+        for study in result.studies
+    }

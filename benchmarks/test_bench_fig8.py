@@ -1,0 +1,27 @@
+"""Benchmark: regenerate Figure 8 (migration volume, Hermes vs Metis)."""
+
+from repro.experiments import fig8
+
+
+def test_bench_fig8(benchmark, graph_scale, record_table):
+    result = benchmark.pedantic(fig8.run, args=(graph_scale,), rounds=1, iterations=1)
+    record_table("fig8", fig8.render(result))
+
+    for study in result.studies:
+        hermes_v = study.hermes_migration.vertex_fraction
+        metis_v = study.metis_migration.vertex_fraction
+        hermes_r = study.hermes_migration.relationship_fraction
+        metis_r = study.metis_migration.relationship_fraction
+        # Paper: Metis migrates much more data than the lightweight
+        # repartitioner — several-fold on every dataset.
+        assert metis_v > 2.0 * hermes_v
+        assert metis_r > 2.0 * hermes_r
+        # Hermes only rebalances: it touches a minority of the graph.
+        assert hermes_v < 0.5
+    benchmark.extra_info["migration"] = {
+        study.dataset: {
+            "hermes_vertices": round(study.hermes_migration.vertex_fraction, 4),
+            "metis_vertices": round(study.metis_migration.vertex_fraction, 4),
+        }
+        for study in result.studies
+    }

@@ -1,0 +1,32 @@
+"""Benchmark: regenerate Figure 9 (aggregate throughput, 1-hop & 2-hop)."""
+
+from repro.experiments import fig9
+
+
+def test_bench_fig9(benchmark, cluster_scale, record_table):
+    result = benchmark.pedantic(
+        fig9.run, args=(cluster_scale,), rounds=1, iterations=1
+    )
+    record_table("fig9", fig9.render(result))
+
+    for dataset in ("orkut", "twitter", "dblp"):
+        hermes = result.lookup(dataset, "Hermes", 1)
+        metis = result.lookup(dataset, "Metis", 1)
+        random_ = result.lookup(dataset, "Random", 1)
+        # Headline claim: Hermes gives a substantial improvement over
+        # random hash partitioning (paper: 2-3x overall).
+        assert hermes.processed_vertices > 1.5 * random_.processed_vertices
+        # Hermes is competitive with the static gold standard.
+        assert hermes.processed_vertices > 0.7 * metis.processed_vertices
+        # Section 5.3.2: 1-hop returns every processed vertex...
+        assert hermes.response_processed_ratio > 0.95
+        # ...while 2-hop revisits vertices along multiple paths.
+        two_hop = result.lookup(dataset, "Metis", 2)
+        assert two_hop.response_processed_ratio < 0.9
+    benchmark.extra_info["one_hop_throughput"] = {
+        dataset: {
+            system: result.lookup(dataset, system, 1).processed_vertices
+            for system in ("Metis", "Hermes", "Random")
+        }
+        for dataset in ("orkut", "twitter", "dblp")
+    }

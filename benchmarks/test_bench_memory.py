@@ -1,0 +1,20 @@
+"""Benchmark: the Section 5.3 memory comparison (aux vs multilevel)."""
+
+from repro.experiments import memory
+
+
+def test_bench_memory(benchmark, graph_scale, record_table):
+    result = benchmark.pedantic(memory.run, args=(graph_scale,), rounds=1, iterations=1)
+    record_table("memory", memory.render(result))
+
+    for cell in result.cells:
+        # Paper: the lightweight repartitioner needs a small fraction of
+        # the multilevel partitioner's memory (6-11x on Orkut/Twitter).
+        assert cell.ratio > 3.0
+    densest = max(result.cells, key=lambda c: c.num_edges / c.num_vertices)
+    sparsest = min(result.cells, key=lambda c: c.num_edges / c.num_vertices)
+    # The gap grows with edge density (multilevel scales with edges).
+    assert densest.multilevel_bytes > sparsest.multilevel_bytes
+    benchmark.extra_info["ratios"] = {
+        cell.dataset: round(cell.ratio, 1) for cell in result.cells
+    }

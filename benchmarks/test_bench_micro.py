@@ -1,0 +1,133 @@
+"""Micro-benchmarks of the performance-critical primitives.
+
+Unlike the table/figure benches (single-shot experiment pipelines), these
+are classic multi-round pytest benchmarks of the hot paths: auxiliary-data
+maintenance, candidate selection, one repartitioner iteration, B+Tree and
+record-store operations, and a distributed traversal.
+"""
+
+import random
+
+import pytest
+
+from repro.cluster.hermes import HermesCluster
+from repro.core.auxiliary import AuxiliaryData
+from repro.core.candidates import STAGE_LOW_TO_HIGH, get_target_partition
+from repro.core.config import RepartitionerConfig
+from repro.core.repartitioner import LightweightRepartitioner
+from repro.graph.generators import orkut_like
+from repro.partitioning.hashing import HashPartitioner
+from repro.partitioning.multilevel import MultilevelPartitioner
+from repro.storage.btree import BPlusTree
+from repro.storage.graph_store import GraphStore
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return orkut_like(n=1000, seed=3)
+
+
+@pytest.fixture(scope="module")
+def partitioned(dataset):
+    partitioning = HashPartitioner().partition(dataset.graph, 8)
+    aux = AuxiliaryData.from_graph(dataset.graph, partitioning)
+    return dataset.graph, partitioning, aux
+
+
+def test_bench_aux_bootstrap(benchmark, dataset):
+    partitioning = HashPartitioner().partition(dataset.graph, 8)
+    benchmark(AuxiliaryData.from_graph, dataset.graph, partitioning)
+
+
+def test_bench_candidate_selection(benchmark, partitioned):
+    graph, _, aux = partitioned
+    vertices = list(graph.vertices())[:200]
+
+    def select():
+        return sum(
+            1
+            for vertex in vertices
+            if get_target_partition(aux, vertex, STAGE_LOW_TO_HIGH, 1.1)[0]
+            is not None
+        )
+
+    benchmark(select)
+
+
+def test_bench_logical_move(benchmark, partitioned):
+    graph, _, aux = partitioned
+    rng = random.Random(1)
+    vertices = list(graph.vertices())
+
+    def move():
+        vertex = rng.choice(vertices)
+        target = rng.randrange(8)
+        aux.apply_move(vertex, target, graph.neighbors(vertex))
+
+    benchmark(move)
+
+
+def test_bench_repartitioner_iteration(benchmark, dataset):
+    def one_iteration():
+        partitioning = HashPartitioner().partition(dataset.graph, 8)
+        config = RepartitionerConfig(k=10, max_iterations=1)
+        return LightweightRepartitioner(config).run(dataset.graph, partitioning)
+
+    benchmark.pedantic(one_iteration, rounds=3, iterations=1)
+
+
+def test_bench_multilevel_partition(benchmark, dataset):
+    partitioner = MultilevelPartitioner(seed=5)
+    benchmark.pedantic(
+        partitioner.partition, args=(dataset.graph, 8), rounds=3, iterations=1
+    )
+
+
+def test_bench_btree_insert(benchmark):
+    keys = list(range(5000))
+    random.Random(2).shuffle(keys)
+
+    def build():
+        tree = BPlusTree(order=64)
+        for key in keys:
+            tree.insert(key, key)
+        return tree
+
+    benchmark.pedantic(build, rounds=3, iterations=1)
+
+
+def test_bench_btree_lookup(benchmark):
+    tree = BPlusTree(order=64)
+    for key in range(5000):
+        tree.insert(key, key)
+    rng = random.Random(3)
+
+    benchmark(lambda: tree.get(rng.randrange(5000)))
+
+
+def test_bench_store_edge_insert(benchmark):
+    store = GraphStore()
+    for i in range(500):
+        store.create_node(i)
+    rng = random.Random(4)
+    seen = set()
+
+    def insert_edge():
+        while True:
+            u, v = rng.randrange(500), rng.randrange(500)
+            if u != v and (u, v) not in seen and (v, u) not in seen:
+                break
+        seen.add((u, v))
+        store.create_relationship(store.allocate_rel_id(), u, v)
+
+    benchmark(insert_edge)
+
+
+def test_bench_one_hop_traversal(benchmark, dataset):
+    cluster = HermesCluster.from_graph(
+        dataset.graph.copy(), num_servers=8, partitioner=HashPartitioner()
+    )
+    rng = random.Random(5)
+    vertices = list(cluster.graph.vertices())
+
+    benchmark(lambda: cluster.traverse(rng.choice(vertices), hops=1))

@@ -1,0 +1,27 @@
+"""Benchmark: the SPAR one-hop-replication comparison extension."""
+
+from repro.experiments import spar
+
+
+def test_bench_spar(benchmark, graph_scale, record_table):
+    result = benchmark.pedantic(spar.run, args=(graph_scale,), rounds=1, iterations=1)
+    record_table("spar", spar.render(result))
+
+    for cell in result.cells:
+        replication = cell.replication
+        # SPAR's defining guarantee and its price:
+        assert replication.one_hop_local_fraction == 1.0
+        assert replication.replication_factor > 1.0
+        assert replication.write_amplification == replication.replication_factor
+        # Replicas do not make 2-hop traffic local.
+        assert replication.two_hop_local_fraction < 1.0
+    # The denser, worse-cut datasets pay a higher replication factor.
+    by_name = {cell.dataset: cell for cell in result.cells}
+    assert (
+        by_name["orkut"].replication.replication_factor
+        > by_name["dblp"].replication.replication_factor
+    )
+    benchmark.extra_info["replication_factors"] = {
+        cell.dataset: round(cell.replication.replication_factor, 2)
+        for cell in result.cells
+    }

@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Table 1 (dataset statistics)."""
+
+from repro.experiments import table1
+
+
+def test_bench_table1(benchmark, graph_scale, record_table):
+    result = benchmark.pedantic(table1.run, args=(graph_scale,), rounds=1, iterations=1)
+    text = table1.render(result)
+    record_table("table1", text)
+
+    by_name = {stats.name: stats for stats in result.measured}
+    # Shape assertions mirroring the paper's Table 1 orderings:
+    assert by_name["dblp"].clustering_coefficient > by_name["orkut"].clustering_coefficient
+    assert by_name["orkut"].clustering_coefficient > by_name["twitter"].clustering_coefficient
+    assert by_name["dblp"].average_path_length > by_name["twitter"].average_path_length
+    assert by_name["orkut"].num_edges > by_name["dblp"].num_edges
+    for stats in result.measured:
+        assert stats.powerlaw_coefficient > 1.5  # heavy-tailed degrees
+    benchmark.extra_info["summary"] = {
+        name: {
+            "clustering": round(stats.clustering_coefficient, 4),
+            "avg_path_length": round(stats.average_path_length, 2),
+            "powerlaw": round(stats.powerlaw_coefficient, 2),
+        }
+        for name, stats in by_name.items()
+    }

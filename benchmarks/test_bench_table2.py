@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Table 2 (iterations to convergence per k)."""
+
+from repro.experiments import table2
+
+
+def test_bench_table2(benchmark, graph_scale, record_table):
+    result = benchmark.pedantic(table2.run, args=(graph_scale,), rounds=1, iterations=1)
+    record_table("table2", table2.render(result))
+
+    by_dataset = {}
+    for entry in result.runs:
+        by_dataset.setdefault(entry.dataset, {})[entry.paper_k] = entry
+    for dataset, entries in by_dataset.items():
+        # Paper's trend: larger k converges in fewer (or equal) iterations.
+        assert entries[2000].iterations <= entries[1000].iterations
+        assert entries[1000].iterations <= entries[500].iterations
+        for entry in entries.values():
+            assert entry.converged
+    benchmark.extra_info["iterations"] = {
+        f"{entry.dataset}@k={entry.paper_k}": entry.iterations
+        for entry in result.runs
+    }

@@ -1,0 +1,61 @@
+"""Quickstart: partition a social graph and keep it balanced on the fly.
+
+Builds a small Orkut-like social network, gives it an initial METIS-style
+partitioning, simulates a popularity hotspot, and lets the lightweight
+repartitioner restore balance — the end-to-end loop of the Hermes paper.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro.core import LightweightRepartitioner, RepartitionerConfig
+from repro.graph import orkut_like
+from repro.partitioning import (
+    MultilevelPartitioner,
+    edge_cut_fraction,
+    imbalance_factor,
+)
+
+
+def main() -> None:
+    # 1. A social graph (a generator surrogate for the Orkut dataset).
+    dataset = orkut_like(n=1000, seed=42)
+    graph = dataset.graph
+    print(f"graph: {graph}")
+
+    # 2. Static initial partitioning across 8 database servers.
+    partitioner = MultilevelPartitioner(seed=42)
+    partitioning = partitioner.partition(graph, num_partitions=8)
+    print(
+        f"initial partitioning: edge-cut {edge_cut_fraction(graph, partitioning):.1%}, "
+        f"imbalance {imbalance_factor(graph, partitioning):.3f}"
+    )
+
+    # 3. A hotspot: users on partition 0 become twice as popular
+    #    (their read-request weight doubles).
+    for vertex in partitioning.vertices_in(0):
+        graph.set_weight(vertex, graph.weight(vertex) * 2.0)
+    print(
+        f"after hotspot: imbalance {imbalance_factor(graph, partitioning):.3f} "
+        "(> 1.1: the repartitioning trigger fires)"
+    )
+
+    # 4. The lightweight repartitioner rebalances using only auxiliary
+    #    data: per-vertex neighbor counts and partition weights.
+    config = RepartitionerConfig(epsilon=1.1)  # the paper's default
+    result = LightweightRepartitioner(config).run(graph, partitioning)
+
+    print(
+        f"repartitioned in {result.iterations} iterations "
+        f"({'converged' if result.converged else 'stalled'}): "
+        f"moved {result.vertices_moved} of {graph.num_vertices} vertices"
+    )
+    print(
+        f"edge-cut {result.initial_edge_cut} -> {result.final_edge_cut}, "
+        f"imbalance {result.initial_imbalance:.3f} -> {result.final_imbalance:.3f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Reproduction of *Hermes: Dynamic Partitioning for Distributed Social
+Network Graph Databases* (Nicoara, Kamali, Daudjee, Chen — EDBT 2015).
+
+Public API highlights
+---------------------
+* :class:`repro.core.LightweightRepartitioner` — the paper's contribution:
+  an incremental, auxiliary-data-only repartitioner.
+* :class:`repro.partitioning.MultilevelPartitioner` /
+  :class:`repro.partitioning.HashPartitioner` — the static baselines.
+* :class:`repro.cluster.HermesCluster` — a simulated distributed graph
+  database (Neo4j-style storage engine per server, remote traversals,
+  on-the-fly physical migration).
+* :mod:`repro.graph` — social-graph substrate, generators, statistics.
+* :mod:`repro.experiments` — regenerates every table and figure of the
+  paper's evaluation.
+"""
+
+from repro.core import (
+    AuxiliaryData,
+    ImbalanceTrigger,
+    LightweightRepartitioner,
+    MigrationPlan,
+    RepartitionerConfig,
+    RepartitionResult,
+    build_migration_plan,
+)
+from repro.graph import Dataset, SocialGraph, make_dataset
+from repro.partitioning import (
+    HashPartitioner,
+    MultilevelPartitioner,
+    Partitioning,
+    edge_cut,
+    edge_cut_fraction,
+    imbalance_factor,
+    migration_stats,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SocialGraph",
+    "Dataset",
+    "make_dataset",
+    "Partitioning",
+    "HashPartitioner",
+    "MultilevelPartitioner",
+    "edge_cut",
+    "edge_cut_fraction",
+    "imbalance_factor",
+    "migration_stats",
+    "AuxiliaryData",
+    "RepartitionerConfig",
+    "LightweightRepartitioner",
+    "RepartitionResult",
+    "MigrationPlan",
+    "build_migration_plan",
+    "ImbalanceTrigger",
+    "__version__",
+]

@@ -1,0 +1,16 @@
+"""Result analysis and rendering shared by experiments and benchmarks."""
+
+from repro.analysis.memory import (
+    auxiliary_memory_bytes,
+    multilevel_memory_bytes,
+)
+from repro.analysis.report import BarChart, Table, format_float, format_percent
+
+__all__ = [
+    "Table",
+    "BarChart",
+    "format_percent",
+    "format_float",
+    "auxiliary_memory_bytes",
+    "multilevel_memory_bytes",
+]

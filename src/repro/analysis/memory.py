@@ -1,0 +1,45 @@
+"""Memory-footprint estimators for the Section 5.3 comparison.
+
+The paper reports that METIS needs ~23 GB / ~17 GB to partition Orkut /
+Twitter while the lightweight repartitioner needs only 2-3 GB: "Metis'
+memory requirements scale with the number of relationships and coarsening
+stages, while the lightweight repartitioner scales with the number of
+vertices and partitions."  These estimators express the same asymmetry
+for our in-process implementations so the claim can be demonstrated at
+any scale.
+"""
+
+from __future__ import annotations
+
+from repro.core.auxiliary import AuxiliaryData
+from repro.graph.adjacency import SocialGraph
+
+#: bytes per stored integer counter / weight entry (CPython object ~28B,
+#: but a packed implementation needs 8; we charge the packed size because
+#: the claim is about information, not interpreter overhead)
+_ENTRY_BYTES = 8
+
+
+def auxiliary_memory_bytes(aux: AuxiliaryData) -> int:
+    """Bytes of auxiliary data: sparse counters + per-partition weights.
+
+    Theorem 2: amortized ``n + Theta(alpha)`` entries per partition.
+    """
+    counter_entries, weight_entries = aux.memory_entries()
+    per_vertex_overhead = aux.num_vertices * 2  # partition id + own weight
+    return (counter_entries + weight_entries + per_vertex_overhead) * _ENTRY_BYTES
+
+
+def multilevel_memory_bytes(
+    graph: SocialGraph, coarsening_ratio: float = 0.55
+) -> int:
+    """Bytes a multilevel partitioner holds across its level hierarchy.
+
+    Every level stores vertex weights plus *both directions* of every
+    edge with its weight; level sizes form a geometric series with the
+    coarsening ratio, so the total is ~``1/(1-ratio)`` times the finest
+    level — this is what scales with relationships, not vertices.
+    """
+    finest = (graph.num_vertices + 4 * graph.num_edges) * _ENTRY_BYTES
+    series_factor = 1.0 / (1.0 - coarsening_ratio)
+    return int(finest * series_factor)

@@ -1,0 +1,105 @@
+"""Plain-text table rendering for experiment output.
+
+Every experiment renders its result as an aligned ASCII table with the
+same rows/series the paper's table or figure reports, so that the bench
+output can be compared against the paper side by side.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+def format_percent(value: float, digits: int = 1) -> str:
+    return f"{value * 100:.{digits}f}%"
+
+
+def format_float(value: float, digits: int = 2) -> str:
+    return f"{value:.{digits}f}"
+
+
+class BarChart:
+    """Horizontal grouped bar chart in plain text (for figure experiments).
+
+    Example output::
+
+        Figure 9 - orkut, 1-hop
+        =======================
+        Metis   |############################                 2,322
+        Hermes  |###############################              2,545
+        Random  |################                             1,300
+    """
+
+    def __init__(self, title: str, width: int = 44):
+        if width < 8:
+            raise ValueError("width must be >= 8")
+        self.title = title
+        self.width = width
+        self.bars: List[tuple] = []
+
+    def add_bar(self, label: str, value: float, display: Optional[str] = None) -> None:
+        if value < 0:
+            raise ValueError("bar values must be non-negative")
+        self.bars.append((label, value, display))
+
+    def to_text(self) -> str:
+        lines = [self.title, "=" * len(self.title)]
+        if not self.bars:
+            return "\n".join(lines + ["(no data)"])
+        label_width = max(len(label) for label, _, _ in self.bars)
+        peak = max(value for _, value, _ in self.bars) or 1.0
+        for label, value, display in self.bars:
+            filled = int(round(self.width * value / peak))
+            shown = display if display is not None else f"{value:,.0f}"
+            lines.append(
+                f"{label.ljust(label_width)} |"
+                f"{'#' * filled}{' ' * (self.width - filled)}  {shown}"
+            )
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.to_text()
+
+
+class Table:
+    """A titled, column-aligned text table."""
+
+    def __init__(self, title: str, headers: Sequence[str]):
+        self.title = title
+        self.headers = list(headers)
+        self.rows: List[List[str]] = []
+        self.footnotes: List[str] = []
+
+    def add_row(self, *cells: object) -> None:
+        row = [str(cell) for cell in cells]
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(row)
+
+    def add_footnote(self, text: str) -> None:
+        self.footnotes.append(text)
+
+    def to_text(self) -> str:
+        widths = [len(header) for header in self.headers]
+        for row in self.rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+
+        def render_row(cells: Sequence[str]) -> str:
+            return "  ".join(
+                cell.ljust(width) for cell, width in zip(cells, widths)
+            ).rstrip()
+
+        lines = [self.title, "=" * len(self.title)]
+        lines.append(render_row(self.headers))
+        lines.append(render_row(["-" * width for width in widths]))
+        for row in self.rows:
+            lines.append(render_row(row))
+        for note in self.footnotes:
+            lines.append(f"  * {note}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.to_text()

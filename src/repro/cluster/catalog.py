@@ -1,0 +1,68 @@
+"""Vertex -> server catalog (the cluster's placement directory).
+
+"To submit a query the client would first lookup the vertex for the
+starting point of the query, then send the traversal query to the server
+hosting the initial vertex" (Section 4).  The catalog is that lookup
+service; migration updates it between the copy and remove steps so that
+queries route to the new replica before the original disappears.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Set
+
+from repro.exceptions import CatalogError
+from repro.partitioning.base import Partitioning
+
+
+class Catalog:
+    """Thin ownership wrapper around a :class:`Partitioning`."""
+
+    def __init__(self, num_servers: int):
+        self._placement = Partitioning(num_servers)
+
+    @classmethod
+    def from_partitioning(cls, partitioning: Partitioning) -> "Catalog":
+        catalog = cls(partitioning.num_partitions)
+        catalog._placement = partitioning.copy()
+        return catalog
+
+    @property
+    def num_servers(self) -> int:
+        return self._placement.num_partitions
+
+    def lookup(self, vertex: int) -> int:
+        """Which server hosts this vertex?"""
+        server = self._placement.get(vertex)
+        if server is None:
+            raise CatalogError(f"vertex {vertex} is not in the catalog")
+        return server
+
+    def __contains__(self, vertex: int) -> bool:
+        return vertex in self._placement
+
+    def register(self, vertex: int, server: int) -> None:
+        self._placement.assign(vertex, server)
+
+    def move(self, vertex: int, server: int) -> int:
+        """Re-home a vertex; returns its previous server."""
+        return self._placement.move(vertex, server)
+
+    def unregister(self, vertex: int) -> int:
+        return self._placement.remove(vertex)
+
+    def vertices_on(self, server: int) -> Set[int]:
+        return self._placement.vertices_in(server)
+
+    def vertices(self) -> Iterator[int]:
+        return iter(self._placement.as_mapping())
+
+    def sizes(self) -> list:
+        return self._placement.sizes()
+
+    def snapshot(self) -> Partitioning:
+        """An independent copy of the current placement."""
+        return self._placement.copy()
+
+    def as_mapping(self) -> Dict[int, int]:
+        return self._placement.as_mapping()

@@ -1,0 +1,397 @@
+"""HermesCluster: the distributed graph database facade (Figure 6).
+
+One object wires together every substrate: per-server storage engines,
+the catalog, the simulated network, the traversal engine, the lightweight
+repartitioner + physical migration executor, and the static partitioners
+used for initial placement.  The evaluation harness and the examples talk
+to this class only.
+
+The cluster also maintains two simulation-level conveniences the real
+system distributes across servers:
+
+* ``graph`` — a :class:`~repro.graph.SocialGraph` mirror of the logical
+  graph (adjacency + vertex weights).  Hosting servers know their local
+  adjacency; the mirror stands in for that local knowledge when the
+  repartitioner forwards counter updates for migrating vertices, and it
+  gives the METIS baseline the global view it genuinely requires.
+* ``aux`` — the :class:`~repro.core.AuxiliaryData` that in Hermes is
+  sharded per server; centralizing it changes nothing observable because
+  every read the algorithm performs is one a hosting server could answer
+  locally.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.cluster.catalog import Catalog
+from repro.cluster.migration_executor import MigrationExecutor, MigrationReport
+from repro.cluster.network import NetworkConfig, SimulatedNetwork
+from repro.cluster.server import HermesServer
+from repro.cluster.traversal import TraversalEngine, TraversalResult
+from repro.core.auxiliary import AuxiliaryData
+from repro.core.config import RepartitionerConfig
+from repro.core.migration import build_migration_plan
+from repro.core.repartitioner import LightweightRepartitioner, RepartitionResult
+from repro.core.triggers import ImbalanceTrigger, TriggerDecision
+from repro.exceptions import ClusterError
+from repro.graph.adjacency import SocialGraph
+from repro.storage.graph_store import GraphStore
+from repro.partitioning.base import Partitioner, Partitioning
+from repro.partitioning.hashing import HashPartitioner
+
+
+class HermesCluster:
+    """A simulated multi-server Hermes deployment."""
+
+    def __init__(
+        self,
+        num_servers: int,
+        network: NetworkConfig = NetworkConfig(),
+        repartitioner: Optional[RepartitionerConfig] = None,
+        lock_timeout: float = 1.0,
+        track_weights: bool = True,
+    ):
+        if num_servers < 1:
+            raise ClusterError("need at least one server")
+        self.num_servers = num_servers
+        self.now = 0.0
+        self.network = SimulatedNetwork(num_servers, network)
+        self.servers: List[HermesServer] = [
+            HermesServer(
+                server_id,
+                num_servers,
+                clock=lambda: self.now,
+                lock_timeout=lock_timeout,
+            )
+            for server_id in range(num_servers)
+        ]
+        self.catalog = Catalog(num_servers)
+        self.graph = SocialGraph()
+        self.aux = AuxiliaryData(num_servers)
+        self.repartitioner_config = repartitioner or RepartitionerConfig()
+        self.trigger = ImbalanceTrigger(self.repartitioner_config.epsilon)
+        self.track_weights = track_weights
+        self._engine = TraversalEngine(self.servers, self.catalog, self.network)
+        self._executor = MigrationExecutor(self.servers, self.catalog, self.network)
+        self._placer = HashPartitioner()
+
+    # ==================================================================
+    # Loading
+    # ==================================================================
+    @classmethod
+    def from_graph(
+        cls,
+        graph: SocialGraph,
+        num_servers: int,
+        partitioner: Optional[Partitioner] = None,
+        partitioning: Optional[Partitioning] = None,
+        **kwargs,
+    ) -> "HermesCluster":
+        """Build a cluster and bulk-load a graph.
+
+        Either give an explicit ``partitioning`` or a ``partitioner`` to
+        compute the initial placement (default: random hash).
+        """
+        cluster = cls(num_servers, **kwargs)
+        if partitioning is None:
+            partitioning = (partitioner or HashPartitioner()).partition(
+                graph, num_servers
+            )
+        cluster.load(graph, partitioning)
+        return cluster
+
+    def load(self, graph: SocialGraph, partitioning: Partitioning) -> None:
+        """Bulk-load: nodes to their partitions, edges with ghosts."""
+        if self.graph.num_vertices:
+            raise ClusterError("cluster already loaded")
+        for vertex in graph.vertices():
+            server = partitioning.partition_of(vertex)
+            weight = graph.weight(vertex)
+            self.servers[server].store.create_node(vertex, weight=weight)
+            self.catalog.register(vertex, server)
+            self.graph.add_vertex(vertex, weight=weight)
+            self.aux.add_vertex(vertex, server, weight)
+        for u, v in graph.edges():
+            self._create_edge_records(u, v, properties=None)
+            self.graph.add_edge(u, v)
+            self.aux.add_edge(u, v)
+
+    def _create_edge_records(
+        self, u: int, v: int, properties: Optional[Dict[str, Any]]
+    ) -> float:
+        """Primary record on the src (u) host, ghost on the dst host."""
+        host_u = self.catalog.lookup(u)
+        host_v = self.catalog.lookup(v)
+        rel_id = self.servers[host_u].store.allocate_rel_id()
+        cost = self.network.local_visit()
+        self.servers[host_u].store.create_relationship(
+            rel_id, u, v, properties=properties
+        )
+        if host_v != host_u:
+            cost += self.network.remote_hop(host_u, host_v)
+            self.servers[host_v].store.create_relationship(rel_id, u, v, ghost=True)
+        return cost
+
+    # ==================================================================
+    # Read path
+    # ==================================================================
+    def traverse(self, start: int, hops: int = 1) -> TraversalResult:
+        """Distributed k-hop traversal; updates popularity weights."""
+        result = self._engine.traverse(start, hops)
+        self.now += result.cost
+        if self.track_weights:
+            for vertex in result.response:
+                self.graph.add_weight(vertex, 1.0)
+                self.aux.add_weight(vertex, 1.0)
+        return result
+
+    def read_vertex(self, vertex: int) -> Tuple[Dict[str, Any], float]:
+        """Single-record query; returns (properties, simulated cost)."""
+        server = self.catalog.lookup(vertex)
+        properties = self.servers[server].read_vertex(vertex)
+        self.servers[server].busy_seconds += self.network.local_visit()
+        cost = self.network.config.client_dispatch_cost + self.network.local_visit()
+        self.now += cost
+        if self.track_weights:
+            self.graph.add_weight(vertex, 1.0)
+            self.aux.add_weight(vertex, 1.0)
+        return properties, cost
+
+    # ==================================================================
+    # Write path
+    # ==================================================================
+    def add_vertex(
+        self,
+        vertex: int,
+        weight: float = 1.0,
+        properties: Optional[Dict[str, Any]] = None,
+        server: Optional[int] = None,
+    ) -> float:
+        """Insert a new user; placed by hash unless ``server`` is given."""
+        if vertex in self.catalog:
+            raise ClusterError(f"vertex {vertex} already exists")
+        target = (
+            server
+            if server is not None
+            else self._placer.place(vertex, self.num_servers)
+        )
+        self.servers[target].create_vertex(vertex, weight=weight, properties=properties)
+        self.catalog.register(vertex, target)
+        self.graph.add_vertex(vertex, weight=weight)
+        self.aux.add_vertex(vertex, target, weight)
+        cost = self.network.config.client_dispatch_cost + self.network.local_visit()
+        self.now += cost
+        return cost
+
+    def add_edge(
+        self, u: int, v: int, properties: Optional[Dict[str, Any]] = None
+    ) -> float:
+        """Connect two users (updates stores, mirror and auxiliary data)."""
+        if self.graph.has_edge(u, v):
+            raise ClusterError(f"edge ({u}, {v}) already exists")
+        cost = self.network.config.client_dispatch_cost
+        cost += self._create_edge_records(u, v, properties)
+        self.graph.add_edge(u, v)
+        self.aux.add_edge(u, v)
+        self.now += cost
+        return cost
+
+    # ==================================================================
+    # Repartitioning
+    # ==================================================================
+    def check_trigger(self) -> TriggerDecision:
+        """Would the repartitioner fire right now?"""
+        return self.trigger.check(self.aux)
+
+    def rebalance(
+        self, force: bool = False
+    ) -> Optional[Tuple[RepartitionResult, MigrationReport]]:
+        """Run the lightweight repartitioner end to end.
+
+        Phase 1 (logical, auxiliary-data only) computes the moves; phase 2
+        physically migrates records with the copy/remove protocol.  Returns
+        None when the trigger does not fire (and ``force`` is False).
+        """
+        decision = self.check_trigger()
+        if not decision.should_repartition and not force:
+            return None
+        scratch = self.catalog.snapshot()
+        repartitioner = LightweightRepartitioner(self.repartitioner_config)
+        result = repartitioner.run(self.graph, scratch, aux=self.aux)
+        report = self._apply_moves(result.moves)
+        return result, report
+
+    def decay_weights(self, factor: float = 0.5, floor: float = 1.0) -> None:
+        """Age popularity weights so rebalancing tracks current traffic."""
+        self.aux.decay_weights(factor, floor=floor)
+        for vertex in self.graph.vertices():
+            self.graph.set_weight(vertex, self.aux.weight_of(vertex))
+
+    def repartition_static(self, partitioner: Partitioner) -> MigrationReport:
+        """Re-run a static partitioner (e.g. the METIS substitute) and
+        migrate the difference — the paper's comparison point that needs a
+        global view of the graph."""
+        new_partitioning = partitioner.partition(self.graph, self.num_servers)
+        moves = {}
+        for vertex in self.graph.vertices():
+            source = self.catalog.lookup(vertex)
+            target = new_partitioning.partition_of(vertex)
+            if source != target:
+                moves[vertex] = (source, target)
+        # Keep auxiliary data in sync with the new placement.
+        for vertex, (_, target) in moves.items():
+            self.aux.apply_move(vertex, target, self.graph.neighbors(vertex))
+        return self._apply_moves(moves)
+
+    def _apply_moves(self, moves: Dict[int, Tuple[int, int]]) -> MigrationReport:
+        plan = build_migration_plan(moves)
+        report = self._executor.execute(plan)
+        self.now += report.total_cost
+        return report
+
+    # ==================================================================
+    # Whole-cluster persistence
+    # ==================================================================
+    _META_FILE = "cluster.json"
+
+    def save(self, directory: str) -> None:
+        """Persist every server's stores; catalog/mirror/aux are derived
+        state and are reconstructed on load from the stores themselves."""
+        os.makedirs(directory, exist_ok=True)
+        for server in self.servers:
+            server.store.save(os.path.join(directory, f"server-{server.server_id}"))
+        meta = {"num_servers": self.num_servers}
+        with open(os.path.join(directory, self._META_FILE), "w") as handle:
+            json.dump(meta, handle)
+
+    @classmethod
+    def load_cluster(cls, directory: str, **kwargs) -> "HermesCluster":
+        """Reopen a saved cluster.
+
+        The stores are the source of truth: vertex placement comes from
+        which store holds each (available) node, the logical mirror from
+        the union of non-ghost relationship records, vertex weights from
+        the node records, and the auxiliary data is bootstrapped from the
+        reconstructed mirror + placement.
+        """
+        with open(os.path.join(directory, cls._META_FILE)) as handle:
+            meta = json.load(handle)
+        cluster = cls(meta["num_servers"], **kwargs)
+        for server in cluster.servers:
+            server.store = GraphStore.load(
+                os.path.join(directory, f"server-{server.server_id}")
+            )
+        for server in cluster.servers:
+            for node_id in server.store.node_ids():
+                if not server.store.is_available(node_id):
+                    continue
+                cluster.catalog.register(node_id, server.server_id)
+                cluster.graph.add_vertex(
+                    node_id, weight=server.store.node_weight(node_id)
+                )
+                cluster.aux.add_vertex(
+                    node_id, server.server_id, server.store.node_weight(node_id)
+                )
+        seen = set()
+        for server in cluster.servers:
+            for record in server.store.relationships.records():
+                if record.ghost or record.rel_id in seen:
+                    continue
+                seen.add(record.rel_id)
+                cluster.graph.add_edge(record.src, record.dst)
+                cluster.aux.add_edge(record.src, record.dst)
+        return cluster
+
+    # ==================================================================
+    # Metrics / introspection
+    # ==================================================================
+    def edge_cut(self) -> int:
+        return self.aux.edge_cut()
+
+    def edge_cut_fraction(self) -> float:
+        if self.graph.num_edges == 0:
+            return 0.0
+        return self.aux.edge_cut() / self.graph.num_edges
+
+    def imbalance(self) -> float:
+        return self.aux.max_imbalance()
+
+    def partitioning(self) -> Partitioning:
+        return self.catalog.snapshot()
+
+    def storage_stats(self) -> List:
+        return [server.store.stats() for server in self.servers]
+
+    def validate(self) -> None:
+        """Full cross-layer consistency check (used by integration tests).
+
+        Verifies catalog == auxiliary placement, store hosting, ghost
+        conventions and auxiliary counters against the mirror graph.
+        """
+        for vertex in self.graph.vertices():
+            home = self.catalog.lookup(vertex)
+            if self.aux.partition_of(vertex) != home:
+                raise ClusterError(f"aux/catalog disagree on vertex {vertex}")
+            if not self.servers[home].store.is_available(vertex):
+                raise ClusterError(f"vertex {vertex} not available on server {home}")
+            for other in range(self.num_servers):
+                if other != home and self.servers[other].store.has_node(vertex):
+                    raise ClusterError(
+                        f"vertex {vertex} has a stray replica on server {other}"
+                    )
+            # Auxiliary neighbor counters must match the mirror adjacency.
+            expected: Dict[int, int] = {}
+            for neighbor in self.graph.neighbors(vertex):
+                part = self.catalog.lookup(neighbor)
+                expected[part] = expected.get(part, 0) + 1
+            if dict(self.aux.neighbor_counts(vertex)) != expected:
+                raise ClusterError(f"aux counters wrong for vertex {vertex}")
+            # The hosting server's adjacency must equal the mirror's.
+            local = sorted(self.servers[home].store.neighbors(vertex))
+            if local != sorted(self.graph.neighbors(vertex)):
+                raise ClusterError(f"store adjacency wrong for vertex {vertex}")
+        for u, v in self.graph.edges():
+            self._validate_edge(u, v)
+
+    def _validate_edge(self, u: int, v: int) -> None:
+        host_u = self.catalog.lookup(u)
+        host_v = self.catalog.lookup(v)
+        rel_u = self._find_rel(host_u, u, v)
+        if rel_u is None:
+            raise ClusterError(f"edge ({u}, {v}) missing on server {host_u}")
+        if host_u == host_v:
+            record = self.servers[host_u].store.relationship(rel_u)
+            if record.ghost:
+                raise ClusterError(f"local edge ({u}, {v}) is marked ghost")
+            return
+        rel_v = self._find_rel(host_v, v, u)
+        if rel_v is None:
+            raise ClusterError(f"edge ({u}, {v}) missing on server {host_v}")
+        if rel_u != rel_v:
+            raise ClusterError(f"edge ({u}, {v}) has mismatched record IDs")
+        record_u = self.servers[host_u].store.relationship(rel_u)
+        record_v = self.servers[host_v].store.relationship(rel_v)
+        src_host = self.catalog.lookup(record_u.src)
+        for host, record in ((host_u, record_u), (host_v, record_v)):
+            expected_ghost = host != src_host
+            if record.ghost != expected_ghost:
+                raise ClusterError(
+                    f"edge ({u}, {v}) ghost flag wrong on server {host}"
+                )
+
+    def _find_rel(self, host: int, node: int, other: int) -> Optional[int]:
+        store = self.servers[host].store
+        for entry in store.neighbor_entries(node, include_unavailable=True):
+            if entry.neighbor == other:
+                return entry.rel_id
+        return None
+
+    def __repr__(self) -> str:
+        return (
+            f"HermesCluster(servers={self.num_servers}, "
+            f"vertices={self.graph.num_vertices}, edges={self.graph.num_edges}, "
+            f"edge_cut={self.edge_cut()}, imbalance={self.imbalance():.3f})"
+        )

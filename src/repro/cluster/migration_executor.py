@@ -1,0 +1,235 @@
+"""Physical data migration: the two-step copy/remove protocol (Section 3.2).
+
+Given the :class:`~repro.core.migration.MigrationPlan` produced by phase 1
+of the lightweight repartitioner, the executor:
+
+1. **copy step** — for every move, the target server receives the vertex's
+   payload (node record, properties, relationship records with their
+   properties) and inserts it locally.  Insertion-only, so each target
+   proceeds independently with no cross-partition locks;
+2. **synchronization barrier** — every participating server confirms copy
+   completion (cheap: no locks or resources held);
+3. **remove step** — each source server marks its moved vertices
+   *unavailable* (queries thereafter treat them as absent), converts or
+   deletes their relationship records, and finally drops the node records.
+
+Relationship bookkeeping follows the ownership convention: the primary
+(property-bearing) record lives with the ``src`` endpoint's host; the
+other side keeps a ghost.  The executor recomputes ghost/primary roles
+against the *post-migration* catalog so that edges between two migrating
+vertices, edges to third-party servers, and edges collapsing into a
+single server are all handled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from repro.cluster.catalog import Catalog
+from repro.cluster.network import SimulatedNetwork
+from repro.cluster.server import HermesServer
+from repro.core.migration import MigrationPlan
+from repro.exceptions import ClusterError
+
+
+@dataclass
+class MigrationReport:
+    """Cost accounting of one physical migration."""
+
+    vertices_moved: int = 0
+    relationships_transferred: int = 0
+    relationships_rewritten: int = 0
+    bytes_transferred: int = 0
+    copy_cost: float = 0.0
+    barrier_cost: float = 0.0
+    remove_cost: float = 0.0
+    per_target: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def total_cost(self) -> float:
+        return self.copy_cost + self.barrier_cost + self.remove_cost
+
+
+def _payload_size(payload: Dict[str, Any]) -> int:
+    """Rough wire size: fixed record sizes + property payload estimate."""
+    size = 64  # node record + framing
+    for key, value in payload.get("properties", {}).items():
+        size += len(key) + len(repr(value)) + 16
+    for rel in payload.get("relationships", []):
+        size += 80  # relationship record
+        for key, value in rel.get("properties", {}).items():
+            size += len(key) + len(repr(value)) + 16
+    return size
+
+
+class MigrationExecutor:
+    """Executes migration plans against the servers."""
+
+    def __init__(
+        self,
+        servers: List[HermesServer],
+        catalog: Catalog,
+        network: SimulatedNetwork,
+    ):
+        self.servers = servers
+        self.catalog = catalog
+        self.network = network
+
+    # ------------------------------------------------------------------
+    def execute(self, plan: MigrationPlan) -> MigrationReport:
+        """Run the full two-step protocol for ``plan``."""
+        report = MigrationReport()
+        if not plan.moves:
+            return report
+        final_home = self._final_placement(plan)
+
+        payloads = self._copy_step(plan, final_home, report)
+        report.barrier_cost = self._barrier(plan)
+        # The catalog flips between the steps: queries now route to the
+        # fresh replicas while the originals are being removed.
+        for move in plan.moves:
+            self.catalog.move(move.vertex, move.target)
+        self._remove_step(plan, final_home, payloads, report)
+        return report
+
+    def _final_placement(self, plan: MigrationPlan) -> Dict[int, int]:
+        """Vertex -> server map *after* the plan completes."""
+        placement = {move.vertex: move.target for move in plan.moves}
+        return placement
+
+    def _home_after(self, vertex: int, final_home: Dict[int, int]) -> int:
+        override = final_home.get(vertex)
+        if override is not None:
+            return override
+        return self.catalog.lookup(vertex)
+
+    # ------------------------------------------------------------------
+    # Step 1: copy
+    # ------------------------------------------------------------------
+    def _copy_step(
+        self,
+        plan: MigrationPlan,
+        final_home: Dict[int, int],
+        report: MigrationReport,
+    ) -> Dict[int, Dict[str, Any]]:
+        """Replicate every moving vertex on its target server."""
+        payloads: Dict[int, Dict[str, Any]] = {}
+        for move in plan.moves:
+            source = self.servers[move.source]
+            target = self.servers[move.target]
+            if not source.store.has_node(move.vertex):
+                raise ClusterError(
+                    f"server {move.source} does not host vertex {move.vertex}"
+                )
+            payload = source.store.export_node(move.vertex)
+            payloads[move.vertex] = payload
+            size = _payload_size(payload)
+            report.bytes_transferred += size
+            report.copy_cost += self.network.transfer(move.source, move.target, size)
+            report.vertices_moved += 1
+            report.per_target[move.target] = report.per_target.get(move.target, 0) + 1
+
+            target.store.import_node(payload)
+            for rel in payload["relationships"]:
+                self._install_relationship(target, move.vertex, rel, final_home)
+                report.relationships_transferred += 1
+        return payloads
+
+    def _install_relationship(
+        self,
+        target: HermesServer,
+        arriving: int,
+        rel: Dict[str, Any],
+        final_home: Dict[int, int],
+    ) -> None:
+        """Create or merge one relationship record on the target server."""
+        rel_id = rel["rel_id"]
+        src, dst = rel["src"], rel["dst"]
+        other = dst if arriving == src else src
+        other_home = self._home_after(other, final_home)
+        here = target.server_id
+        primary_here = self._home_after(src, final_home) == here
+        both_local_eventually = other_home == here
+
+        if target.store.has_relationship(rel_id):
+            # Counterpart already present (other endpoint lives here or
+            # arrived earlier in this copy step): link the new endpoint in
+            # and reconcile the primary/ghost role.
+            target.store.attach_endpoint(rel_id, arriving)
+            existing = target.store.relationship(rel_id)
+            should_be_ghost = not (primary_here or both_local_eventually)
+            if existing.ghost and not should_be_ghost:
+                target.store.set_ghost(rel_id, False)
+            elif not existing.ghost and should_be_ghost:
+                target.store.set_ghost(rel_id, True)
+            if not should_be_ghost:
+                # Merge properties: the primary payload may arrive second
+                # when both endpoints migrate to the same server.
+                for key, value in rel.get("properties", {}).items():
+                    target.store.set_relationship_property(rel_id, key, value)
+            return
+
+        ghost = not (primary_here or both_local_eventually)
+        properties = rel.get("properties", {}) if not ghost else None
+        target.store.create_relationship(
+            rel_id, src, dst, ghost=ghost, properties=properties or None
+        )
+
+    # ------------------------------------------------------------------
+    # Barrier
+    # ------------------------------------------------------------------
+    def _barrier(self, plan: MigrationPlan) -> float:
+        """All participants confirm copy completion (no locks held)."""
+        participants = {move.source for move in plan.moves}
+        participants.update(move.target for move in plan.moves)
+        cost = 0.0
+        for server in participants:
+            cost += self.network.broadcast(server, size=32)
+        return cost
+
+    # ------------------------------------------------------------------
+    # Step 2: remove
+    # ------------------------------------------------------------------
+    def _remove_step(
+        self,
+        plan: MigrationPlan,
+        final_home: Dict[int, int],
+        payloads: Dict[int, Dict[str, Any]],
+        report: MigrationReport,
+    ) -> None:
+        """Mark originals unavailable, fix up chains, drop the records."""
+        # First pass: the unavailable state, so no query can lock them.
+        for move in plan.moves:
+            self.servers[move.source].store.set_available(move.vertex, False)
+        # Second pass: relationship record surgery + node removal.
+        for move in plan.moves:
+            source = self.servers[move.source]
+            store = source.store
+            entries = list(
+                store.neighbor_entries(move.vertex, include_unavailable=True)
+            )
+            for entry in entries:
+                other = entry.neighbor
+                other_here = (
+                    store.has_node(other)
+                    and self._home_after(other, final_home) == move.source
+                )
+                if other_here:
+                    # The edge now crosses partitions: keep the record for
+                    # the staying endpoint, null the migrated side, and
+                    # recompute its ghost role (primary follows src).
+                    store.detach_endpoint(entry.rel_id, move.vertex)
+                    record = store.relationship(entry.rel_id)
+                    should_be_ghost = (
+                        self._home_after(record.src, final_home) != move.source
+                    )
+                    if record.ghost != should_be_ghost:
+                        store.set_ghost(entry.rel_id, should_be_ghost)
+                    report.relationships_rewritten += 1
+                else:
+                    store.delete_relationship(entry.rel_id)
+                    report.relationships_rewritten += 1
+                report.remove_cost += self.network.local_visit()
+            store.remove_node_record(move.vertex)
+            report.remove_cost += self.network.local_visit()

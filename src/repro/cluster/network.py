@@ -1,0 +1,105 @@
+"""Simulated peer-to-peer network with a latency cost model.
+
+Hermes servers are "connected in a peer-to-peer fashion" (Figure 6); an
+edge-cut shifts a local traversal step into a remote traversal, "thereby
+incurring significant network latency" (Section 1).  The simulation
+charges every operation a cost in simulated seconds:
+
+* a local vertex visit costs ``local_visit_cost`` (an in-memory/page-cache
+  record read plus processing);
+* following an edge whose endpoint lives on another server costs an extra
+  ``remote_hop_cost`` (a request/response round on the LAN);
+* bulk record transfers during migration cost
+  ``transfer_base_cost + bytes * transfer_byte_cost``.
+
+Defaults approximate the paper's testbed (1Gb Ethernet: ~0.5 ms per
+round-trip including serialization; tens of microseconds per local record
+visit).  The *absolute* throughput numbers are not meaningful — the
+relative performance of partitioners, which is driven by the
+local/remote mix, is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.exceptions import ClusterError
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Latency model in simulated seconds."""
+
+    local_visit_cost: float = 20e-6
+    remote_hop_cost: float = 500e-6
+    #: CPU consumed on EACH endpoint server to service one remote hop
+    #: (serialization, syscalls, RPC dispatch) — this is the "network IO"
+    #: load that edge-cuts impose on servers, distinct from wire latency.
+    remote_service_cost: float = 50e-6
+    transfer_base_cost: float = 500e-6
+    transfer_byte_cost: float = 8e-9  # ~1 Gb/s payload bandwidth
+    client_dispatch_cost: float = 100e-6  # client -> cluster round trip
+
+
+@dataclass
+class NetworkStats:
+    """Message/byte counters kept per server pair."""
+
+    messages: int = 0
+    bytes_sent: int = 0
+    per_link: Dict[Tuple[int, int], int] = field(default_factory=dict)
+
+    def record(self, src: int, dst: int, size: int) -> None:
+        self.messages += 1
+        self.bytes_sent += size
+        key = (src, dst)
+        self.per_link[key] = self.per_link.get(key, 0) + 1
+
+
+class SimulatedNetwork:
+    """Cost accounting for inter-server communication."""
+
+    def __init__(self, num_servers: int, config: NetworkConfig = NetworkConfig()):
+        if num_servers < 1:
+            raise ClusterError("need at least one server")
+        self.num_servers = num_servers
+        self.config = config
+        self.stats = NetworkStats()
+
+    def _check(self, server: int) -> None:
+        if not 0 <= server < self.num_servers:
+            raise ClusterError(
+                f"server {server} out of range [0, {self.num_servers})"
+            )
+
+    def local_visit(self) -> float:
+        """Cost of processing one vertex on its own server."""
+        return self.config.local_visit_cost
+
+    def remote_hop(self, src: int, dst: int, size: int = 256) -> float:
+        """Cost of one remote traversal step ``src -> dst``."""
+        self._check(src)
+        self._check(dst)
+        if src == dst:
+            return 0.0
+        self.stats.record(src, dst, size)
+        return self.config.remote_hop_cost
+
+    def transfer(self, src: int, dst: int, size: int) -> float:
+        """Cost of a bulk record transfer (migration copy step)."""
+        self._check(src)
+        self._check(dst)
+        if src == dst:
+            return 0.0
+        self.stats.record(src, dst, size)
+        return self.config.transfer_base_cost + size * self.config.transfer_byte_cost
+
+    def broadcast(self, src: int, size: int = 64) -> float:
+        """Cost of a synchronization message to every other server."""
+        self._check(src)
+        cost = 0.0
+        for dst in range(self.num_servers):
+            if dst != src:
+                cost += self.remote_hop(src, dst, size)
+        return cost

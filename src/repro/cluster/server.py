@@ -1,0 +1,119 @@
+"""One Hermes server: a GraphStore plus transactions and request handling.
+
+Servers expose the record-level operations the workloads exercise —
+single-record reads, property writes, vertex/edge inserts — and the
+chain-walking expansion step used by the distributed traversal engine.
+Every mutation runs inside a transaction with record locks, mirroring the
+engine described in Section 4.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.exceptions import ClusterError
+from repro.storage.graph_store import GraphStore, NeighborEntry
+from repro.txn.locks import LockMode
+from repro.txn.manager import TransactionManager
+
+
+class HermesServer:
+    """A single database server hosting one partition."""
+
+    def __init__(
+        self,
+        server_id: int,
+        num_servers: int,
+        clock=None,
+        lock_timeout: float = 1.0,
+    ):
+        self.server_id = server_id
+        self.store = GraphStore(server_id=server_id, num_servers=num_servers)
+        self.txns = TransactionManager(clock=clock, lock_timeout=lock_timeout)
+        #: instrumentation: how many vertices this server processed
+        self.visits = 0
+        self.reads = 0
+        self.writes = 0
+        #: simulated CPU-seconds this server has spent serving requests
+        self.busy_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+    def read_vertex(self, node_id: int) -> Dict[str, Any]:
+        """Single-record query: the node's properties (bumps popularity)."""
+        if not self.store.is_available(node_id):
+            raise ClusterError(f"vertex {node_id} is not served by server {self.server_id}")
+        self.reads += 1
+        self.visits += 1
+        self.store.add_node_weight(node_id, 1.0)
+        return self.store.node_properties(node_id)
+
+    def expand(self, node_id: int) -> List[NeighborEntry]:
+        """One traversal step: the node's full (local) adjacency list.
+
+        Visit accounting is done by the traversal engine (it counts every
+        *processed* vertex, including final-hop vertices that are never
+        expanded), so this method does not touch ``visits``.
+        """
+        if not self.store.is_available(node_id):
+            raise ClusterError(f"vertex {node_id} is not served by server {self.server_id}")
+        return list(self.store.neighbor_entries(node_id))
+
+    # ------------------------------------------------------------------
+    # Write path (transactional)
+    # ------------------------------------------------------------------
+    def create_vertex(
+        self, node_id: int, weight: float = 1.0, properties: Optional[Dict] = None
+    ) -> None:
+        self.writes += 1
+        with self.txns.begin() as txn:
+            txn.lock(("node", node_id), LockMode.EXCLUSIVE)
+            self.store.create_node(node_id, weight=weight, properties=properties)
+            txn.record_undo(lambda: self.store.delete_node(node_id))
+
+    def create_local_edge(
+        self, rel_id: int, src: int, dst: int, properties: Optional[Dict] = None
+    ) -> None:
+        """Insert an edge record; both/either endpoint may be local."""
+        self.writes += 1
+        with self.txns.begin() as txn:
+            txn.lock(("node", src), LockMode.EXCLUSIVE)
+            txn.lock(("node", dst), LockMode.EXCLUSIVE)
+            self.store.create_relationship(rel_id, src, dst, properties=properties)
+            txn.record_undo(lambda: self.store.delete_relationship(rel_id))
+
+    def create_ghost_edge(self, rel_id: int, src: int, dst: int) -> None:
+        """Insert the ghost counterpart of a cross-partition edge."""
+        self.writes += 1
+        with self.txns.begin() as txn:
+            txn.lock(("rel", rel_id), LockMode.EXCLUSIVE)
+            self.store.create_relationship(rel_id, src, dst, ghost=True)
+            txn.record_undo(lambda: self.store.delete_relationship(rel_id))
+
+    def set_property(self, node_id: int, key: str, value: Any) -> None:
+        self.writes += 1
+        with self.txns.begin() as txn:
+            txn.lock(("node", node_id), LockMode.EXCLUSIVE)
+            previous = self.store.get_node_property(node_id, key)
+            had_key = key in self.store.node_properties(node_id)
+            self.store.set_node_property(node_id, key, value)
+
+            def undo() -> None:
+                if had_key:
+                    self.store.set_node_property(node_id, key, previous)
+                else:
+                    self.store.remove_node_property(node_id, key)
+
+            txn.record_undo(undo)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return self.store.num_nodes
+
+    def __repr__(self) -> str:
+        return (
+            f"HermesServer(id={self.server_id}, vertices={self.store.num_nodes}, "
+            f"relationships={len(self.store.relationships)})"
+        )

@@ -1,0 +1,290 @@
+"""Auxiliary data — the *only* state the lightweight repartitioner reads.
+
+Per the paper (Sections 2.2 and 3.1) the auxiliary data consists of:
+
+* for each hosted vertex ``v``, alpha integers: the number of neighbors of
+  ``v`` in each of the alpha partitions (stored sparsely — only partitions
+  where the count is non-zero — which is what makes the amortized size
+  ``n + Theta(alpha)`` of Theorem 2 achievable);
+* the aggregate weight of *all* partitions (every server knows the total
+  weight of every other partition);
+* each hosted vertex's own weight and current partition.
+
+The auxiliary data is maintained incrementally as user requests execute:
+adding an edge increments two integers, reading a vertex bumps its weight,
+and a logical migration moves one vertex's record and adjusts its
+neighbors' counters.  Maintenance cost is therefore proportional to the
+rate of change of the graph, never to its size.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Set, Tuple
+
+from repro.exceptions import PartitioningError, VertexNotFoundError
+from repro.graph.adjacency import SocialGraph
+from repro.partitioning.base import Partitioning
+
+
+class AuxiliaryData:
+    """The repartitioner's complete view of the system."""
+
+    __slots__ = (
+        "num_partitions",
+        "partition_weights",
+        "_vertex_partition",
+        "_vertex_weights",
+        "_neighbor_counts",
+        "_members",
+    )
+
+    def __init__(self, num_partitions: int):
+        if num_partitions < 1:
+            raise PartitioningError("need at least one partition")
+        self.num_partitions = num_partitions
+        #: aggregate weight of each partition (known to every server)
+        self.partition_weights: List[float] = [0.0] * num_partitions
+        self._vertex_partition: Dict[int, int] = {}
+        self._vertex_weights: Dict[int, float] = {}
+        #: sparse counters: vertex -> {partition: neighbor count > 0}
+        self._neighbor_counts: Dict[int, Dict[int, int]] = {}
+        self._members: List[Set[int]] = [set() for _ in range(num_partitions)]
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_graph(
+        cls, graph: SocialGraph, partitioning: Partitioning
+    ) -> "AuxiliaryData":
+        """Bootstrap auxiliary data from a full graph + assignment.
+
+        In the real system this state accretes from request execution; the
+        simulator builds it in one pass when a cluster is loaded.
+        """
+        aux = cls(partitioning.num_partitions)
+        for vertex in graph.vertices():
+            aux.add_vertex(
+                vertex, partitioning.partition_of(vertex), graph.weight(vertex)
+            )
+        for u, v in graph.edges():
+            aux.add_edge(u, v)
+        return aux
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance (driven by user requests)
+    # ------------------------------------------------------------------
+    def add_vertex(self, vertex: int, partition: int, weight: float) -> None:
+        if vertex in self._vertex_partition:
+            raise PartitioningError(f"vertex {vertex} already tracked")
+        self._check_partition(partition)
+        self._vertex_partition[vertex] = partition
+        self._vertex_weights[vertex] = weight
+        self._neighbor_counts[vertex] = {}
+        self._members[partition].add(vertex)
+        self.partition_weights[partition] += weight
+
+    def remove_vertex(self, vertex: int) -> None:
+        partition = self.partition_of(vertex)
+        counts = self._neighbor_counts[vertex]
+        if any(counts.values()):
+            raise PartitioningError(
+                f"vertex {vertex} still has incident edges; remove them first"
+            )
+        self.partition_weights[partition] -= self._vertex_weights[vertex]
+        self._members[partition].discard(vertex)
+        del self._vertex_partition[vertex]
+        del self._vertex_weights[vertex]
+        del self._neighbor_counts[vertex]
+
+    def add_edge(self, u: int, v: int) -> None:
+        """A new relationship: two integers get incremented (Section 3.1)."""
+        pu, pv = self.partition_of(u), self.partition_of(v)
+        self._bump(u, pv, +1)
+        self._bump(v, pu, +1)
+
+    def remove_edge(self, u: int, v: int) -> None:
+        pu, pv = self.partition_of(u), self.partition_of(v)
+        self._bump(u, pv, -1)
+        self._bump(v, pu, -1)
+
+    def add_weight(self, vertex: int, delta: float) -> None:
+        """A read request increments the vertex's popularity weight."""
+        partition = self.partition_of(vertex)
+        self._vertex_weights[vertex] += delta
+        self.partition_weights[partition] += delta
+
+    def set_weight(self, vertex: int, weight: float) -> None:
+        self.add_weight(vertex, weight - self._vertex_weights[vertex])
+
+    def decay_weights(self, factor: float, floor: float = 1.0) -> None:
+        """Age popularity: multiply every weight by ``factor`` (0..1].
+
+        Read-count weights grow without bound; real deployments age them
+        so the balancer tracks *current* traffic rather than all-time
+        totals.  ``floor`` keeps every vertex minimally weighted so empty
+        partitions remain comparable.
+        """
+        if not 0.0 < factor <= 1.0:
+            raise PartitioningError(f"decay factor must be in (0, 1], got {factor}")
+        self.partition_weights = [0.0] * self.num_partitions
+        for vertex, weight in self._vertex_weights.items():
+            decayed = max(floor, weight * factor)
+            self._vertex_weights[vertex] = decayed
+            self.partition_weights[self._vertex_partition[vertex]] += decayed
+
+    def _bump(self, vertex: int, partition: int, delta: int) -> None:
+        counts = self._neighbor_counts[vertex]
+        new_value = counts.get(partition, 0) + delta
+        if new_value < 0:
+            raise PartitioningError(
+                f"neighbor count of vertex {vertex} in partition {partition} "
+                "would become negative"
+            )
+        if new_value == 0:
+            counts.pop(partition, None)
+        else:
+            counts[partition] = new_value
+
+    # ------------------------------------------------------------------
+    # Logical migration
+    # ------------------------------------------------------------------
+    def apply_move(self, vertex: int, target: int, neighbors: Iterable[int]) -> int:
+        """Logically migrate ``vertex`` to ``target``; returns the source.
+
+        Moving a vertex transfers its auxiliary record to the target and
+        updates the counters of its neighbors (their "count in source"
+        decrements, "count in target" increments) plus the two partition
+        weights.  ``neighbors`` is the vertex's adjacency list, which the
+        *source server* knows locally — the migration message carries the
+        updates; no global state is consulted.
+        """
+        self._check_partition(target)
+        source = self.partition_of(vertex)
+        if source == target:
+            return source
+        weight = self._vertex_weights[vertex]
+        self.partition_weights[source] -= weight
+        self.partition_weights[target] += weight
+        self._members[source].discard(vertex)
+        self._members[target].add(vertex)
+        self._vertex_partition[vertex] = target
+        for nbr in neighbors:
+            self._bump(nbr, source, -1)
+            self._bump(nbr, target, +1)
+        return source
+
+    # ------------------------------------------------------------------
+    # Queries used by Algorithm 1
+    # ------------------------------------------------------------------
+    def partition_of(self, vertex: int) -> int:
+        try:
+            return self._vertex_partition[vertex]
+        except KeyError:
+            raise VertexNotFoundError(vertex) from None
+
+    def weight_of(self, vertex: int) -> float:
+        try:
+            return self._vertex_weights[vertex]
+        except KeyError:
+            raise VertexNotFoundError(vertex) from None
+
+    def neighbor_count(self, vertex: int, partition: int) -> int:
+        """``d_v(partition)``: how many neighbors of v live in partition."""
+        self._check_partition(partition)
+        counts = self._neighbor_counts.get(vertex)
+        if counts is None:
+            raise VertexNotFoundError(vertex)
+        return counts.get(partition, 0)
+
+    def neighbor_counts(self, vertex: int) -> Dict[int, int]:
+        """Sparse view {partition: count} (do not mutate)."""
+        counts = self._neighbor_counts.get(vertex)
+        if counts is None:
+            raise VertexNotFoundError(vertex)
+        return counts
+
+    def degree(self, vertex: int) -> int:
+        return sum(self.neighbor_counts(vertex).values())
+
+    def external_degree(self, vertex: int) -> int:
+        """``d_ex(v)``: neighbors in partitions other than v's own."""
+        home = self.partition_of(vertex)
+        return sum(
+            count
+            for partition, count in self.neighbor_counts(vertex).items()
+            if partition != home
+        )
+
+    def vertices_in(self, partition: int) -> Set[int]:
+        self._check_partition(partition)
+        return self._members[partition]
+
+    def vertices(self) -> Iterator[int]:
+        return iter(self._vertex_partition)
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._vertex_partition)
+
+    # ------------------------------------------------------------------
+    # Balance queries (Algorithm 1 lines 2, 5 and 11)
+    # ------------------------------------------------------------------
+    def average_weight(self) -> float:
+        return sum(self.partition_weights) / self.num_partitions
+
+    def imbalance_factor(self, partition: int, weight_delta: float = 0.0) -> float:
+        """Ratio of (partition weight + delta) to the average weight.
+
+        ``weight_delta`` expresses the hypotheticals of Algorithm 1:
+        ``imbalance_factor(P - {v})`` passes ``-w(v)`` and
+        ``imbalance_factor(P + {v})`` passes ``+w(v)``.  Total system
+        weight — and hence the average — is unchanged by migrations.
+        """
+        self._check_partition(partition)
+        average = self.average_weight()
+        if average == 0:
+            return 1.0
+        return (self.partition_weights[partition] + weight_delta) / average
+
+    def is_overloaded(self, partition: int, epsilon: float) -> bool:
+        return self.imbalance_factor(partition) > epsilon
+
+    def is_underloaded(self, partition: int, epsilon: float) -> bool:
+        return self.imbalance_factor(partition) < 2.0 - epsilon
+
+    def max_imbalance(self) -> float:
+        average = self.average_weight()
+        if average == 0:
+            return 1.0
+        return max(self.partition_weights) / average
+
+    # ------------------------------------------------------------------
+    # Derived whole-system metrics (for instrumentation, not the algorithm)
+    # ------------------------------------------------------------------
+    def edge_cut(self) -> int:
+        """Edge-cut computed purely from the counters: sum d_ex(v) / 2."""
+        total_external = sum(self.external_degree(v) for v in self.vertices())
+        return total_external // 2
+
+    def to_partitioning(self) -> Partitioning:
+        """Materialize the current assignment as a Partitioning object."""
+        partitioning = Partitioning(self.num_partitions)
+        for vertex, partition in self._vertex_partition.items():
+            partitioning.assign(vertex, partition)
+        return partitioning
+
+    def memory_entries(self) -> Tuple[int, int]:
+        """(counter entries, weight entries) actually stored.
+
+        Theorem 2 bounds the amortized counter entries by n + Theta(alpha);
+        tests verify this against the sparse representation.
+        """
+        counter_entries = sum(len(c) for c in self._neighbor_counts.values())
+        return counter_entries, self.num_partitions
+
+    def _check_partition(self, partition: int) -> None:
+        if not 0 <= partition < self.num_partitions:
+            raise PartitioningError(
+                f"partition {partition} out of range [0, {self.num_partitions})"
+            )

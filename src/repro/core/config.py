@@ -1,0 +1,79 @@
+"""Configuration for the lightweight repartitioner."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.exceptions import PartitioningError
+
+
+@dataclass(frozen=True)
+class RepartitionerConfig:
+    """Tuning knobs of the lightweight repartitioner (paper Section 3).
+
+    Attributes
+    ----------
+    epsilon:
+        Maximum allowed imbalance factor (1 < epsilon < 2).  A partition is
+        *overloaded* when its weight exceeds ``epsilon`` times the average
+        and *underloaded* below ``2 - epsilon`` times the average.  The
+        paper's (and Hermes') default is 1.1, i.e. loads must stay within
+        (0.9, 1.1) of the average.
+    k:
+        Maximum number of vertices each partition logically migrates per
+        stage (Algorithm 2's top-k).  ``None`` derives k from
+        ``k_fraction``.
+    k_fraction:
+        When ``k`` is None, ``k = max(1, k_fraction * n)`` — the paper sets
+        k to "a small, fixed fraction of n".
+    max_iterations:
+        Safety bound on phase-1 iterations.  The paper observes convergence
+        in < 50 iterations on million-vertex graphs.
+    two_stage:
+        The paper's oscillation-avoidance rule: each iteration runs a
+        lower-ID -> higher-ID stage then a higher-ID -> lower-ID stage.
+        Setting this False enables the single-stage ablation in which both
+        directions are allowed simultaneously (Figure 2's pathology).
+    stall_iterations:
+        Plateau cut-off: stop when the edge-cut has not improved for this
+        many iterations *while the partitioning is balance-valid*.  The
+        parallel per-stage selection can admit balance-shedding /
+        cut-restoring limit cycles near the epsilon boundary (the paper
+        controls these only through small k); the plateau rule turns such
+        cycles into a stable stop.  ``None`` disables it (used by the
+        oscillation ablation).
+    """
+
+    epsilon: float = 1.1
+    k: Optional[int] = None
+    k_fraction: float = 0.01
+    max_iterations: int = 100
+    two_stage: bool = True
+    stall_iterations: Optional[int] = 8
+
+    def __post_init__(self) -> None:
+        if not 1.0 < self.epsilon < 2.0:
+            raise PartitioningError(
+                f"epsilon must be in the open interval (1, 2), got {self.epsilon}"
+            )
+        if self.k is not None and self.k < 1:
+            raise PartitioningError(f"k must be >= 1, got {self.k}")
+        if self.k is None and not 0.0 < self.k_fraction <= 1.0:
+            raise PartitioningError(
+                f"k_fraction must be in (0, 1], got {self.k_fraction}"
+            )
+        if self.max_iterations < 1:
+            raise PartitioningError(
+                f"max_iterations must be >= 1, got {self.max_iterations}"
+            )
+        if self.stall_iterations is not None and self.stall_iterations < 1:
+            raise PartitioningError(
+                f"stall_iterations must be >= 1 or None, got {self.stall_iterations}"
+            )
+
+    def effective_k(self, num_vertices: int) -> int:
+        """The per-partition, per-stage migration cap for an n-vertex graph."""
+        if self.k is not None:
+            return self.k
+        return max(1, int(self.k_fraction * num_vertices))

@@ -1,0 +1,16 @@
+"""The gain function of the lightweight repartitioner (Section 3.1).
+
+``gain(v) = d_v(t) - d_v(s)``: the difference between the number of
+neighbors of ``v`` in the target and source partitions.  It equals the
+decrease in edge-cut if ``v`` migrates alone, and may be negative.
+"""
+
+from __future__ import annotations
+
+from repro.core.auxiliary import AuxiliaryData
+
+
+def gain(aux: AuxiliaryData, vertex: int, source: int, target: int) -> int:
+    """Edge-cut decrease from moving ``vertex`` from ``source`` to ``target``."""
+    counts = aux.neighbor_counts(vertex)
+    return counts.get(target, 0) - counts.get(source, 0)

@@ -1,0 +1,244 @@
+"""Algorithm 2: the lightweight repartitioner's iterative first phase.
+
+Each *iteration* runs two *stages*.  In stage 1 vertices may migrate only
+from lower-ID partitions to higher-ID partitions; stage 2 allows only the
+opposite direction.  Within a stage every partition independently (in the
+real system: in parallel; here: against a common auxiliary-data snapshot)
+selects its migration candidates via Algorithm 1, keeps the top-k by gain,
+and logically migrates them — only auxiliary records move.  The phase ends
+when an entire iteration selects no candidate; the resulting set of moves
+is then handed to the physical-migration phase (:mod:`repro.core.migration`
+and :mod:`repro.cluster.migration_executor`).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.auxiliary import AuxiliaryData
+from repro.core.candidates import (
+    STAGE_ANY_DIRECTION,
+    STAGE_HIGH_TO_LOW,
+    STAGE_LOW_TO_HIGH,
+    MigrationCandidate,
+    get_target_partition,
+)
+from repro.core.config import RepartitionerConfig
+from repro.exceptions import PartitioningError
+from repro.graph.adjacency import SocialGraph
+from repro.partitioning.base import Partitioning
+
+
+@dataclass(frozen=True)
+class IterationStats:
+    """Instrumentation for one iteration of the first phase."""
+
+    iteration: int
+    migrations: int
+    edge_cut: int
+    max_imbalance: float
+
+
+@dataclass
+class RepartitionResult:
+    """Outcome of a full phase-1 run.
+
+    ``moves`` maps each vertex that ended up on a new partition to its
+    ``(original, final)`` partition pair — the input to physical migration.
+    ``history`` records per-iteration stats (Table 2 / Figure 11 inputs).
+    """
+
+    converged: bool
+    iterations: int
+    initial_edge_cut: int
+    final_edge_cut: int
+    initial_imbalance: float
+    final_imbalance: float
+    moves: Dict[int, Tuple[int, int]] = field(default_factory=dict)
+    history: List[IterationStats] = field(default_factory=list)
+    #: True when the run stopped on the plateau rule (edge-cut stable and
+    #: balance valid) rather than on an empty candidate set
+    stalled: bool = False
+
+    @property
+    def total_logical_migrations(self) -> int:
+        """Logical moves performed, counting repeats of the same vertex."""
+        return sum(stats.migrations for stats in self.history)
+
+    @property
+    def vertices_moved(self) -> int:
+        """Vertices whose final partition differs from their original one."""
+        return len(self.moves)
+
+
+class LightweightRepartitioner:
+    """The paper's dynamic repartitioner (Sections 3.1-3.3).
+
+    The instance is stateless between runs; all mutable state lives in the
+    :class:`AuxiliaryData` passed to :meth:`run`.
+
+    Example
+    -------
+    >>> from repro.graph import orkut_like
+    >>> from repro.partitioning import HashPartitioner
+    >>> dataset = orkut_like(n=300, seed=1)
+    >>> partitioning = HashPartitioner().partition(dataset.graph, 4)
+    >>> result = LightweightRepartitioner().run(dataset.graph, partitioning)
+    >>> result.final_edge_cut <= result.initial_edge_cut
+    True
+    """
+
+    def __init__(self, config: Optional[RepartitionerConfig] = None):
+        self.config = config or RepartitionerConfig()
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        graph: SocialGraph,
+        partitioning: Partitioning,
+        aux: Optional[AuxiliaryData] = None,
+        on_iteration: Optional[Callable[[IterationStats], None]] = None,
+    ) -> RepartitionResult:
+        """Run phase 1 to convergence, mutating ``partitioning`` in place.
+
+        Parameters
+        ----------
+        graph:
+            Used only for two things the hosting servers know locally:
+            adjacency lists of migrating vertices (to forward counter
+            updates) and initial bootstrap when ``aux`` is None.  The
+            candidate selection itself reads nothing but ``aux``.
+        aux:
+            Pre-maintained auxiliary data; built from the graph when absent.
+        on_iteration:
+            Optional progress callback.
+        """
+        if aux is None:
+            aux = AuxiliaryData.from_graph(graph, partitioning)
+        elif aux.num_partitions != partitioning.num_partitions:
+            raise PartitioningError(
+                "auxiliary data and partitioning disagree on partition count"
+            )
+
+        original = {v: partitioning.partition_of(v) for v in graph.vertices()}
+        result = RepartitionResult(
+            converged=False,
+            iterations=0,
+            initial_edge_cut=aux.edge_cut(),
+            final_edge_cut=0,
+            initial_imbalance=aux.max_imbalance(),
+            final_imbalance=0.0,
+        )
+
+        stages = (
+            (STAGE_LOW_TO_HIGH, STAGE_HIGH_TO_LOW)
+            if self.config.two_stage
+            else (STAGE_ANY_DIRECTION,)
+        )
+        k = self.config.effective_k(graph.num_vertices)
+
+        best_cut = result.initial_edge_cut
+        best_cut_iteration = 0
+        for iteration in range(1, self.config.max_iterations + 1):
+            migrations = 0
+            for stage in stages:
+                migrations += self._run_stage(graph, partitioning, aux, stage, k)
+            stats = IterationStats(
+                iteration=iteration,
+                migrations=migrations,
+                edge_cut=aux.edge_cut(),
+                max_imbalance=aux.max_imbalance(),
+            )
+            result.history.append(stats)
+            result.iterations = iteration
+            if on_iteration is not None:
+                on_iteration(stats)
+            if migrations == 0:
+                result.converged = True
+                break
+            if stats.edge_cut < best_cut:
+                best_cut = stats.edge_cut
+                best_cut_iteration = iteration
+            if self._stalled(stats, iteration, best_cut_iteration):
+                result.stalled = True
+                break
+
+        result.final_edge_cut = aux.edge_cut()
+        result.final_imbalance = aux.max_imbalance()
+        result.moves = {
+            vertex: (source, partitioning.partition_of(vertex))
+            for vertex, source in original.items()
+            if partitioning.partition_of(vertex) != source
+        }
+        return result
+
+    def _stalled(
+        self, stats: IterationStats, iteration: int, best_cut_iteration: int
+    ) -> bool:
+        """Plateau rule: balance is valid and the cut stopped improving.
+
+        Guards against the balance-shed/cut-restore limit cycles that the
+        snapshot-parallel per-stage selection can enter near the epsilon
+        boundary (the paper bounds these only through small k).
+        """
+        if self.config.stall_iterations is None:
+            return False
+        if stats.max_imbalance > self.config.epsilon:
+            return False
+        return iteration - best_cut_iteration >= self.config.stall_iterations
+
+    # ------------------------------------------------------------------
+    def _run_stage(
+        self,
+        graph: SocialGraph,
+        partitioning: Partitioning,
+        aux: AuxiliaryData,
+        stage: int,
+        k: int,
+    ) -> int:
+        """One stage: parallel per-partition selection, then apply moves.
+
+        Every partition evaluates its candidates against the same snapshot
+        of the auxiliary data (matching the paper's parallel execution:
+        "the algorithm does not know the target partition of other
+        vertices"), selects its top-k by gain, and all chosen vertices then
+        migrate logically.
+        """
+        chosen: List[MigrationCandidate] = []
+        for source in range(aux.num_partitions):
+            chosen.extend(self._select_candidates(aux, source, stage, k))
+        for candidate in chosen:
+            # Current partition may have changed only if the same vertex was
+            # selected twice, which per-partition selection rules out.
+            aux.apply_move(
+                candidate.vertex, candidate.target, graph.neighbors(candidate.vertex)
+            )
+            partitioning.move(candidate.vertex, candidate.target)
+        return len(chosen)
+
+    def _select_candidates(
+        self, aux: AuxiliaryData, source: int, stage: int, k: int
+    ) -> List[MigrationCandidate]:
+        """Algorithm 2 lines 4-9 for one source partition.
+
+        Returns at most ``k`` candidates, the ones with maximum gain.
+        """
+        epsilon = self.config.epsilon
+        top_k: List[Tuple[int, int, MigrationCandidate]] = []  # min-heap
+        tiebreak = 0
+        # Sorted scan: deterministic tie-breaking regardless of how the
+        # auxiliary store (centralized or sharded) orders its vertex sets.
+        for vertex in sorted(aux.vertices_in(source)):
+            target, vertex_gain = get_target_partition(aux, vertex, stage, epsilon)
+            if target is None:
+                continue
+            candidate = MigrationCandidate(vertex, source, target, vertex_gain)
+            entry = (vertex_gain, tiebreak, candidate)
+            tiebreak += 1
+            if len(top_k) < k:
+                heapq.heappush(top_k, entry)
+            elif entry[0] > top_k[0][0]:
+                heapq.heapreplace(top_k, entry)
+        return [entry[2] for entry in top_k]

@@ -1,0 +1,300 @@
+"""Per-server sharding of the auxiliary data (the paper's actual layout).
+
+"Each partition collects and stores aggregate vertex information relevant
+to only the local vertices.  Moreover, the auxiliary data includes the
+total weight of all partitions, i.e., in doing repartitioning, each
+server knows the total weight of all other partitions" (Section 3.1).
+
+:class:`ShardedAuxiliaryData` realizes exactly that layout:
+
+* one :class:`AuxiliaryShard` per server, holding counters and weights
+  for *its hosted vertices only*;
+* a replicated partition-weight vector, refreshed by a weight *gossip*
+  that models the servers broadcasting their aggregate weight;
+* logical migration sends the vertex's auxiliary record to the target
+  shard and forwards counter updates to each neighbor's hosting shard —
+  the messages the real system exchanges.
+
+The class is interface-compatible with
+:class:`~repro.core.auxiliary.AuxiliaryData`, so the
+:class:`~repro.core.repartitioner.LightweightRepartitioner` runs on it
+unchanged; the test suite verifies that sharded and centralized runs
+produce identical results, which is the substance of the paper's claim
+that the algorithm needs no global state.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Set, Tuple
+
+from repro.core.auxiliary import AuxiliaryData
+from repro.exceptions import PartitioningError, VertexNotFoundError
+from repro.graph.adjacency import SocialGraph
+from repro.partitioning.base import Partitioning
+
+
+class AuxiliaryShard:
+    """One server's slice: counters + weights for hosted vertices only."""
+
+    __slots__ = ("server_id", "num_partitions", "vertex_weights", "neighbor_counts")
+
+    def __init__(self, server_id: int, num_partitions: int):
+        self.server_id = server_id
+        self.num_partitions = num_partitions
+        self.vertex_weights: Dict[int, float] = {}
+        self.neighbor_counts: Dict[int, Dict[int, int]] = {}
+
+    @property
+    def local_weight(self) -> float:
+        return sum(self.vertex_weights.values())
+
+    def host(self, vertex: int, weight: float, counts: Dict[int, int]) -> None:
+        if vertex in self.vertex_weights:
+            raise PartitioningError(
+                f"vertex {vertex} already hosted on shard {self.server_id}"
+            )
+        self.vertex_weights[vertex] = weight
+        self.neighbor_counts[vertex] = dict(counts)
+
+    def evict(self, vertex: int) -> Tuple[float, Dict[int, int]]:
+        """Hand the vertex's auxiliary record to a migration message."""
+        try:
+            weight = self.vertex_weights.pop(vertex)
+        except KeyError:
+            raise VertexNotFoundError(vertex) from None
+        return weight, self.neighbor_counts.pop(vertex)
+
+    def bump(self, vertex: int, partition: int, delta: int) -> None:
+        counts = self.neighbor_counts[vertex]
+        value = counts.get(partition, 0) + delta
+        if value < 0:
+            raise PartitioningError(
+                f"negative neighbor count for vertex {vertex} on shard "
+                f"{self.server_id}"
+            )
+        if value == 0:
+            counts.pop(partition, None)
+        else:
+            counts[partition] = value
+
+
+class ShardedAuxiliaryData:
+    """Drop-in AuxiliaryData with per-server shards + weight gossip."""
+
+    def __init__(self, num_partitions: int):
+        if num_partitions < 1:
+            raise PartitioningError("need at least one partition")
+        self.num_partitions = num_partitions
+        self.shards: List[AuxiliaryShard] = [
+            AuxiliaryShard(server_id, num_partitions)
+            for server_id in range(num_partitions)
+        ]
+        self._home: Dict[int, int] = {}
+        #: the replicated aggregate-weight vector every server holds
+        self.partition_weights: List[float] = [0.0] * num_partitions
+        #: instrumentation: migration/update messages between shards
+        self.messages_sent = 0
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_graph(
+        cls, graph: SocialGraph, partitioning: Partitioning
+    ) -> "ShardedAuxiliaryData":
+        aux = cls(partitioning.num_partitions)
+        for vertex in graph.vertices():
+            aux.add_vertex(
+                vertex, partitioning.partition_of(vertex), graph.weight(vertex)
+            )
+        for u, v in graph.edges():
+            aux.add_edge(u, v)
+        return aux
+
+    def _shard_of(self, vertex: int) -> AuxiliaryShard:
+        try:
+            return self.shards[self._home[vertex]]
+        except KeyError:
+            raise VertexNotFoundError(vertex) from None
+
+    def gossip_weights(self) -> None:
+        """Every server broadcasts its aggregate weight (the mechanism by
+        which each server 'knows the total weight of all partitions')."""
+        self.partition_weights = [shard.local_weight for shard in self.shards]
+        self.messages_sent += self.num_partitions * (self.num_partitions - 1)
+
+    # ------------------------------------------------------------------
+    # Maintenance driven by request execution
+    # ------------------------------------------------------------------
+    def add_vertex(self, vertex: int, partition: int, weight: float) -> None:
+        if vertex in self._home:
+            raise PartitioningError(f"vertex {vertex} already tracked")
+        self._check_partition(partition)
+        self.shards[partition].host(vertex, weight, {})
+        self._home[vertex] = partition
+        self.partition_weights[partition] += weight
+
+    def remove_vertex(self, vertex: int) -> None:
+        shard = self._shard_of(vertex)
+        if any(shard.neighbor_counts[vertex].values()):
+            raise PartitioningError(
+                f"vertex {vertex} still has incident edges; remove them first"
+            )
+        weight, _ = shard.evict(vertex)
+        self.partition_weights[shard.server_id] -= weight
+        del self._home[vertex]
+
+    def add_edge(self, u: int, v: int) -> None:
+        pu, pv = self.partition_of(u), self.partition_of(v)
+        self.shards[pu].bump(u, pv, +1)
+        self.shards[pv].bump(v, pu, +1)
+        if pu != pv:
+            self.messages_sent += 1  # cross-server counter update
+
+    def remove_edge(self, u: int, v: int) -> None:
+        pu, pv = self.partition_of(u), self.partition_of(v)
+        self.shards[pu].bump(u, pv, -1)
+        self.shards[pv].bump(v, pu, -1)
+        if pu != pv:
+            self.messages_sent += 1
+
+    def add_weight(self, vertex: int, delta: float) -> None:
+        shard = self._shard_of(vertex)
+        shard.vertex_weights[vertex] += delta
+        self.partition_weights[shard.server_id] += delta
+
+    def set_weight(self, vertex: int, weight: float) -> None:
+        self.add_weight(vertex, weight - self.weight_of(vertex))
+
+    def decay_weights(self, factor: float, floor: float = 1.0) -> None:
+        if not 0.0 < factor <= 1.0:
+            raise PartitioningError(f"decay factor must be in (0, 1], got {factor}")
+        for shard in self.shards:
+            for vertex, weight in shard.vertex_weights.items():
+                shard.vertex_weights[vertex] = max(floor, weight * factor)
+        self.gossip_weights()
+
+    # ------------------------------------------------------------------
+    # Logical migration: the auxiliary record travels between shards
+    # ------------------------------------------------------------------
+    def apply_move(self, vertex: int, target: int, neighbors: Iterable[int]) -> int:
+        self._check_partition(target)
+        source = self.partition_of(vertex)
+        if source == target:
+            return source
+        weight, counts = self.shards[source].evict(vertex)
+        self.shards[target].host(vertex, weight, counts)
+        self._home[vertex] = target
+        self.partition_weights[source] -= weight
+        self.partition_weights[target] += weight
+        self.messages_sent += 1  # the migrated auxiliary record
+        for nbr in neighbors:
+            shard = self._shard_of(nbr)
+            shard.bump(nbr, source, -1)
+            shard.bump(nbr, target, +1)
+            if shard.server_id not in (source, target):
+                self.messages_sent += 1  # forwarded counter update
+        return source
+
+    # ------------------------------------------------------------------
+    # Queries used by Algorithm 1 (all answerable by one shard + the
+    # replicated weight vector)
+    # ------------------------------------------------------------------
+    def partition_of(self, vertex: int) -> int:
+        try:
+            return self._home[vertex]
+        except KeyError:
+            raise VertexNotFoundError(vertex) from None
+
+    def weight_of(self, vertex: int) -> float:
+        return self._shard_of(vertex).vertex_weights[vertex]
+
+    def neighbor_counts(self, vertex: int) -> Dict[int, int]:
+        return self._shard_of(vertex).neighbor_counts[vertex]
+
+    def neighbor_count(self, vertex: int, partition: int) -> int:
+        self._check_partition(partition)
+        return self.neighbor_counts(vertex).get(partition, 0)
+
+    def degree(self, vertex: int) -> int:
+        return sum(self.neighbor_counts(vertex).values())
+
+    def external_degree(self, vertex: int) -> int:
+        home = self.partition_of(vertex)
+        return sum(
+            count
+            for partition, count in self.neighbor_counts(vertex).items()
+            if partition != home
+        )
+
+    def vertices_in(self, partition: int) -> Set[int]:
+        self._check_partition(partition)
+        return set(self.shards[partition].vertex_weights)
+
+    def vertices(self) -> Iterator[int]:
+        return iter(self._home)
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._home)
+
+    # ------------------------------------------------------------------
+    # Balance queries
+    # ------------------------------------------------------------------
+    def average_weight(self) -> float:
+        return sum(self.partition_weights) / self.num_partitions
+
+    def imbalance_factor(self, partition: int, weight_delta: float = 0.0) -> float:
+        self._check_partition(partition)
+        average = self.average_weight()
+        if average == 0:
+            return 1.0
+        return (self.partition_weights[partition] + weight_delta) / average
+
+    def is_overloaded(self, partition: int, epsilon: float) -> bool:
+        return self.imbalance_factor(partition) > epsilon
+
+    def is_underloaded(self, partition: int, epsilon: float) -> bool:
+        return self.imbalance_factor(partition) < 2.0 - epsilon
+
+    def max_imbalance(self) -> float:
+        average = self.average_weight()
+        if average == 0:
+            return 1.0
+        return max(self.partition_weights) / average
+
+    # ------------------------------------------------------------------
+    def edge_cut(self) -> int:
+        total_external = sum(
+            self.external_degree(vertex) for vertex in self._home
+        )
+        return total_external // 2
+
+    def to_partitioning(self) -> Partitioning:
+        partitioning = Partitioning(self.num_partitions)
+        for vertex, partition in self._home.items():
+            partitioning.assign(vertex, partition)
+        return partitioning
+
+    def to_centralized(self) -> AuxiliaryData:
+        """Materialize the equivalent centralized AuxiliaryData (tests)."""
+        central = AuxiliaryData(self.num_partitions)
+        for vertex, partition in self._home.items():
+            central.add_vertex(vertex, partition, self.weight_of(vertex))
+        for vertex in self._home:
+            counts = self.neighbor_counts(vertex)
+            for partition, count in counts.items():
+                central._neighbor_counts[vertex][partition] = count
+        return central
+
+    def memory_entries(self) -> Tuple[int, int]:
+        counter_entries = sum(
+            len(counts)
+            for shard in self.shards
+            for counts in shard.neighbor_counts.values()
+        )
+        return counter_entries, self.num_partitions
+
+    def _check_partition(self, partition: int) -> None:
+        if not 0 <= partition < self.num_partitions:
+            raise PartitioningError(
+                f"partition {partition} out of range [0, {self.num_partitions})"
+            )

@@ -1,0 +1,49 @@
+"""Repartitioning trigger: detect when load imbalance exceeds epsilon.
+
+Per the paper's running example (Section 2.2), repartitioning triggers
+when some partition's imbalance factor — its aggregate weight over the
+average partition weight — leaves the acceptable band
+``(2 - epsilon, epsilon)``.  Each server can evaluate this locally since
+the auxiliary data includes every partition's aggregate weight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.auxiliary import AuxiliaryData
+from repro.exceptions import PartitioningError
+
+
+@dataclass(frozen=True)
+class TriggerDecision:
+    """Outcome of a trigger check, with the partitions that caused it."""
+
+    should_repartition: bool
+    overloaded: List[int]
+    underloaded: List[int]
+    max_imbalance: float
+
+
+class ImbalanceTrigger:
+    """Fires when any partition is overloaded or underloaded."""
+
+    def __init__(self, epsilon: float = 1.1):
+        if not 1.0 < epsilon < 2.0:
+            raise PartitioningError(f"epsilon must be in (1, 2), got {epsilon}")
+        self.epsilon = epsilon
+
+    def check(self, aux: AuxiliaryData) -> TriggerDecision:
+        overloaded = [
+            p for p in range(aux.num_partitions) if aux.is_overloaded(p, self.epsilon)
+        ]
+        underloaded = [
+            p for p in range(aux.num_partitions) if aux.is_underloaded(p, self.epsilon)
+        ]
+        return TriggerDecision(
+            should_repartition=bool(overloaded or underloaded),
+            overloaded=overloaded,
+            underloaded=underloaded,
+            max_imbalance=aux.max_imbalance(),
+        )

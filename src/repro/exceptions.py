@@ -1,0 +1,110 @@
+"""Exception hierarchy for the Hermes reproduction.
+
+Every error raised by this library derives from :class:`HermesError` so
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish subsystem-specific conditions.
+"""
+
+from __future__ import annotations
+
+
+class HermesError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class GraphError(HermesError):
+    """Base class for errors from the in-memory graph substrate."""
+
+
+class VertexNotFoundError(GraphError, KeyError):
+    """A referenced vertex does not exist in the graph."""
+
+    def __init__(self, vertex: int):
+        super().__init__(f"vertex {vertex!r} does not exist")
+        self.vertex = vertex
+
+
+class EdgeNotFoundError(GraphError, KeyError):
+    """A referenced edge does not exist in the graph."""
+
+    def __init__(self, u: int, v: int):
+        super().__init__(f"edge ({u!r}, {v!r}) does not exist")
+        self.u = u
+        self.v = v
+
+
+class DuplicateVertexError(GraphError, ValueError):
+    """An attempt was made to add a vertex that already exists."""
+
+    def __init__(self, vertex: int):
+        super().__init__(f"vertex {vertex!r} already exists")
+        self.vertex = vertex
+
+
+class PartitioningError(HermesError):
+    """Base class for partitioning-related errors."""
+
+
+class InvalidPartitionError(PartitioningError, ValueError):
+    """A partition index is out of range or otherwise invalid."""
+
+
+class StorageError(HermesError):
+    """Base class for storage-engine errors."""
+
+
+class RecordNotFoundError(StorageError, KeyError):
+    """A record ID was not found in its store."""
+
+
+class RecordDeletedError(StorageError):
+    """A record exists but has been deleted (tombstoned)."""
+
+
+class PageError(StorageError):
+    """A page-level I/O or bounds failure."""
+
+
+class StoreCorruptionError(StorageError):
+    """Persisted store bytes failed an integrity check on open."""
+
+
+class TransactionError(HermesError):
+    """Base class for transaction subsystem errors."""
+
+
+class LockTimeoutError(TransactionError):
+    """A lock could not be acquired before the deadlock-detection timeout.
+
+    Hermes replaced Neo4j's centralized loop detection with timeout-based
+    deadlock detection; a timeout is treated as a presumed deadlock and the
+    waiting transaction is aborted.
+    """
+
+
+class TransactionAbortedError(TransactionError):
+    """The transaction was aborted and cannot perform further operations."""
+
+
+class VertexUnavailableError(TransactionError):
+    """The vertex is in the *unavailable* state of the migration remove step.
+
+    Queries referencing such a vertex execute as if the vertex is not part
+    of the local vertex set (paper Section 3.2).
+    """
+
+
+class ClusterError(HermesError):
+    """Base class for distributed-cluster errors."""
+
+
+class CatalogError(ClusterError):
+    """The vertex -> partition catalog has no entry for a vertex."""
+
+
+class ServerNotFoundError(ClusterError):
+    """A message was addressed to an unknown server."""
+
+
+class WorkloadError(HermesError):
+    """A workload/trace specification is invalid."""

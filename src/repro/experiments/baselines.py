@@ -1,0 +1,125 @@
+"""Extension: partitioner bake-off including streaming baselines.
+
+The paper's related work covers one-pass streaming partitioners
+(Stanton–Kliot's LDG [32], Fennel [33]) and the swap-based JA-BE-JA [28],
+noting that they improve initial placement but either cannot adapt
+afterwards or balance vertex *counts* rather than popularity *weights*.
+This experiment runs them all on Zipf-weighted graphs (celebrity-heavy
+read traffic) and reports both the initial quality and what the
+lightweight repartitioner adds on top of each strategy — including how
+it repairs the weight imbalance that count-balancing partitioners leave.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.analysis.report import Table
+from repro.core.config import RepartitionerConfig
+from repro.core.repartitioner import LightweightRepartitioner
+from repro.experiments.common import (
+    GraphScale,
+    build_datasets,
+    metis_partitioner,
+    scaled_k,
+)
+from repro.graph.generators import zipf_vertex_weights
+from repro.partitioning.hashing import HashPartitioner
+from repro.partitioning.jabeja import JaBeJaPartitioner
+from repro.partitioning.metrics import edge_cut_fraction, imbalance_factor
+from repro.partitioning.streaming import FennelPartitioner, LinearDeterministicGreedy
+
+
+@dataclass(frozen=True)
+class BaselineCell:
+    dataset: str
+    strategy: str
+    initial_cut: float
+    initial_imbalance: float
+    refined_cut: float
+    refined_imbalance: float
+
+
+@dataclass(frozen=True)
+class BaselinesResult:
+    cells: Tuple[BaselineCell, ...]
+
+
+def _strategies(seed: int):
+    return [
+        ("hash", HashPartitioner(salt=seed)),
+        ("LDG", LinearDeterministicGreedy(seed=seed)),
+        ("Fennel", FennelPartitioner(seed=seed)),
+        ("JA-BE-JA", JaBeJaPartitioner(rounds=12, seed=seed)),
+        ("Metis-like", metis_partitioner(seed)),
+    ]
+
+
+def run(scale: GraphScale = GraphScale()) -> BaselinesResult:
+    cells: List[BaselineCell] = []
+    for dataset in build_datasets(scale.n, scale.seed):
+        graph = dataset.graph
+        # Celebrity-heavy read popularity: the regime where balancing
+        # vertex counts is not the same as balancing load.  The tail is
+        # capped so that no single vertex exceeds the epsilon band by
+        # itself — an uncappable celebrity is unbalanceable by *any*
+        # migration scheme (real deployments replicate such vertices).
+        zipf_vertex_weights(graph, exponent=1.2, average_weight=3.0, seed=scale.seed)
+        cap = 0.5 * (scale.epsilon - 1.0) * graph.total_weight() / scale.num_partitions
+        for vertex in graph.vertices():
+            graph.set_weight(vertex, min(graph.weight(vertex), cap))
+        for name, partitioner in _strategies(scale.seed):
+            partitioning = partitioner.partition(graph, scale.num_partitions)
+            initial_cut = edge_cut_fraction(graph, partitioning)
+            initial_imbalance = imbalance_factor(graph, partitioning)
+            refined = partitioning.copy()
+            config = RepartitionerConfig(
+                epsilon=scale.epsilon,
+                k=scaled_k(1000, graph.num_vertices),
+                max_iterations=150,
+            )
+            LightweightRepartitioner(config).run(graph, refined)
+            cells.append(
+                BaselineCell(
+                    dataset=dataset.name,
+                    strategy=name,
+                    initial_cut=initial_cut,
+                    initial_imbalance=initial_imbalance,
+                    refined_cut=edge_cut_fraction(graph, refined),
+                    refined_imbalance=imbalance_factor(graph, refined),
+                )
+            )
+    return BaselinesResult(cells=tuple(cells))
+
+
+def render(result: BaselinesResult) -> str:
+    table = Table(
+        "Extension - Initial placement quality and repartitioner lift",
+        ["dataset", "strategy", "cut", "imb", "cut +Hermes", "imb +Hermes"],
+    )
+    for cell in result.cells:
+        table.add_row(
+            cell.dataset,
+            cell.strategy,
+            f"{cell.initial_cut:.1%}",
+            f"{cell.initial_imbalance:.3f}",
+            f"{cell.refined_cut:.1%}",
+            f"{cell.refined_imbalance:.3f}",
+        )
+    table.add_footnote(
+        "streaming partitioners (LDG/Fennel) and JA-BE-JA beat hashing at "
+        "placement time, but balance counts, not popularity weights "
+        "(JA-BE-JA cannot do otherwise: it only swaps); the lightweight "
+        "repartitioner then restores weight balance and narrows the cut "
+        "gap to the multilevel gold standard"
+    )
+    return table.to_text()
+
+
+def main() -> None:
+    print(render(run()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,209 @@
+"""Shared experiment infrastructure: scales, skew setup, shared studies.
+
+Scale note
+----------
+The paper runs on SNAP graphs of 317 K - 11.3 M vertices over 16 physical
+servers.  The experiments here default to generator surrogates of a few
+thousand vertices (seconds instead of hours); every parameter that the
+paper expresses in absolute terms (e.g. k = 500/1000/2000 migrated
+vertices per iteration) is rescaled proportionally to the graph size, with
+the mapping recorded in the rendered output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import List, Tuple
+
+from repro.core.config import RepartitionerConfig
+from repro.core.repartitioner import LightweightRepartitioner, RepartitionResult
+from repro.graph.adjacency import SocialGraph
+from repro.graph.generators import Dataset, dataset_names, make_dataset
+from repro.partitioning.base import Partitioning
+from repro.partitioning.hashing import HashPartitioner
+from repro.partitioning.metrics import (
+    MigrationStats,
+    edge_cut_fraction,
+    migration_stats,
+)
+from repro.partitioning.multilevel import MultilevelPartitioner
+
+
+@dataclass(frozen=True)
+class GraphScale:
+    """Scale of the partitioning-quality (graph-level) experiments."""
+
+    n: int = 2000
+    num_partitions: int = 8
+    seed: int = 7
+    epsilon: float = 1.1
+
+
+@dataclass(frozen=True)
+class ClusterScale:
+    """Scale of the system (cluster-level) experiments."""
+
+    n: int = 800
+    num_servers: int = 8
+    num_clients: int = 32
+    #: simulated wall-clock measurement window per datapoint (seconds)
+    window: float = 0.02
+    #: skewed queries used to warm up / trigger the repartitioner
+    warmup_queries: int = 300
+    seed: int = 7
+    epsilon: float = 1.1
+
+
+#: The paper's per-iteration migration caps and the dataset size they were
+#: demonstrated against (DBLP, the smallest evaluated graph).
+PAPER_K_VALUES = (500, 1000, 2000)
+PAPER_K_REFERENCE_N = 317_000
+
+
+def scaled_k(paper_k: int, n: int) -> int:
+    """Rescale a paper k value to an n-vertex graph (same fraction)."""
+    return max(1, round(n * paper_k / PAPER_K_REFERENCE_N))
+
+
+def metis_partitioner(seed: int) -> MultilevelPartitioner:
+    """The METIS-substitute configured as the paper's gold standard.
+
+    Real METIS produces stable near-optimal cuts; our substitute has more
+    seed variance, so the baseline takes the best of three tries.  Its
+    imbalance allowance matches the repartitioner's epsilon (1.1) so the
+    two optimize under the same balance constraint.
+    """
+    return MultilevelPartitioner(epsilon=1.1, tries=3, seed=seed)
+
+
+def hermes_config(
+    n: int, epsilon: float = 1.1, paper_k: int = 1000
+) -> RepartitionerConfig:
+    """Repartitioner configuration at experiment scale."""
+    return RepartitionerConfig(epsilon=epsilon, k=scaled_k(paper_k, n))
+
+
+def build_datasets(n: int, seed: int) -> List[Dataset]:
+    """The paper's three datasets, in the paper's order, at scale ``n``."""
+    return [make_dataset(name, n=n, seed=seed) for name in dataset_names()]
+
+
+def apply_partition_hotspot(
+    graph: SocialGraph,
+    partitioning: Partitioning,
+    hot_partition: int = 0,
+    multiplier: float = 2.0,
+) -> None:
+    """The paper's workload shift, expressed on vertex weights.
+
+    "The users on one partition are randomly selected as starting points
+    for traversals twice as many times as before" — i.e. the read weight
+    of every vertex on the hot partition doubles.
+    """
+    for vertex in partitioning.vertices_in(hot_partition):
+        graph.set_weight(vertex, graph.weight(vertex) * multiplier)
+
+
+# ----------------------------------------------------------------------
+# Shared studies (used by more than one table/figure)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SkewStudy:
+    """Outcome of the Figure 7 / Figure 8 protocol for one dataset."""
+
+    dataset: str
+    initial_cut_fraction: float
+    hermes_cut_fraction: float
+    metis_cut_fraction: float
+    hermes_migration: MigrationStats
+    metis_migration: MigrationStats
+    hermes_result: RepartitionResult
+
+
+def run_skew_study(dataset: Dataset, scale: GraphScale) -> SkewStudy:
+    """Initial Metis partitioning -> hotspot skew -> Hermes vs Metis re-run."""
+    graph = dataset.graph.copy()
+    initial = metis_partitioner(scale.seed).partition(graph, scale.num_partitions)
+    apply_partition_hotspot(graph, initial)
+
+    hermes_partitioning = initial.copy()
+    repartitioner = LightweightRepartitioner(
+        hermes_config(graph.num_vertices, epsilon=scale.epsilon)
+    )
+    result = repartitioner.run(graph, hermes_partitioning)
+
+    metis_partitioning = metis_partitioner(scale.seed + 1).partition(
+        graph, scale.num_partitions
+    )
+
+    return SkewStudy(
+        dataset=dataset.name,
+        initial_cut_fraction=edge_cut_fraction(graph, initial),
+        hermes_cut_fraction=edge_cut_fraction(graph, hermes_partitioning),
+        metis_cut_fraction=edge_cut_fraction(graph, metis_partitioning),
+        hermes_migration=migration_stats(graph, initial, hermes_partitioning),
+        metis_migration=migration_stats(graph, initial, metis_partitioning),
+        hermes_result=result,
+    )
+
+
+@lru_cache(maxsize=8)
+def run_all_skew_studies(scale: GraphScale) -> Tuple[SkewStudy, ...]:
+    """Figure 7 and Figure 8 share these runs; cached per scale."""
+    return tuple(
+        run_skew_study(dataset, scale)
+        for dataset in build_datasets(scale.n, scale.seed)
+    )
+
+
+@dataclass(frozen=True)
+class KSensitivityRun:
+    """One (dataset, k) datapoint of the Section 5.3.4 sensitivity study."""
+
+    dataset: str
+    paper_k: int
+    effective_k: int
+    initial_edge_cut: int
+    final_edge_cut: int
+    iterations: int
+    converged: bool
+    final_imbalance: float
+
+
+@lru_cache(maxsize=8)
+def run_k_sensitivity(scale: GraphScale) -> Tuple[KSensitivityRun, ...]:
+    """Figure 11 and Table 2 share these runs; cached per scale.
+
+    Starts from random hash partitionings (a clearly sub-optimal state)
+    and repartitions with each of the paper's k values, rescaled.
+    """
+    runs: List[KSensitivityRun] = []
+    for dataset in build_datasets(scale.n, scale.seed):
+        graph = dataset.graph
+        initial = HashPartitioner(salt=scale.seed).partition(
+            graph, scale.num_partitions
+        )
+        for paper_k in PAPER_K_VALUES:
+            effective_k = scaled_k(paper_k, graph.num_vertices)
+            # A rescaled k=500 is only a handful of vertices per iteration,
+            # so full convergence takes more iterations than the paper's
+            # absolute counts; raise the cap so every run finishes.
+            config = RepartitionerConfig(
+                epsilon=scale.epsilon, k=effective_k, max_iterations=300
+            )
+            partitioning = initial.copy()
+            result = LightweightRepartitioner(config).run(graph, partitioning)
+            runs.append(
+                KSensitivityRun(
+                    dataset=dataset.name,
+                    paper_k=paper_k,
+                    effective_k=effective_k,
+                    initial_edge_cut=result.initial_edge_cut,
+                    final_edge_cut=result.final_edge_cut,
+                    iterations=result.iterations,
+                    converged=result.converged or result.stalled,
+                    final_imbalance=result.final_imbalance,
+                )
+            )
+    return tuple(runs)

@@ -1,0 +1,120 @@
+"""CLI: regenerate the paper's tables and figures.
+
+Usage::
+
+    hermes-experiments --experiment all
+    hermes-experiments --experiment fig9 --n 1200 --servers 16
+    python -m repro.experiments.runner --experiment table1 fig7
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from dataclasses import replace
+from typing import Dict, Tuple
+
+from repro.experiments import (
+    ablations,
+    baselines,
+    common,
+    spar,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    memory,
+    table1,
+    table2,
+)
+
+#: experiment name -> (module, needs_cluster_scale)
+EXPERIMENTS: Dict[str, Tuple[object, bool]] = {
+    "table1": (table1, False),
+    "fig7": (fig7, False),
+    "fig8": (fig8, False),
+    "fig9": (fig9, True),
+    "fig10": (fig10, True),
+    "fig11": (fig11, False),
+    "table2": (table2, False),
+    "memory": (memory, False),
+    "ablations": (ablations, False),
+    "baselines": (baselines, False),
+    "spar": (spar, False),
+}
+
+ORDER = [
+    "table1",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "table2",
+    "memory",
+    "ablations",
+    "baselines",
+    "spar",
+]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="hermes-experiments",
+        description="Regenerate the Hermes (EDBT 2015) evaluation tables/figures.",
+    )
+    parser.add_argument(
+        "--experiment",
+        nargs="+",
+        default=["all"],
+        help=f"experiments to run: all, or any of {', '.join(ORDER)}",
+    )
+    parser.add_argument("--n", type=int, default=None, help="graph size override")
+    parser.add_argument(
+        "--servers", type=int, default=None, help="partition/server count override"
+    )
+    parser.add_argument("--seed", type=int, default=None, help="seed override")
+    return parser
+
+
+def resolve_scales(args: argparse.Namespace):
+    graph_scale = common.GraphScale()
+    cluster_scale = common.ClusterScale()
+    if args.n is not None:
+        graph_scale = replace(graph_scale, n=args.n)
+        cluster_scale = replace(cluster_scale, n=args.n)
+    if args.servers is not None:
+        graph_scale = replace(graph_scale, num_partitions=args.servers)
+        cluster_scale = replace(cluster_scale, num_servers=args.servers)
+    if args.seed is not None:
+        graph_scale = replace(graph_scale, seed=args.seed)
+        cluster_scale = replace(cluster_scale, seed=args.seed)
+    return graph_scale, cluster_scale
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    names = args.experiment
+    if "all" in names:
+        names = ORDER
+    unknown = [name for name in names if name not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    graph_scale, cluster_scale = resolve_scales(args)
+    for name in names:
+        module, needs_cluster = EXPERIMENTS[name]
+        scale = cluster_scale if needs_cluster else graph_scale
+        started = time.time()
+        result = module.run(scale)
+        elapsed = time.time() - started
+        print(module.render(result))
+        print(f"[{name} completed in {elapsed:.1f}s]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,46 @@
+"""In-memory graph substrate: social graphs, generators, I/O and statistics."""
+
+from repro.graph.adjacency import SocialGraph
+from repro.graph.generators import (
+    Dataset,
+    community_graph,
+    dataset_names,
+    dblp_like,
+    make_dataset,
+    orkut_like,
+    powerlaw_cluster_graph,
+    preferential_attachment_graph,
+    twitter_like,
+    zipf_vertex_weights,
+)
+from repro.graph.io import load_snap_edge_list, save_edge_list
+from repro.graph.stats import (
+    GraphStatistics,
+    average_path_length,
+    clustering_coefficient,
+    degree_histogram,
+    powerlaw_exponent,
+    summarize,
+)
+
+__all__ = [
+    "SocialGraph",
+    "Dataset",
+    "orkut_like",
+    "twitter_like",
+    "dblp_like",
+    "powerlaw_cluster_graph",
+    "community_graph",
+    "preferential_attachment_graph",
+    "make_dataset",
+    "dataset_names",
+    "zipf_vertex_weights",
+    "load_snap_edge_list",
+    "save_edge_list",
+    "GraphStatistics",
+    "average_path_length",
+    "clustering_coefficient",
+    "degree_histogram",
+    "powerlaw_exponent",
+    "summarize",
+]

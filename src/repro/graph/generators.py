@@ -1,0 +1,465 @@
+"""Synthetic social-network generators matched to the paper's datasets.
+
+The paper evaluates on three SNAP graphs (Table 1):
+
+========  ==========  ===========  =========  ==========  ==========
+dataset   vertices    edges        symmetric  clustering  power-law
+========  ==========  ===========  =========  ==========  ==========
+Twitter   11.3 M      85.3 M       22.1%      (unpub.)    2.276
+Orkut     3 M         223.5 M      100%       0.167       1.18
+DBLP      317 K       1 M          100%       0.6324      3.64
+========  ==========  ===========  =========  ==========  ==========
+
+Those raw files are not redistributable and are far beyond laptop scale, so
+this module provides generators that reproduce the *structural properties the
+repartitioner is sensitive to* — heavy-tailed degrees, triangle closure
+(clustering) and community structure — at a configurable scale.  A SNAP
+edge-list loader (:mod:`repro.graph.io`) lets the real datasets drop in when
+available.
+
+Three generator families are provided:
+
+* :func:`preferential_attachment_graph` — Barabási–Albert: heavy-tailed
+  degrees, low clustering (Twitter-like).
+* :func:`powerlaw_cluster_graph` — Holme–Kim: preferential attachment with
+  triad-closure steps, giving moderate clustering (Orkut-like).
+* :func:`community_graph` — power-law-sized dense communities wired by a
+  sparse inter-community backbone, giving very high clustering and long
+  paths (DBLP-like, co-authorship cliques).
+
+All generators are deterministic given a ``seed``.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.exceptions import GraphError
+from repro.graph.adjacency import SocialGraph
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """A named graph plus the metadata the evaluation reports on it.
+
+    ``symmetric_link_fraction`` mirrors the "Number of symmetric links" row
+    of Table 1: for an undirected graph it is 1.0; for a graph derived from
+    a directed network (Twitter) it is the fraction of reciprocated arcs.
+    """
+
+    name: str
+    graph: SocialGraph
+    symmetric_link_fraction: float = 1.0
+    description: str = ""
+    paper_stats: Dict[str, float] = field(default_factory=dict)
+
+
+# ----------------------------------------------------------------------
+# Core generator primitives
+# ----------------------------------------------------------------------
+def preferential_attachment_graph(
+    n: int, m: int, seed: Optional[int] = None
+) -> SocialGraph:
+    """Barabási–Albert preferential attachment.
+
+    Each new vertex attaches to ``m`` existing vertices chosen with
+    probability proportional to their degree.  Produces a power-law degree
+    distribution with low clustering — the Twitter-like regime.
+    """
+    if m < 1 or n < m + 1:
+        raise GraphError(f"need n > m >= 1, got n={n}, m={m}")
+    rng = random.Random(seed)
+    graph = SocialGraph()
+    # Seed clique of m+1 vertices so every new vertex can find m targets.
+    for v in range(m + 1):
+        graph.add_vertex(v)
+    for u in range(m + 1):
+        for v in range(u + 1, m + 1):
+            graph.add_edge(u, v)
+    # repeated_nodes holds one entry per edge endpoint: sampling uniformly
+    # from it is sampling proportional to degree.
+    repeated_nodes: List[int] = []
+    for u in range(m + 1):
+        repeated_nodes.extend([u] * m)
+    for new_vertex in range(m + 1, n):
+        graph.add_vertex(new_vertex)
+        targets: set = set()
+        while len(targets) < m:
+            targets.add(rng.choice(repeated_nodes))
+        for target in targets:
+            graph.add_edge(new_vertex, target)
+            repeated_nodes.append(target)
+        repeated_nodes.extend([new_vertex] * m)
+    return graph
+
+
+def powerlaw_cluster_graph(
+    n: int, m: int, triangle_probability: float, seed: Optional[int] = None
+) -> SocialGraph:
+    """Holme–Kim power-law graph with tunable clustering.
+
+    Like preferential attachment, but after each attachment step a triad
+    is closed with probability ``triangle_probability`` by connecting the
+    new vertex to a random neighbor of the vertex it just attached to.
+    """
+    if not 0.0 <= triangle_probability <= 1.0:
+        raise GraphError(
+            f"triangle_probability must be in [0, 1], got {triangle_probability}"
+        )
+    if m < 1 or n < m + 1:
+        raise GraphError(f"need n > m >= 1, got n={n}, m={m}")
+    rng = random.Random(seed)
+    graph = SocialGraph()
+    for v in range(m + 1):
+        graph.add_vertex(v)
+    for u in range(m + 1):
+        for v in range(u + 1, m + 1):
+            graph.add_edge(u, v)
+    repeated_nodes: List[int] = []
+    for u in range(m + 1):
+        repeated_nodes.extend([u] * m)
+    for new_vertex in range(m + 1, n):
+        graph.add_vertex(new_vertex)
+        added = 0
+        last_target: Optional[int] = None
+        while added < m:
+            close_triangle = (
+                last_target is not None and rng.random() < triangle_probability
+            )
+            if close_triangle:
+                candidates = [
+                    w
+                    for w in graph.neighbors(last_target)
+                    if w != new_vertex and not graph.has_edge(new_vertex, w)
+                ]
+                if candidates:
+                    target = rng.choice(candidates)
+                else:
+                    close_triangle = False
+            if not close_triangle:
+                target = rng.choice(repeated_nodes)
+                if target == new_vertex or graph.has_edge(new_vertex, target):
+                    continue
+            graph.add_edge(new_vertex, target)
+            repeated_nodes.append(target)
+            last_target = target
+            added += 1
+        repeated_nodes.extend([new_vertex] * m)
+    return graph
+
+
+def _powerlaw_community_sizes(
+    n: int, exponent: float, min_size: int, max_size: int, rng: random.Random
+) -> List[int]:
+    """Draw community sizes from a bounded discrete power law summing to n."""
+    sizes: List[int] = []
+    remaining = n
+    # Inverse-transform sampling of a bounded Pareto distribution.
+    a = exponent - 1.0
+    lo, hi = float(min_size), float(max_size)
+    while remaining > 0:
+        u = rng.random()
+        size = int((lo ** (-a) - u * (lo ** (-a) - hi ** (-a))) ** (-1.0 / a))
+        size = max(min_size, min(size, max_size, remaining))
+        if remaining - size < min_size and remaining - size > 0:
+            size = remaining  # absorb the tail into the last community
+        sizes.append(size)
+        remaining -= size
+    return sizes
+
+
+def community_graph(
+    n: int,
+    community_exponent: float = 2.5,
+    min_community: int = 4,
+    max_community: int = 60,
+    intra_probability: float = 0.7,
+    inter_edges_per_community: int = 2,
+    seed: Optional[int] = None,
+) -> SocialGraph:
+    """Dense power-law-sized communities joined by a sparse backbone.
+
+    Models co-authorship networks such as DBLP: each paper's author list is
+    (nearly) a clique, so local clustering is very high, while communities
+    connect through a few bridging authors — giving long average paths.
+
+    Parameters
+    ----------
+    intra_probability:
+        Probability of each within-community edge (1.0 yields cliques).
+    inter_edges_per_community:
+        Number of random bridges from each community to earlier communities
+        (preferentially to larger ones).
+    """
+    rng = random.Random(seed)
+    sizes = _powerlaw_community_sizes(
+        n, community_exponent, min_community, max_community, rng
+    )
+    graph = SocialGraph()
+    communities: List[List[int]] = []
+    next_vertex = 0
+    for size in sizes:
+        members = list(range(next_vertex, next_vertex + size))
+        next_vertex += size
+        for v in members:
+            graph.add_vertex(v)
+        for i, u in enumerate(members):
+            for v in members[i + 1 :]:
+                if rng.random() < intra_probability:
+                    graph.add_edge(u, v)
+        communities.append(members)
+    # Backbone: each community after the first sends a few bridges backwards,
+    # preferring larger communities (a proxy for prolific-author hubs).
+    cumulative: List[int] = []
+    total = 0
+    for members in communities:
+        total += len(members)
+        cumulative.append(total)
+    for idx in range(1, len(communities)):
+        bridges = 0
+        attempts = 0
+        while bridges < inter_edges_per_community and attempts < 20:
+            attempts += 1
+            # Sample an earlier community proportionally to its size.
+            limit = cumulative[idx - 1]
+            pick = rng.randrange(limit)
+            target_idx = 0
+            while cumulative[target_idx] <= pick:
+                target_idx += 1
+            u = rng.choice(communities[idx])
+            v = rng.choice(communities[target_idx])
+            if u != v and not graph.has_edge(u, v):
+                graph.add_edge(u, v)
+                bridges += 1
+    _connect_components(graph, rng)
+    return graph
+
+
+def _connect_components(graph: SocialGraph, rng: random.Random) -> None:
+    """Join connected components with single edges so traversals reach
+    everything (the SNAP evaluation graphs are taken as single WCCs)."""
+    components = list(graph.connected_components())
+    if len(components) <= 1:
+        return
+    anchor = next(iter(components[0]))
+    for component in components[1:]:
+        other = next(iter(component))
+        if not graph.has_edge(anchor, other):
+            graph.add_edge(anchor, other)
+
+
+def clustered_powerlaw_graph(
+    n: int,
+    m: int,
+    triangle_probability: float,
+    inter_edge_fraction: float = 0.2,
+    community_exponent: float = 2.2,
+    min_community: int = 30,
+    max_community: int = 400,
+    seed: Optional[int] = None,
+) -> SocialGraph:
+    """Power-law communities with preferential inter-community edges.
+
+    The real Orkut/Twitter graphs combine heavy-tailed degrees with strong
+    community structure (high modularity): most friendships stay inside a
+    community, a minority bridge communities.  Each community here is a
+    Holme–Kim graph; ``inter_edge_fraction`` of all edges are then added
+    between communities, endpoints drawn degree-preferentially — so hubs
+    become the bridges, as in real social networks.
+    """
+    if not 0.0 <= inter_edge_fraction < 1.0:
+        raise GraphError(
+            f"inter_edge_fraction must be in [0, 1), got {inter_edge_fraction}"
+        )
+    rng = random.Random(seed)
+    sizes = _powerlaw_community_sizes(
+        n, community_exponent, max(min_community, m + 2), max_community, rng
+    )
+    graph = SocialGraph()
+    community_of: Dict[int, int] = {}
+    offset = 0
+    for index, size in enumerate(sizes):
+        sub_seed = None if seed is None else seed + 1000 + index
+        block = powerlaw_cluster_graph(size, m, triangle_probability, seed=sub_seed)
+        for vertex in block.vertices():
+            graph.add_vertex(offset + vertex)
+            community_of[offset + vertex] = index
+        for u, v in block.edges():
+            graph.add_edge(offset + u, offset + v)
+        offset += size
+    intra_edges = graph.num_edges
+    target_inter = int(intra_edges * inter_edge_fraction / (1.0 - inter_edge_fraction))
+    # Degree-preferential endpoint sampling: one entry per edge endpoint.
+    repeated_nodes: List[int] = []
+    for u, v in graph.edges():
+        repeated_nodes.append(u)
+        repeated_nodes.append(v)
+    added = 0
+    attempts = 0
+    while added < target_inter and attempts < 20 * target_inter:
+        attempts += 1
+        u = rng.choice(repeated_nodes)
+        v = rng.choice(repeated_nodes)
+        if u == v or community_of[u] == community_of[v] or graph.has_edge(u, v):
+            continue
+        graph.add_edge(u, v)
+        repeated_nodes.append(u)
+        repeated_nodes.append(v)
+        added += 1
+    _connect_components(graph, rng)
+    return graph
+
+
+# ----------------------------------------------------------------------
+# Dataset-shaped wrappers
+# ----------------------------------------------------------------------
+#: Paper-reported statistics, used by the Table 1 experiment for comparison.
+PAPER_STATS = {
+    "twitter": {
+        "num_nodes": 11_300_000,
+        "num_edges": 85_300_000,
+        "symmetric_link_fraction": 0.221,
+        "average_path_length": 4.12,
+        "clustering_coefficient": float("nan"),  # unpublished
+        "powerlaw_coefficient": 2.276,
+    },
+    "orkut": {
+        "num_nodes": 3_000_000,
+        "num_edges": 223_500_000,
+        "symmetric_link_fraction": 1.0,
+        "average_path_length": 4.25,
+        "clustering_coefficient": 0.167,
+        "powerlaw_coefficient": 1.18,
+    },
+    "dblp": {
+        "num_nodes": 317_000,
+        "num_edges": 1_000_000,
+        "symmetric_link_fraction": 1.0,
+        "average_path_length": 9.2,
+        "clustering_coefficient": 0.6324,
+        "powerlaw_coefficient": 3.64,
+    },
+}
+
+
+def twitter_like(n: int = 4000, seed: Optional[int] = None) -> Dataset:
+    """A Twitter-shaped graph: heavy-tailed follower counts, short paths,
+    low clustering, with interest communities bridged by hub accounts."""
+    graph = clustered_powerlaw_graph(
+        n,
+        m=6,
+        triangle_probability=0.1,
+        inter_edge_fraction=0.3,
+        min_community=40,
+        max_community=max(60, n // 4),
+        seed=seed,
+    )
+    return Dataset(
+        name="twitter",
+        graph=graph,
+        symmetric_link_fraction=0.221,
+        description=(
+            "Clustered preferential-attachment surrogate for the Twitter "
+            "follower graph; heavy tail, short paths, low clustering."
+        ),
+        paper_stats=PAPER_STATS["twitter"],
+    )
+
+
+def orkut_like(n: int = 4000, seed: Optional[int] = None) -> Dataset:
+    """An Orkut-shaped graph: a dense friendship network with moderate
+    clustering and strong community structure."""
+    graph = clustered_powerlaw_graph(
+        n,
+        m=8,
+        triangle_probability=0.5,
+        inter_edge_fraction=0.15,
+        min_community=40,
+        max_community=max(60, n // 4),
+        seed=seed,
+    )
+    return Dataset(
+        name="orkut",
+        graph=graph,
+        symmetric_link_fraction=1.0,
+        description=(
+            "Clustered Holme-Kim surrogate for the Orkut friendship graph; "
+            "dense, short paths, moderate clustering, strong communities."
+        ),
+        paper_stats=PAPER_STATS["orkut"],
+    )
+
+
+def dblp_like(n: int = 4000, seed: Optional[int] = None) -> Dataset:
+    """A DBLP-shaped graph: co-authorship cliques with sparse bridges,
+    yielding very high clustering and long average paths."""
+    graph = community_graph(
+        n,
+        community_exponent=2.6,
+        min_community=4,
+        max_community=40,
+        intra_probability=0.85,
+        inter_edges_per_community=2,
+        seed=seed,
+    )
+    return Dataset(
+        name="dblp",
+        graph=graph,
+        symmetric_link_fraction=1.0,
+        description=(
+            "Community-clique surrogate for the DBLP co-authorship graph; "
+            "matches very high clustering and long paths."
+        ),
+        paper_stats=PAPER_STATS["dblp"],
+    )
+
+
+_DATASET_FACTORIES = {
+    "twitter": twitter_like,
+    "orkut": orkut_like,
+    "dblp": dblp_like,
+}
+
+
+def make_dataset(name: str, n: int = 4000, seed: Optional[int] = None) -> Dataset:
+    """Build one of the paper's three datasets by name at scale ``n``."""
+    try:
+        factory = _DATASET_FACTORIES[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(_DATASET_FACTORIES))
+        raise GraphError(f"unknown dataset {name!r}; known datasets: {known}")
+    return factory(n=n, seed=seed)
+
+
+def dataset_names() -> List[str]:
+    """Names of the paper's evaluation datasets, in the paper's order."""
+    return ["orkut", "twitter", "dblp"]
+
+
+def zipf_vertex_weights(
+    graph: SocialGraph,
+    exponent: float = 1.2,
+    average_weight: float = 2.0,
+    seed: Optional[int] = None,
+) -> None:
+    """Assign heavy-tailed read popularities to vertices in-place.
+
+    The paper motivates balanced partitioning with the observation that a
+    small number of users (celebrities) are extremely popular.  Ranks are a
+    random permutation of vertices; the weight of the rank-``r`` vertex is
+    proportional to ``r**-exponent``, normalised so the mean weight equals
+    ``average_weight`` and floored at 1 so every vertex has some traffic.
+    """
+    rng = random.Random(seed)
+    order = list(graph.vertices())
+    rng.shuffle(order)
+    n = len(order)
+    if n == 0:
+        return
+    masses = [math.pow(rank, -exponent) for rank in range(1, n + 1)]
+    normaliser = average_weight * n / sum(masses)
+    for vertex, mass in zip(order, masses):
+        graph.set_weight(vertex, max(1.0, mass * normaliser))

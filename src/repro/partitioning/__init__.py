@@ -1,0 +1,31 @@
+"""Static partitioning: state object, metrics, hash and multilevel partitioners."""
+
+from repro.partitioning.base import Partitioner, Partitioning
+from repro.partitioning.hashing import HashPartitioner
+from repro.partitioning.metrics import (
+    MigrationStats,
+    edge_cut,
+    edge_cut_fraction,
+    imbalance_factor,
+    is_valid_partitioning,
+    migration_stats,
+    partition_weights,
+)
+from repro.partitioning.multilevel import MultilevelPartitioner
+from repro.partitioning.streaming import FennelPartitioner, LinearDeterministicGreedy
+
+__all__ = [
+    "LinearDeterministicGreedy",
+    "FennelPartitioner",
+    "Partitioning",
+    "Partitioner",
+    "HashPartitioner",
+    "MultilevelPartitioner",
+    "edge_cut",
+    "edge_cut_fraction",
+    "partition_weights",
+    "imbalance_factor",
+    "is_valid_partitioning",
+    "migration_stats",
+    "MigrationStats",
+]

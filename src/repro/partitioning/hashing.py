@@ -1,0 +1,42 @@
+"""Random hash-based partitioning — the de-facto-standard baseline.
+
+The paper compares Hermes against "random hash-based partitioning, which is
+a de-facto standard in many data stores due to its decentralized nature and
+good load balance properties" (Section 5.3).  Placement is a pure function
+of the vertex ID and a salt, so any server can compute it without
+coordination — exactly the property that makes it the industry default.
+"""
+
+from __future__ import annotations
+
+from repro.graph.adjacency import SocialGraph
+from repro.partitioning.base import Partitioner, Partitioning
+
+#: Multiplier of the 64-bit Fibonacci/splitmix-style integer hash below.
+_GOLDEN_64 = 0x9E3779B97F4A7C15
+_MASK_64 = (1 << 64) - 1
+
+
+def _mix64(value: int) -> int:
+    """A splitmix64 finalizer: deterministic, well-distributed, stdlib-free."""
+    value = (value + _GOLDEN_64) & _MASK_64
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & _MASK_64
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & _MASK_64
+    return value ^ (value >> 31)
+
+
+class HashPartitioner(Partitioner):
+    """Assign each vertex to ``hash(vertex, salt) mod num_partitions``."""
+
+    def __init__(self, salt: int = 0):
+        self.salt = salt
+
+    def place(self, vertex: int, num_partitions: int) -> int:
+        """The pure placement function (usable without a graph)."""
+        return _mix64(vertex ^ _mix64(self.salt)) % num_partitions
+
+    def partition(self, graph: SocialGraph, num_partitions: int) -> Partitioning:
+        partitioning = Partitioning(num_partitions)
+        for vertex in graph.vertices():
+            partitioning.assign(vertex, self.place(vertex, num_partitions))
+        return partitioning

@@ -1,0 +1,118 @@
+"""Partitioning quality metrics: edge-cut, balance, and migration cost.
+
+These implement the quantities the paper's evaluation reports:
+
+* edge-cut and edge-cut percentage (Figures 7 and 11);
+* load-imbalance factor relative to the average partition weight
+  (Section 2.1's validity condition and the Section 5.3.4 balance numbers);
+* migration statistics between two partitionings — vertices moved and
+  relationships changed-or-migrated (Figure 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.exceptions import PartitioningError
+from repro.graph.adjacency import SocialGraph
+from repro.partitioning.base import Partitioning
+
+
+def edge_cut(graph: SocialGraph, partitioning: Partitioning) -> int:
+    """Number of edges whose endpoints live in different partitions."""
+    cut = 0
+    for u, v in graph.edges():
+        if partitioning.partition_of(u) != partitioning.partition_of(v):
+            cut += 1
+    return cut
+
+
+def edge_cut_fraction(graph: SocialGraph, partitioning: Partitioning) -> float:
+    """Edge-cut as a fraction of all edges (the y-axis of Figure 7)."""
+    if graph.num_edges == 0:
+        return 0.0
+    return edge_cut(graph, partitioning) / graph.num_edges
+
+
+def partition_weights(graph: SocialGraph, partitioning: Partitioning) -> List[float]:
+    """Aggregate vertex weight of each partition."""
+    weights = [0.0] * partitioning.num_partitions
+    for vertex in graph.vertices():
+        weights[partitioning.partition_of(vertex)] += graph.weight(vertex)
+    return weights
+
+
+def imbalance_factor(graph: SocialGraph, partitioning: Partitioning) -> float:
+    """Max partition weight divided by the average partition weight.
+
+    This is the quantity the validity condition bounds by epsilon:
+    a partitioning is valid iff ``imbalance_factor <= epsilon``.
+    """
+    weights = partition_weights(graph, partitioning)
+    average = sum(weights) / len(weights)
+    if average == 0:
+        return 1.0
+    return max(weights) / average
+
+
+def is_valid_partitioning(
+    graph: SocialGraph, partitioning: Partitioning, epsilon: float
+) -> bool:
+    """Paper Section 2.1: every partition weight is <= epsilon * average."""
+    if epsilon < 1.0:
+        raise PartitioningError(f"epsilon must be >= 1, got {epsilon}")
+    weights = partition_weights(graph, partitioning)
+    average = sum(weights) / len(weights)
+    return all(w <= epsilon * average + 1e-9 for w in weights)
+
+
+@dataclass(frozen=True)
+class MigrationStats:
+    """Cost of transforming one partitioning into another (Figure 8).
+
+    ``vertices_moved`` counts vertices whose partition changed.
+    ``relationships_changed`` counts edges with at least one moved endpoint:
+    each such edge's records must be rewritten (its linked-list pointers,
+    and possibly a ghost counterpart) even if only one side moved.
+    """
+
+    total_vertices: int
+    total_relationships: int
+    vertices_moved: int
+    relationships_changed: int
+
+    @property
+    def vertex_fraction(self) -> float:
+        if self.total_vertices == 0:
+            return 0.0
+        return self.vertices_moved / self.total_vertices
+
+    @property
+    def relationship_fraction(self) -> float:
+        if self.total_relationships == 0:
+            return 0.0
+        return self.relationships_changed / self.total_relationships
+
+
+def migration_stats(
+    graph: SocialGraph, initial: Partitioning, final: Partitioning
+) -> MigrationStats:
+    """Compare two partitionings of the same graph (Figure 8's quantities)."""
+    if initial.num_partitions != final.num_partitions:
+        raise PartitioningError(
+            "partitionings disagree on partition count: "
+            f"{initial.num_partitions} vs {final.num_partitions}"
+        )
+    moved = {
+        vertex
+        for vertex in graph.vertices()
+        if initial.partition_of(vertex) != final.partition_of(vertex)
+    }
+    changed_edges = sum(1 for u, v in graph.edges() if u in moved or v in moved)
+    return MigrationStats(
+        total_vertices=graph.num_vertices,
+        total_relationships=graph.num_edges,
+        vertices_moved=len(moved),
+        relationships_changed=changed_edges,
+    )

@@ -1,0 +1,37 @@
+"""Graph contraction: build the next-coarser level from a matching."""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.partitioning.multilevel.weighted import WeightedGraph
+
+
+def contract(
+    graph: WeightedGraph, matching: Dict[int, int]
+) -> Tuple[WeightedGraph, Dict[int, int]]:
+    """Contract matched pairs into single coarse vertices.
+
+    Returns the coarse graph and the projection map ``fine -> coarse``.
+    Coarse vertex weights are the sums of their constituents; parallel
+    edges accumulate their weights; intra-pair edges disappear.
+    """
+    projection: Dict[int, int] = {}
+    coarse = WeightedGraph()
+    next_id = 0
+    for vertex, partner in matching.items():
+        if vertex in projection:
+            continue
+        coarse_id = next_id
+        next_id += 1
+        projection[vertex] = coarse_id
+        weight = graph.vertex_weights[vertex]
+        if partner != vertex:
+            projection[partner] = coarse_id
+            weight += graph.vertex_weights[partner]
+        coarse.add_vertex(coarse_id, weight)
+    for u, v, weight in graph.edges():
+        cu, cv = projection[u], projection[v]
+        if cu != cv:
+            coarse.add_edge(cu, cv, weight)
+    return coarse, projection

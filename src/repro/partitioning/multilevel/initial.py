@@ -1,0 +1,117 @@
+"""Greedy graph growing: the initial k-way partition of the coarsest graph.
+
+Partitions are grown one at a time from a seed vertex: the frontier vertex
+with the strongest connection to the grown region joins next, until the
+region reaches its target weight.  Leftover vertices after the last region
+are swept into under-target partitions.
+
+``targets`` (per-partition target weights) default to uniform; recursive
+bisection passes uneven targets when splitting toward an odd part count.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from typing import Dict, List, Optional
+
+from repro.partitioning.multilevel.weighted import WeightedGraph
+
+
+def greedy_growing(
+    graph: WeightedGraph,
+    num_partitions: int,
+    rng: random.Random,
+    targets: Optional[List[float]] = None,
+) -> Dict[int, int]:
+    """Return an assignment coarse-vertex -> partition covering all vertices."""
+    total_weight = graph.total_vertex_weight()
+    if targets is None:
+        targets = [total_weight / num_partitions] * num_partitions
+    assignment: Dict[int, int] = {}
+    part_weights = [0.0] * num_partitions
+    unassigned = set(graph.vertex_weights)
+
+    for partition in range(num_partitions - 1):
+        if not unassigned:
+            break
+        target = targets[partition]
+        seed = _pick_seed(graph, unassigned, rng)
+        # Max-heap of (-connectivity, tiebreak, vertex) over the frontier.
+        heap: List = [(-0.0, rng.random(), seed)]
+        in_heap = {seed}
+        while heap and part_weights[partition] < target:
+            _, _, vertex = heapq.heappop(heap)
+            if vertex not in unassigned:
+                continue
+            if part_weights[partition] + graph.vertex_weights[vertex] > target * 1.5:
+                # Skip a vertex that would badly overshoot (huge coarse hub);
+                # it will be placed by the leftover sweep or a later region.
+                continue
+            assignment[vertex] = partition
+            part_weights[partition] += graph.vertex_weights[vertex]
+            unassigned.discard(vertex)
+            for nbr in graph.neighbors(vertex):
+                if nbr in unassigned and nbr not in in_heap:
+                    connectivity = _connectivity(graph, nbr, partition, assignment)
+                    heapq.heappush(heap, (-connectivity, rng.random(), nbr))
+                    in_heap.add(nbr)
+
+    # Everything left belongs to the last partition by default...
+    for vertex in list(unassigned):
+        assignment[vertex] = num_partitions - 1
+        part_weights[num_partitions - 1] += graph.vertex_weights[vertex]
+    # ...but rebalance toward the targets by draining the most-over-target
+    # partition into the most-under-target one.
+    _rebalance(graph, assignment, part_weights, targets, rng)
+    return assignment
+
+
+def _pick_seed(graph: WeightedGraph, unassigned: set, rng: random.Random) -> int:
+    """Prefer a peripheral (low-degree) unassigned vertex as the seed."""
+    sample = rng.sample(sorted(unassigned), min(16, len(unassigned)))
+    return min(sample, key=lambda v: len(graph.neighbors(v)))
+
+
+def _connectivity(
+    graph: WeightedGraph, vertex: int, partition: int, assignment: Dict[int, int]
+) -> float:
+    return sum(
+        weight
+        for nbr, weight in graph.neighbors(vertex).items()
+        if assignment.get(nbr) == partition
+    )
+
+
+def _rebalance(
+    graph: WeightedGraph,
+    assignment: Dict[int, int],
+    part_weights: List[float],
+    targets: List[float],
+    rng: random.Random,
+) -> None:
+    """Move weakly-connected vertices from over-target to under-target
+    partitions until the residuals are within one average vertex."""
+    if len(part_weights) < 2:
+        return
+    average_vertex = graph.total_vertex_weight() / max(1, graph.num_vertices)
+
+    def residual(p: int) -> float:
+        return part_weights[p] - targets[p]
+
+    for _ in range(graph.num_vertices):
+        heavy = max(range(len(part_weights)), key=residual)
+        light = min(range(len(part_weights)), key=residual)
+        if residual(heavy) - residual(light) <= 2 * average_vertex:
+            break
+        candidates = [v for v, p in assignment.items() if p == heavy]
+        if not candidates:
+            break
+        # Move the candidate with the least attachment to the heavy side.
+        mover = min(
+            rng.sample(candidates, min(32, len(candidates))),
+            key=lambda v: _connectivity(graph, v, heavy, assignment),
+        )
+        assignment[mover] = light
+        part_weights[heavy] -= graph.vertex_weights[mover]
+        part_weights[light] += graph.vertex_weights[mover]

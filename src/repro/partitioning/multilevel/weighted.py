@@ -1,0 +1,69 @@
+"""Vertex- and edge-weighted graph used internally by the multilevel scheme.
+
+Coarsening collapses matched vertex pairs, so coarse graphs need *edge*
+weights (number of fine edges between two coarse vertices) in addition to
+the vertex weights that :class:`~repro.graph.adjacency.SocialGraph` carries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+from repro.exceptions import GraphError
+from repro.graph.adjacency import SocialGraph
+
+
+class WeightedGraph:
+    """Undirected graph with float vertex weights and float edge weights."""
+
+    __slots__ = ("vertex_weights", "adjacency")
+
+    def __init__(self) -> None:
+        self.vertex_weights: Dict[int, float] = {}
+        self.adjacency: Dict[int, Dict[int, float]] = {}
+
+    @classmethod
+    def from_social_graph(cls, graph: SocialGraph) -> "WeightedGraph":
+        """Lift a :class:`SocialGraph`; every edge gets weight 1."""
+        weighted = cls()
+        for vertex in graph.vertices():
+            weighted.add_vertex(vertex, graph.weight(vertex))
+        for u, v in graph.edges():
+            weighted.add_edge(u, v, 1.0)
+        return weighted
+
+    def add_vertex(self, vertex: int, weight: float) -> None:
+        if vertex in self.vertex_weights:
+            raise GraphError(f"vertex {vertex} already present")
+        self.vertex_weights[vertex] = weight
+        self.adjacency[vertex] = {}
+
+    def add_edge(self, u: int, v: int, weight: float) -> None:
+        """Add or *accumulate* edge weight (coarsening merges parallel edges)."""
+        if u == v:
+            return  # contracted self-edges carry no cut information
+        self.adjacency[u][v] = self.adjacency[u].get(v, 0.0) + weight
+        self.adjacency[v][u] = self.adjacency[v].get(u, 0.0) + weight
+
+    def neighbors(self, vertex: int) -> Dict[int, float]:
+        return self.adjacency[vertex]
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self.vertex_weights)
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(nbrs) for nbrs in self.adjacency.values()) // 2
+
+    def total_vertex_weight(self) -> float:
+        return sum(self.vertex_weights.values())
+
+    def edges(self) -> Iterator[Tuple[int, int, float]]:
+        for u, nbrs in self.adjacency.items():
+            for v, w in nbrs.items():
+                if u < v:
+                    yield (u, v, w)
+
+    def __repr__(self) -> str:
+        return f"WeightedGraph(vertices={self.num_vertices}, edges={self.num_edges})"

@@ -1,0 +1,145 @@
+"""Streaming graph partitioners: LDG and Fennel (related-work baselines).
+
+The paper's related work discusses one-pass streaming partitioners:
+Stanton & Kliot's heuristics [32] — of which **Linear Deterministic
+Greedy (LDG)** is the strongest — and **Fennel** [33].  Both assign each
+vertex as it arrives, using only the neighbors seen so far:
+
+* LDG places ``v`` in the partition maximizing
+  ``|N(v) ∩ P| * (1 - |P| / capacity)``;
+* Fennel maximizes ``|N(v) ∩ P| - alpha * gamma * |P| ** (gamma - 1)``
+  (a degree-based interpolation between cut and balance objectives).
+
+They improve *initial* placement over hashing but — as the paper notes —
+do not adapt once placed; re-running them "needs to parse the full
+dataset again".  They are included as additional baselines and to show
+what the lightweight repartitioner adds on top of good initial placement.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Optional
+
+from repro.exceptions import PartitioningError
+from repro.graph.adjacency import SocialGraph
+from repro.partitioning.base import Partitioner, Partitioning
+
+
+class _StreamingBase(Partitioner):
+    """Shared one-pass machinery: stream order + greedy scoring."""
+
+    def __init__(
+        self,
+        balance_slack: float = 1.1,
+        shuffle: bool = True,
+        seed: Optional[int] = None,
+    ):
+        if balance_slack < 1.0:
+            raise PartitioningError(
+                f"balance_slack must be >= 1, got {balance_slack}"
+            )
+        self.balance_slack = balance_slack
+        self.shuffle = shuffle
+        self.seed = seed
+
+    def partition(self, graph: SocialGraph, num_partitions: int) -> Partitioning:
+        if num_partitions < 1:
+            raise PartitioningError("num_partitions must be >= 1")
+        order = list(graph.vertices())
+        if self.shuffle:
+            random.Random(self.seed).shuffle(order)
+        partitioning = Partitioning(num_partitions)
+        sizes = [0] * num_partitions
+        capacity = self.balance_slack * graph.num_vertices / num_partitions
+        for vertex in order:
+            placed_neighbors = [0] * num_partitions
+            for nbr in graph.neighbors(vertex):
+                home = partitioning.get(nbr)
+                if home is not None:
+                    placed_neighbors[home] += 1
+            best = self._choose(placed_neighbors, sizes, capacity, graph, vertex)
+            partitioning.assign(vertex, best)
+            sizes[best] += 1
+        return partitioning
+
+    def _choose(
+        self,
+        placed_neighbors: List[int],
+        sizes: List[int],
+        capacity: float,
+        graph: SocialGraph,
+        vertex: int,
+    ) -> int:
+        raise NotImplementedError
+
+
+class LinearDeterministicGreedy(_StreamingBase):
+    """Stanton & Kliot's LDG heuristic."""
+
+    def _choose(self, placed_neighbors, sizes, capacity, graph, vertex):
+        best_partition = 0
+        best_score = float("-inf")
+        for partition, neighbors in enumerate(placed_neighbors):
+            if sizes[partition] + 1 > capacity:
+                continue
+            score = neighbors * (1.0 - sizes[partition] / capacity)
+            if score > best_score or (
+                score == best_score and sizes[partition] < sizes[best_partition]
+            ):
+                best_score = score
+                best_partition = partition
+        if best_score == float("-inf"):
+            # Everything is at capacity (rounding): take the smallest.
+            best_partition = min(range(len(sizes)), key=sizes.__getitem__)
+        return best_partition
+
+
+class FennelPartitioner(_StreamingBase):
+    """Tsourakakis et al.'s Fennel objective.
+
+    ``gamma`` (default 1.5) controls the balance penalty's curvature and
+    ``alpha`` defaults to the paper's ``sqrt(k) * m / n**gamma``.
+    """
+
+    def __init__(
+        self,
+        gamma: float = 1.5,
+        alpha: Optional[float] = None,
+        balance_slack: float = 1.1,
+        shuffle: bool = True,
+        seed: Optional[int] = None,
+    ):
+        super().__init__(balance_slack=balance_slack, shuffle=shuffle, seed=seed)
+        if gamma <= 1.0:
+            raise PartitioningError(f"gamma must be > 1, got {gamma}")
+        self.gamma = gamma
+        self.alpha = alpha
+        self._effective_alpha = alpha
+
+    def partition(self, graph: SocialGraph, num_partitions: int) -> Partitioning:
+        if self.alpha is None:
+            n = max(1, graph.num_vertices)
+            self._effective_alpha = (
+                math.sqrt(num_partitions) * graph.num_edges / (n**self.gamma)
+            )
+        else:
+            self._effective_alpha = self.alpha
+        return super().partition(graph, num_partitions)
+
+    def _choose(self, placed_neighbors, sizes, capacity, graph, vertex):
+        best_partition = 0
+        best_score = float("-inf")
+        alpha = self._effective_alpha or 0.0
+        for partition, neighbors in enumerate(placed_neighbors):
+            if sizes[partition] + 1 > capacity:
+                continue
+            penalty = alpha * self.gamma * (sizes[partition] ** (self.gamma - 1.0))
+            score = neighbors - penalty
+            if score > best_score:
+                best_score = score
+                best_partition = partition
+        if best_score == float("-inf"):
+            best_partition = min(range(len(sizes)), key=sizes.__getitem__)
+        return best_partition

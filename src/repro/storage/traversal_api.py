@@ -1,0 +1,206 @@
+"""Neo4j-style Traversal API over a local GraphStore (Figure 5).
+
+"The main querying interface to Neo4j is traversal based.  Traversals
+use the graph structure and relationships between records to answer user
+queries" (Section 4).  Figure 5 shows the Traversal API as the layer the
+lightweight Hermes components plug under; this module provides that
+layer for a single server's store:
+
+* :class:`TraversalDescription` — a fluent builder: search order
+  (BFS/DFS), depth bounds, node uniqueness, relationship filters, and a
+  user evaluator deciding per path whether to *include* it in the result
+  and whether to *continue* expanding beyond it;
+* :class:`Path` — an alternating node/relationship sequence from the
+  start node, as Neo4j returns.
+
+Distributed k-hop queries (the cluster's
+:class:`~repro.cluster.traversal.TraversalEngine`) are intentionally a
+separate, cost-accounted engine; this API is the local building block
+the paper's system exposes to applications.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional, Set, Tuple
+
+from repro.exceptions import StorageError
+from repro.storage.graph_store import GraphStore, NeighborEntry
+
+
+class Order(enum.Enum):
+    BREADTH_FIRST = "bfs"
+    DEPTH_FIRST = "dfs"
+
+
+class Uniqueness(enum.Enum):
+    #: visit each node at most once in the whole traversal (the default)
+    NODE_GLOBAL = "node-global"
+    #: only forbid a node to repeat within a single path (allows cycles
+    #: across branches — the multiplicity 2-hop analytics count on)
+    NODE_PATH = "node-path"
+
+
+class Evaluation(enum.Enum):
+    INCLUDE_AND_CONTINUE = (True, True)
+    INCLUDE_AND_PRUNE = (True, False)
+    EXCLUDE_AND_CONTINUE = (False, True)
+    EXCLUDE_AND_PRUNE = (False, False)
+
+    @property
+    def include(self) -> bool:
+        return self.value[0]
+
+    @property
+    def expand(self) -> bool:
+        return self.value[1]
+
+
+@dataclass(frozen=True)
+class Path:
+    """An alternating node/relationship path from the traversal start."""
+
+    nodes: Tuple[int, ...]
+    relationships: Tuple[int, ...]
+
+    @property
+    def start(self) -> int:
+        return self.nodes[0]
+
+    @property
+    def end(self) -> int:
+        return self.nodes[-1]
+
+    @property
+    def length(self) -> int:
+        return len(self.relationships)
+
+    def extend(self, entry: NeighborEntry) -> "Path":
+        return Path(
+            nodes=self.nodes + (entry.neighbor,),
+            relationships=self.relationships + (entry.rel_id,),
+        )
+
+    def __repr__(self) -> str:
+        return "Path(" + "-".join(str(node) for node in self.nodes) + ")"
+
+
+RelationshipFilter = Callable[[NeighborEntry], bool]
+Evaluator = Callable[[Path], Evaluation]
+
+
+class TraversalDescription:
+    """Immutable fluent builder for local traversals.
+
+    Example
+    -------
+    >>> td = (TraversalDescription()
+    ...       .breadth_first()
+    ...       .max_depth(2)
+    ...       .exclude_ghosts())
+    >>> # paths = list(td.traverse(store, start))
+    """
+
+    def __init__(self) -> None:
+        self._order = Order.BREADTH_FIRST
+        self._min_depth = 0
+        self._max_depth: Optional[int] = None
+        self._uniqueness = Uniqueness.NODE_GLOBAL
+        self._rel_filter: Optional[RelationshipFilter] = None
+        self._evaluator: Optional[Evaluator] = None
+
+    def _copy(self) -> "TraversalDescription":
+        clone = TraversalDescription()
+        clone.__dict__.update(self.__dict__)
+        return clone
+
+    # -- builder methods -------------------------------------------------
+    def breadth_first(self) -> "TraversalDescription":
+        clone = self._copy()
+        clone._order = Order.BREADTH_FIRST
+        return clone
+
+    def depth_first(self) -> "TraversalDescription":
+        clone = self._copy()
+        clone._order = Order.DEPTH_FIRST
+        return clone
+
+    def min_depth(self, depth: int) -> "TraversalDescription":
+        if depth < 0:
+            raise StorageError("min_depth must be >= 0")
+        clone = self._copy()
+        clone._min_depth = depth
+        return clone
+
+    def max_depth(self, depth: int) -> "TraversalDescription":
+        if depth < 0:
+            raise StorageError("max_depth must be >= 0")
+        clone = self._copy()
+        clone._max_depth = depth
+        return clone
+
+    def uniqueness(self, uniqueness: Uniqueness) -> "TraversalDescription":
+        clone = self._copy()
+        clone._uniqueness = uniqueness
+        return clone
+
+    def filter_relationships(
+        self, predicate: RelationshipFilter
+    ) -> "TraversalDescription":
+        clone = self._copy()
+        clone._rel_filter = predicate
+        return clone
+
+    def exclude_ghosts(self) -> "TraversalDescription":
+        """Only follow primary (property-bearing) relationship records."""
+        return self.filter_relationships(lambda entry: not entry.ghost)
+
+    def evaluator(self, evaluator: Evaluator) -> "TraversalDescription":
+        clone = self._copy()
+        clone._evaluator = evaluator
+        return clone
+
+    # -- execution --------------------------------------------------------
+    def traverse(self, store: GraphStore, start: int) -> Iterator[Path]:
+        """Yield the included paths, in traversal order."""
+        if not store.is_available(start):
+            return
+        initial = Path(nodes=(start,), relationships=())
+        frontier = deque([initial])
+        visited_global: Set[int] = {start}
+
+        while frontier:
+            path = (
+                frontier.popleft()
+                if self._order is Order.BREADTH_FIRST
+                else frontier.pop()
+            )
+            evaluation = self._evaluate(path)
+            if evaluation.include and path.length >= self._min_depth:
+                yield path
+            if not evaluation.expand:
+                continue
+            if self._max_depth is not None and path.length >= self._max_depth:
+                continue
+            for entry in store.neighbor_entries(path.end):
+                if self._rel_filter is not None and not self._rel_filter(entry):
+                    continue
+                if not self._admissible(entry.neighbor, path, visited_global):
+                    continue
+                if self._uniqueness is Uniqueness.NODE_GLOBAL:
+                    visited_global.add(entry.neighbor)
+                if not store.is_available(entry.neighbor):
+                    continue
+                frontier.append(path.extend(entry))
+
+    def _admissible(self, neighbor: int, path: Path, visited: Set[int]) -> bool:
+        if self._uniqueness is Uniqueness.NODE_GLOBAL:
+            return neighbor not in visited
+        return neighbor not in path.nodes
+
+    def _evaluate(self, path: Path) -> Evaluation:
+        if self._evaluator is None:
+            return Evaluation.INCLUDE_AND_CONTINUE
+        return self._evaluator(path)

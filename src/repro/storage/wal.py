@@ -1,0 +1,211 @@
+"""Write-ahead logging with ARIES-style crash recovery.
+
+Neo4j — which Hermes extends — "provides a disk-based, transactional
+persistence engine (ACID compliant)" (Section 4).  This module supplies
+that substrate for the record stores:
+
+* :class:`WriteAheadLog` — an append-only log of framed, checksummed
+  records.  Each frame carries its own CRC, so a torn tail write (the
+  classic crash artifact) is detected and the log is truncated at the
+  first damaged frame.
+* log record kinds: BEGIN, UPDATE (with before- and after-images of one
+  store record), COMMIT, ABORT.
+* :func:`recover` — redo/undo recovery: after a crash, the after-images
+  of committed transactions are replayed (redo) and the before-images of
+  unfinished transactions are rolled back (undo).  Record writes are
+  absolute (full images), so recovery is idempotent.
+
+:class:`DurableRecordStore` (in :mod:`repro.storage.durable`) wires this
+log around a :class:`~repro.storage.records.FixedRecordStore`.
+"""
+
+from __future__ import annotations
+
+import enum
+import os
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from repro.exceptions import StorageError
+
+_FRAME_HEADER = struct.Struct("<IIB")  # payload length, crc32, kind
+_RECORD_HEADER = struct.Struct("<qqII")  # txn_id, record_id, before_len, after_len
+
+
+class LogKind(enum.IntEnum):
+    BEGIN = 1
+    UPDATE = 2
+    COMMIT = 3
+    ABORT = 4
+    CHECKPOINT = 5
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One decoded WAL record."""
+
+    kind: LogKind
+    txn_id: int
+    record_id: int = -1
+    before: bytes = b""
+    after: bytes = b""
+
+    def encode(self) -> bytes:
+        payload = _RECORD_HEADER.pack(
+            self.txn_id, self.record_id, len(self.before), len(self.after)
+        )
+        return payload + self.before + self.after
+
+    @classmethod
+    def decode(cls, kind: LogKind, payload: bytes) -> "LogRecord":
+        if len(payload) < _RECORD_HEADER.size:
+            raise StorageError("truncated WAL record payload")
+        txn_id, record_id, before_len, after_len = _RECORD_HEADER.unpack_from(payload)
+        offset = _RECORD_HEADER.size
+        if len(payload) != offset + before_len + after_len:
+            raise StorageError("WAL record length mismatch")
+        before = payload[offset : offset + before_len]
+        after = payload[offset + before_len :]
+        return cls(
+            kind=kind,
+            txn_id=txn_id,
+            record_id=record_id,
+            before=before,
+            after=after,
+        )
+
+
+class WriteAheadLog:
+    """Append-only framed log, in memory with optional file persistence.
+
+    Frames are ``(length, crc32, kind, payload)``; iteration stops at the
+    first frame whose CRC fails or whose bytes are incomplete — the
+    recovery-safe interpretation of a torn write.
+    """
+
+    def __init__(self, path: Optional[str] = None):
+        self.path = path
+        self._buffer = bytearray()
+        self._flushed = 0  # bytes guaranteed durable
+        if path is not None and os.path.exists(path):
+            with open(path, "rb") as handle:
+                self._buffer = bytearray(handle.read())
+            self._flushed = len(self._buffer)
+
+    # ------------------------------------------------------------------
+    def append(self, record: LogRecord) -> None:
+        payload = record.encode()
+        frame = _FRAME_HEADER.pack(len(payload), zlib.crc32(payload), record.kind)
+        self._buffer.extend(frame)
+        self._buffer.extend(payload)
+
+    def flush(self) -> None:
+        """Force the log to stable storage (commit durability point)."""
+        if self.path is not None:
+            with open(self.path, "wb") as handle:
+                handle.write(self._buffer)
+                handle.flush()
+                os.fsync(handle.fileno())
+        self._flushed = len(self._buffer)
+
+    def simulate_crash(self, keep_unflushed_bytes: int = 0) -> None:
+        """Drop everything after the last flush (plus an optional torn
+        prefix of unflushed bytes) — the test hook for crash injection."""
+        keep = min(len(self._buffer), self._flushed + max(0, keep_unflushed_bytes))
+        del self._buffer[keep:]
+
+    # ------------------------------------------------------------------
+    def records(self) -> Iterator[LogRecord]:
+        """Decode frames until the end or the first damaged frame."""
+        offset = 0
+        buffer = self._buffer
+        while offset + _FRAME_HEADER.size <= len(buffer):
+            length, crc, kind_value = _FRAME_HEADER.unpack_from(buffer, offset)
+            start = offset + _FRAME_HEADER.size
+            end = start + length
+            if end > len(buffer):
+                return  # torn tail
+            payload = bytes(buffer[start:end])
+            if zlib.crc32(payload) != crc:
+                return  # damaged frame: ignore it and everything after
+            try:
+                kind = LogKind(kind_value)
+            except ValueError:
+                return
+            yield LogRecord.decode(kind, payload)
+            offset = end
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.records())
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self._buffer)
+
+    def truncate(self) -> None:
+        """Checkpoint: all stores are known durable; restart the log."""
+        self._buffer = bytearray()
+        self._flushed = 0
+        if self.path is not None and os.path.exists(self.path):
+            os.remove(self.path)
+
+
+@dataclass
+class RecoveryReport:
+    """What recovery did."""
+
+    committed_txns: List[int]
+    rolled_back_txns: List[int]
+    redone_updates: int
+    undone_updates: int
+
+
+def analyze(log: WriteAheadLog):
+    """Pass 1: classify transactions by outcome."""
+    committed = set()
+    aborted = set()
+    seen = set()
+    updates: List[LogRecord] = []
+    for record in log.records():
+        seen.add(record.txn_id)
+        if record.kind is LogKind.COMMIT:
+            committed.add(record.txn_id)
+        elif record.kind is LogKind.ABORT:
+            aborted.add(record.txn_id)
+        elif record.kind is LogKind.UPDATE:
+            updates.append(record)
+    losers = seen - committed - aborted
+    return committed, aborted, losers, updates
+
+
+def recover(log: WriteAheadLog, apply_image) -> RecoveryReport:
+    """ARIES-style recovery: repeat history, then undo losers.
+
+    Pass 1 (redo) replays *every* update in log order — including those
+    of aborted transactions, whose in-place rollbacks were themselves
+    logged as compensation updates, so replaying history reproduces the
+    exact pre-crash page state.  Pass 2 (undo) rolls back, in reverse log
+    order, only the *losers*: transactions with neither COMMIT nor ABORT
+    in the durable log.
+
+    ``apply_image(record_id, image_bytes)`` writes one record image into
+    the store; an empty image means "delete/clear the record".
+    """
+    committed, aborted, losers, updates = analyze(log)
+    redone = 0
+    undone = 0
+    for record in updates:
+        apply_image(record.record_id, record.after)
+        redone += 1
+    for record in reversed(updates):
+        if record.txn_id in losers:
+            apply_image(record.record_id, record.before)
+            undone += 1
+    return RecoveryReport(
+        committed_txns=sorted(committed),
+        rolled_back_txns=sorted(losers | aborted),
+        redone_updates=redone,
+        undone_updates=undone,
+    )

@@ -1,0 +1,21 @@
+"""Transactions: lock manager with timeout-based deadlock detection.
+
+Hermes replaced Neo4j's centralized loop-detection deadlock detector with
+"a timeout-based detection scheme" because centralized detection does not
+scale across servers (paper Section 4).  This package provides the lock
+table, the timeout policy, and a transaction manager whose aborts roll
+back buffered writes.
+"""
+
+from repro.txn.deadlock import TimeoutDeadlockDetector
+from repro.txn.locks import LockManager, LockMode
+from repro.txn.manager import Transaction, TransactionManager, TransactionStatus
+
+__all__ = [
+    "LockMode",
+    "LockManager",
+    "TimeoutDeadlockDetector",
+    "Transaction",
+    "TransactionManager",
+    "TransactionStatus",
+]

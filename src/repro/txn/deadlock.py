@@ -1,0 +1,34 @@
+"""Timeout-based deadlock detection (paper Section 4).
+
+"As the centralized loop detection algorithm used by Neo4j for deadlock
+detection does not scale well, it was replaced using a timeout-based
+detection scheme" [Bernstein & Newcomer].  Any transaction that has waited
+longer than the timeout is *presumed* deadlocked and chosen as a victim.
+False positives are possible (a slow but live holder) — that is the
+accepted trade-off of timeout schemes.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.exceptions import TransactionError
+from repro.txn.locks import LockManager
+
+
+class TimeoutDeadlockDetector:
+    """Selects timed-out waiters as deadlock victims."""
+
+    def __init__(self, timeout: float = 1.0):
+        if timeout <= 0:
+            raise TransactionError(f"timeout must be positive, got {timeout}")
+        self.timeout = timeout
+
+    def victims(self, locks: LockManager, now: float) -> List[int]:
+        """Transaction IDs that have waited for longer than the timeout."""
+        expired = {
+            txn_id
+            for txn_id, _, since in locks.waiting_since()
+            if now - since > self.timeout
+        }
+        return sorted(expired)

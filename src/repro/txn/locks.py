@@ -1,0 +1,176 @@
+"""Shared/exclusive lock table with FIFO waiters.
+
+Locks protect record-level resources inside one server (e.g. a node and
+its relationship chain during a write, or a vertex being migrated).  The
+manager is deliberately synchronous: the cluster simulator is a
+discrete-event system, so "blocking" is modeled by queueing a waiter and
+letting the deadlock detector abort it if it waits past the timeout.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Set, Tuple
+
+from repro.exceptions import TransactionError
+
+
+class LockMode(enum.Enum):
+    SHARED = "shared"
+    EXCLUSIVE = "exclusive"
+
+
+@dataclass
+class _LockEntry:
+    """State of one resource's lock."""
+
+    mode: Optional[LockMode] = None
+    holders: Set[int] = field(default_factory=set)
+    # FIFO wait queue of (txn_id, requested mode, enqueue time)
+    waiters: List[Tuple[int, LockMode, float]] = field(default_factory=list)
+
+
+class LockManager:
+    """A lock table keyed by arbitrary hashable resources."""
+
+    def __init__(self) -> None:
+        self._table: Dict[Hashable, _LockEntry] = {}
+        self._held_by_txn: Dict[int, Set[Hashable]] = {}
+
+    # ------------------------------------------------------------------
+    def acquire(
+        self, txn_id: int, resource: Hashable, mode: LockMode, now: float = 0.0
+    ) -> bool:
+        """Try to take the lock; returns True if granted, False if queued.
+
+        Re-acquiring a held lock is a no-op; upgrading SHARED -> EXCLUSIVE
+        succeeds immediately when the transaction is the sole holder.
+        """
+        entry = self._table.setdefault(resource, _LockEntry())
+        if txn_id in entry.holders:
+            if mode is LockMode.EXCLUSIVE and entry.mode is LockMode.SHARED:
+                if len(entry.holders) == 1:
+                    entry.mode = LockMode.EXCLUSIVE
+                    return True
+                self._enqueue(entry, txn_id, mode, now)
+                return False
+            return True
+        if self._compatible(entry, mode):
+            entry.holders.add(txn_id)
+            entry.mode = self._merge_mode(entry.mode, mode)
+            self._held_by_txn.setdefault(txn_id, set()).add(resource)
+            return True
+        self._enqueue(entry, txn_id, mode, now)
+        return False
+
+    @staticmethod
+    def _compatible(entry: _LockEntry, mode: LockMode) -> bool:
+        if not entry.holders:
+            # Empty lock, but FIFO fairness: don't jump a non-empty queue.
+            return not entry.waiters
+        if entry.waiters:
+            return False
+        return entry.mode is LockMode.SHARED and mode is LockMode.SHARED
+
+    @staticmethod
+    def _merge_mode(current: Optional[LockMode], mode: LockMode) -> LockMode:
+        if current is LockMode.EXCLUSIVE or mode is LockMode.EXCLUSIVE:
+            return LockMode.EXCLUSIVE
+        return LockMode.SHARED
+
+    def _enqueue(
+        self, entry: _LockEntry, txn_id: int, mode: LockMode, now: float
+    ) -> None:
+        if any(waiter_id == txn_id for waiter_id, _, _ in entry.waiters):
+            return
+        entry.waiters.append((txn_id, mode, now))
+
+    # ------------------------------------------------------------------
+    def release_all(self, txn_id: int) -> List[Tuple[int, Hashable]]:
+        """Release everything the transaction holds or waits for.
+
+        Returns the list of ``(txn_id, resource)`` grants promoted from
+        wait queues as a result.
+        """
+        promoted: List[Tuple[int, Hashable]] = []
+        for resource in self._held_by_txn.pop(txn_id, set()):
+            entry = self._table.get(resource)
+            if entry is None:
+                continue
+            entry.holders.discard(txn_id)
+            if not entry.holders:
+                entry.mode = None
+            promoted.extend(self._promote(resource, entry))
+        # Drop any still-queued waits (an aborting txn leaves its queues).
+        for resource, entry in list(self._table.items()):
+            entry.waiters = [w for w in entry.waiters if w[0] != txn_id]
+            promoted.extend(self._promote(resource, entry))
+            if not entry.holders and not entry.waiters:
+                del self._table[resource]
+        return promoted
+
+    def _promote(
+        self, resource: Hashable, entry: _LockEntry
+    ) -> List[Tuple[int, Hashable]]:
+        """Grant from the head of the FIFO queue while compatible."""
+        promoted: List[Tuple[int, Hashable]] = []
+        while entry.waiters:
+            txn_id, mode, _ = entry.waiters[0]
+            if entry.holders == {txn_id} and mode is LockMode.EXCLUSIVE:
+                # Pending upgrade: sole holder waiting for exclusivity.
+                entry.mode = LockMode.EXCLUSIVE
+                entry.waiters.pop(0)
+                promoted.append((txn_id, resource))
+                continue
+            if entry.holders:
+                if entry.mode is LockMode.SHARED and mode is LockMode.SHARED:
+                    entry.waiters.pop(0)
+                    entry.holders.add(txn_id)
+                    self._held_by_txn.setdefault(txn_id, set()).add(resource)
+                    promoted.append((txn_id, resource))
+                    continue
+                break
+            entry.waiters.pop(0)
+            entry.holders.add(txn_id)
+            entry.mode = mode
+            self._held_by_txn.setdefault(txn_id, set()).add(resource)
+            promoted.append((txn_id, resource))
+            if mode is LockMode.EXCLUSIVE:
+                break
+        return promoted
+
+    # ------------------------------------------------------------------
+    def holds(self, txn_id: int, resource: Hashable) -> bool:
+        entry = self._table.get(resource)
+        return entry is not None and txn_id in entry.holders
+
+    def is_waiting(self, txn_id: int, resource: Hashable) -> bool:
+        entry = self._table.get(resource)
+        if entry is None:
+            return False
+        return any(waiter_id == txn_id for waiter_id, _, _ in entry.waiters)
+
+    def waiting_since(self) -> List[Tuple[int, Hashable, float]]:
+        """All queued waits as ``(txn_id, resource, enqueue_time)``."""
+        waits = []
+        for resource, entry in self._table.items():
+            for txn_id, _, since in entry.waiters:
+                waits.append((txn_id, resource, since))
+        return waits
+
+    def held_resources(self, txn_id: int) -> Set[Hashable]:
+        return set(self._held_by_txn.get(txn_id, set()))
+
+    def assert_consistent(self) -> None:
+        """Internal consistency check used by property-based tests."""
+        for resource, entry in self._table.items():
+            if entry.holders and entry.mode is None:
+                raise TransactionError(f"{resource}: holders without a mode")
+            if entry.mode is LockMode.EXCLUSIVE and len(entry.holders) > 1:
+                raise TransactionError(f"{resource}: multiple exclusive holders")
+            for holder in entry.holders:
+                if resource not in self._held_by_txn.get(holder, set()):
+                    raise TransactionError(
+                        f"{resource}: holder {holder} missing reverse index"
+                    )

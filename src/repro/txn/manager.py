@@ -1,0 +1,158 @@
+"""Transactions with undo-based rollback over the lock manager.
+
+The storage engine itself is a single-writer structure per server; the
+transaction layer provides atomicity (buffered undo actions) and isolation
+(record locks) for the operations the evaluation exercises: property
+writes, edge inserts, and the migration protocol's unavailable state.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Callable, Dict, Hashable, List, Optional
+
+from repro.exceptions import (
+    LockTimeoutError,
+    TransactionAbortedError,
+    TransactionError,
+)
+from repro.txn.deadlock import TimeoutDeadlockDetector
+from repro.txn.locks import LockManager, LockMode
+
+
+class TransactionStatus(enum.Enum):
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+class Transaction:
+    """One unit of work; undo actions run in reverse order on abort."""
+
+    def __init__(self, txn_id: int, manager: "TransactionManager"):
+        self.txn_id = txn_id
+        self.status = TransactionStatus.ACTIVE
+        self._manager = manager
+        self._undo_log: List[Callable[[], None]] = []
+
+    # ------------------------------------------------------------------
+    def _require_active(self) -> None:
+        if self.status is not TransactionStatus.ACTIVE:
+            raise TransactionAbortedError(
+                f"transaction {self.txn_id} is {self.status.value}"
+            )
+
+    def lock(self, resource: Hashable, mode: LockMode = LockMode.EXCLUSIVE) -> None:
+        """Acquire a lock or raise :class:`LockTimeoutError` (presumed
+        deadlock) — the simulator treats a queued wait that cannot be
+        granted immediately as a wait that will be resolved by timeout."""
+        self._require_active()
+        self._manager.acquire(self, resource, mode)
+
+    def record_undo(self, undo: Callable[[], None]) -> None:
+        """Register the inverse of an applied operation."""
+        self._require_active()
+        self._undo_log.append(undo)
+
+    def do(self, apply: Callable[[], None], undo: Callable[[], None]) -> None:
+        """Apply an operation and remember its inverse."""
+        self._require_active()
+        apply()
+        self._undo_log.append(undo)
+
+    def commit(self) -> None:
+        self._require_active()
+        self.status = TransactionStatus.COMMITTED
+        self._undo_log.clear()
+        self._manager.finish(self)
+
+    def abort(self) -> None:
+        if self.status is TransactionStatus.ABORTED:
+            return
+        self._require_active()
+        for undo in reversed(self._undo_log):
+            undo()
+        self._undo_log.clear()
+        self.status = TransactionStatus.ABORTED
+        self._manager.finish(self)
+
+    # Context-manager sugar: commit on success, abort on exception.
+    def __enter__(self) -> "Transaction":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self.status is TransactionStatus.ACTIVE:
+            if exc_type is None:
+                self.commit()
+            else:
+                self.abort()
+        return False
+
+
+class TransactionManager:
+    """Creates transactions and mediates lock acquisition + timeouts."""
+
+    def __init__(
+        self,
+        clock: Optional[Callable[[], float]] = None,
+        lock_timeout: float = 1.0,
+    ):
+        self.locks = LockManager()
+        self.detector = TimeoutDeadlockDetector(timeout=lock_timeout)
+        self._clock = clock or (lambda: 0.0)
+        self._next_id = itertools.count(1)
+        self._active: Dict[int, Transaction] = {}
+        #: observability counters (surface in experiment reports)
+        self.stats = {"begun": 0, "committed": 0, "aborted": 0, "lock_timeouts": 0}
+
+    def begin(self) -> Transaction:
+        txn = Transaction(next(self._next_id), self)
+        self._active[txn.txn_id] = txn
+        self.stats["begun"] += 1
+        return txn
+
+    def acquire(self, txn: Transaction, resource: Hashable, mode: LockMode) -> None:
+        """Grant immediately or treat the conflict as a presumed deadlock.
+
+        The simulator is single-threaded, so a conflicting request can
+        never be granted by concurrent progress within the same event; the
+        timeout policy therefore degenerates to abort-on-conflict for
+        intra-event conflicts, which is exactly how a timeout scheme
+        resolves a true deadlock.
+        """
+        granted = self.locks.acquire(txn.txn_id, resource, mode, now=self._clock())
+        if not granted:
+            self.stats["lock_timeouts"] += 1
+            txn.abort()
+            raise LockTimeoutError(
+                f"transaction {txn.txn_id} timed out waiting for {resource!r} "
+                "(presumed deadlock)"
+            )
+
+    def finish(self, txn: Transaction) -> None:
+        if txn.status is TransactionStatus.ACTIVE:
+            raise TransactionError("finish() called on an active transaction")
+        self._active.pop(txn.txn_id, None)
+        self.locks.release_all(txn.txn_id)
+        if txn.status is TransactionStatus.COMMITTED:
+            self.stats["committed"] += 1
+        else:
+            self.stats["aborted"] += 1
+
+    def sweep_timeouts(self) -> List[int]:
+        """Abort every waiter whose wait exceeded the timeout (the periodic
+        background check a real timeout-based detector runs)."""
+        victims = self.detector.victims(self.locks, self._clock())
+        aborted = []
+        for txn_id in victims:
+            txn = self._active.get(txn_id)
+            if txn is not None and txn.status is TransactionStatus.ACTIVE:
+                self.stats["lock_timeouts"] += 1
+                txn.abort()
+                aborted.append(txn_id)
+        return aborted
+
+    @property
+    def active_count(self) -> int:
+        return len(self._active)

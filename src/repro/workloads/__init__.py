@@ -1,0 +1,39 @@
+"""Workload generation: read traces, graph evolution, mixed traffic.
+
+The paper's experiments are "derived from real world workloads [LinkBench,
+Twitter analyses]": 1-hop traversals and single-record queries dominate,
+2-hop queries serve recommendation-style analytics, and write traffic
+evolves the graph (Section 5.1).  This package generates those operation
+streams, including the partition-hotspot skew the evaluation uses to
+trigger the repartitioner.
+"""
+
+from repro.workloads.queries import (
+    InsertEdge,
+    InsertVertex,
+    Operation,
+    ReadVertex,
+    Traversal,
+)
+from repro.workloads.traces import (
+    TraceConfig,
+    hotspot_trace,
+    uniform_trace,
+    zipf_trace,
+)
+from repro.workloads.writes import GraphEvolution
+from repro.workloads.mixed import mixed_trace
+
+__all__ = [
+    "Operation",
+    "ReadVertex",
+    "Traversal",
+    "InsertVertex",
+    "InsertEdge",
+    "TraceConfig",
+    "uniform_trace",
+    "hotspot_trace",
+    "zipf_trace",
+    "GraphEvolution",
+    "mixed_trace",
+]

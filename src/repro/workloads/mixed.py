@@ -1,0 +1,46 @@
+"""Mixed read/write traces (Figure 10's workload).
+
+The mixed experiments "insert data through random write traffic" at a
+configured write percentage (10/20/30%) with the remainder being reads.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, Optional, Sequence
+
+from repro.exceptions import WorkloadError
+from repro.graph.adjacency import SocialGraph
+from repro.workloads.queries import Operation, Traversal
+from repro.workloads.writes import GraphEvolution
+
+
+def mixed_trace(
+    graph: SocialGraph,
+    num_operations: int,
+    write_fraction: float,
+    hops: int = 1,
+    start_population: Optional[Sequence[int]] = None,
+    seed: Optional[int] = None,
+) -> Iterator[Operation]:
+    """Interleave traversal reads with graph-evolution writes.
+
+    ``start_population`` restricts the read starting points (defaults to
+    all vertices present when the trace is created; vertices inserted by
+    the trace itself also become read targets, as in a live system).
+    """
+    if not 0.0 <= write_fraction <= 1.0:
+        raise WorkloadError(f"write_fraction must be in [0, 1], got {write_fraction}")
+    if num_operations < 0:
+        raise WorkloadError("num_operations must be non-negative")
+    rng = random.Random(seed)
+    evolution = GraphEvolution(graph, seed=None if seed is None else seed + 1)
+    population = list(start_population or graph.vertices())
+    if not population and write_fraction < 1.0:
+        raise WorkloadError("no vertices to read from")
+    for _ in range(num_operations):
+        if rng.random() < write_fraction:
+            operation = evolution.next_operation()
+            yield operation
+        else:
+            yield Traversal(start=rng.choice(population), hops=hops)

@@ -1,0 +1,43 @@
+"""Operation types a client can submit to the cluster."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Union
+
+
+@dataclass(frozen=True)
+class ReadVertex:
+    """Single-record query: fetch one user's record."""
+
+    vertex: int
+
+
+@dataclass(frozen=True)
+class Traversal:
+    """k-hop traversal from a start vertex (k=1 for feed-style reads,
+    k=2 for recommendation-style analytics)."""
+
+    start: int
+    hops: int = 1
+
+
+@dataclass(frozen=True)
+class InsertVertex:
+    """A new user joins the network."""
+
+    vertex: int
+    weight: float = 1.0
+    properties: Optional[Dict[str, Any]] = None
+
+
+@dataclass(frozen=True)
+class InsertEdge:
+    """Two users connect."""
+
+    u: int
+    v: int
+    properties: Optional[Dict[str, Any]] = None
+
+
+Operation = Union[ReadVertex, Traversal, InsertVertex, InsertEdge]

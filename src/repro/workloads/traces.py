@@ -1,0 +1,108 @@
+"""Read traffic traces: uniform, Zipf, and partition-hotspot skew.
+
+The evaluation's key workload shift (Section 5.3.1): "the users on one
+partition are randomly selected as starting points for traversals twice
+as many times as before, creating multiple hotspots on a partition."
+:func:`hotspot_trace` reproduces that exactly; :func:`uniform_trace` is
+the unskewed baseline and :func:`zipf_trace` models celebrity-heavy
+traffic (heavy-tailed vertex popularity).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence
+
+from repro.exceptions import WorkloadError
+from repro.workloads.queries import Operation, Traversal
+
+
+@dataclass(frozen=True)
+class TraceConfig:
+    """Common knobs of the read traces."""
+
+    num_queries: int = 1000
+    hops: int = 1
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.num_queries < 0:
+            raise WorkloadError("num_queries must be non-negative")
+        if self.hops < 0:
+            raise WorkloadError("hops must be non-negative")
+
+
+def uniform_trace(
+    vertices: Sequence[int], config: TraceConfig = TraceConfig()
+) -> Iterator[Operation]:
+    """Traversals with uniformly random start vertices."""
+    if not vertices:
+        raise WorkloadError("empty vertex population")
+    rng = random.Random(config.seed)
+    for _ in range(config.num_queries):
+        yield Traversal(start=rng.choice(vertices), hops=config.hops)
+
+
+def hotspot_trace(
+    vertices: Sequence[int],
+    hot_vertices: Sequence[int],
+    config: TraceConfig = TraceConfig(),
+    hot_multiplier: float = 2.0,
+) -> Iterator[Operation]:
+    """The paper's skewed trace: hot vertices drawn ``hot_multiplier``
+    times as often as they would be under uniform selection.
+
+    ``hot_vertices`` is typically the vertex set of one partition.
+    """
+    if not vertices:
+        raise WorkloadError("empty vertex population")
+    if hot_multiplier < 1.0:
+        raise WorkloadError("hot_multiplier must be >= 1")
+    hot = list(hot_vertices)
+    cold = [v for v in vertices if v not in set(hot)]
+    if not hot:
+        raise WorkloadError("empty hotspot set")
+    rng = random.Random(config.seed)
+    # Under uniform selection the hot set is hit with probability
+    # |hot| / |vertices|; the skew multiplies that probability.
+    hot_probability = min(1.0, hot_multiplier * len(hot) / len(vertices))
+    for _ in range(config.num_queries):
+        if cold and rng.random() >= hot_probability:
+            start = rng.choice(cold)
+        else:
+            start = rng.choice(hot)
+        yield Traversal(start=start, hops=config.hops)
+
+
+def zipf_trace(
+    vertices: Sequence[int],
+    config: TraceConfig = TraceConfig(),
+    exponent: float = 1.1,
+) -> Iterator[Operation]:
+    """Celebrity-skewed traffic: rank-r vertex drawn with P ~ r**-exponent."""
+    if not vertices:
+        raise WorkloadError("empty vertex population")
+    if exponent <= 0:
+        raise WorkloadError("exponent must be positive")
+    rng = random.Random(config.seed)
+    ranked: List[int] = list(vertices)
+    rng.shuffle(ranked)
+    weights = [1.0 / (rank**exponent) for rank in range(1, len(ranked) + 1)]
+    total = sum(weights)
+    cumulative = []
+    acc = 0.0
+    for weight in weights:
+        acc += weight / total
+        cumulative.append(acc)
+    for _ in range(config.num_queries):
+        point = rng.random()
+        # Binary search over the CDF.
+        lo, hi = 0, len(cumulative) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if cumulative[mid] < point:
+                lo = mid + 1
+            else:
+                hi = mid
+        yield Traversal(start=ranked[lo], hops=config.hops)

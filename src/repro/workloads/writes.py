@@ -1,0 +1,106 @@
+"""Graph evolution: the write side of the workload.
+
+Social networks evolve "towards community formation" (Section 3.3.2):
+new users join and attach preferentially near existing communities, and
+existing users befriend friends-of-friends.  :class:`GraphEvolution`
+generates insert operations with those dynamics against a live graph
+mirror, so each generated edge is valid at generation time.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Optional
+
+from repro.exceptions import WorkloadError
+from repro.graph.adjacency import SocialGraph
+from repro.workloads.queries import InsertEdge, InsertVertex, Operation
+
+
+class GraphEvolution:
+    """Stateful write-operation generator over a graph mirror.
+
+    The generator *does not mutate* the graph — the cluster applies each
+    operation, which updates the shared mirror; the generator re-reads it.
+    """
+
+    def __init__(
+        self,
+        graph: SocialGraph,
+        new_vertex_fraction: float = 0.2,
+        triadic_fraction: float = 0.6,
+        seed: Optional[int] = None,
+    ):
+        if not 0.0 <= new_vertex_fraction <= 1.0:
+            raise WorkloadError("new_vertex_fraction must be in [0, 1]")
+        if not 0.0 <= triadic_fraction <= 1.0:
+            raise WorkloadError("triadic_fraction must be in [0, 1]")
+        self.graph = graph
+        self.new_vertex_fraction = new_vertex_fraction
+        self.triadic_fraction = triadic_fraction
+        self._rng = random.Random(seed)
+        self._next_vertex = (max(graph.vertices(), default=-1)) + 1
+
+    # ------------------------------------------------------------------
+    def operations(self, count: int) -> Iterator[Operation]:
+        """Yield ``count`` write operations."""
+        for _ in range(count):
+            yield self.next_operation()
+
+    def next_operation(self) -> Operation:
+        if (
+            self.graph.num_vertices < 2
+            or self._rng.random() < self.new_vertex_fraction
+        ):
+            return self._new_vertex()
+        edge = self._new_edge()
+        if edge is None:
+            return self._new_vertex()
+        return edge
+
+    # ------------------------------------------------------------------
+    def _new_vertex(self) -> InsertVertex:
+        vertex = self._next_vertex
+        self._next_vertex += 1
+        return InsertVertex(vertex=vertex, weight=1.0)
+
+    def _new_edge(self) -> Optional[InsertEdge]:
+        """Triadic closure when possible, otherwise a random pair."""
+        if self._rng.random() < self.triadic_fraction:
+            edge = self._triadic_edge()
+            if edge is not None:
+                return edge
+        return self._random_edge()
+
+    def _triadic_edge(self) -> Optional[InsertEdge]:
+        vertices = self._sample_vertices(8)
+        for u in vertices:
+            neighbors = list(self.graph.neighbors(u))
+            if not neighbors:
+                continue
+            via = self._rng.choice(neighbors)
+            candidates = [
+                w
+                for w in self.graph.neighbors(via)
+                if w != u and not self.graph.has_edge(u, w)
+            ]
+            if candidates:
+                return InsertEdge(u=u, v=self._rng.choice(candidates))
+        return None
+
+    def _random_edge(self) -> Optional[InsertEdge]:
+        for _ in range(16):
+            pair: List[int] = self._sample_vertices(2)
+            if len(pair) < 2:
+                return None
+            u, v = pair
+            if u != v and not self.graph.has_edge(u, v):
+                return InsertEdge(u=u, v=v)
+        return None
+
+    def _sample_vertices(self, count: int) -> List[int]:
+        population = list(self.graph.vertices())
+        if not population:
+            return []
+        count = min(count, len(population))
+        return self._rng.sample(population, count)

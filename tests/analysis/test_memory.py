@@ -1,0 +1,25 @@
+"""Tests for the memory-footprint estimators (Section 5.3 claim)."""
+
+from repro.analysis.memory import auxiliary_memory_bytes, multilevel_memory_bytes
+from repro.core.auxiliary import AuxiliaryData
+from repro.graph.generators import orkut_like
+from repro.partitioning.hashing import HashPartitioner
+
+
+class TestEstimators:
+    def test_multilevel_scales_with_edges(self):
+        small = orkut_like(n=200, seed=1).graph
+        dense = orkut_like(n=400, seed=1).graph
+        assert multilevel_memory_bytes(dense) > multilevel_memory_bytes(small)
+
+    def test_auxiliary_much_smaller_on_dense_graphs(self):
+        graph = orkut_like(n=400, seed=2).graph
+        partitioning = HashPartitioner().partition(graph, 4)
+        aux = AuxiliaryData.from_graph(graph, partitioning)
+        assert multilevel_memory_bytes(graph) > 3 * auxiliary_memory_bytes(aux)
+
+    def test_auxiliary_bytes_positive(self):
+        graph = orkut_like(n=100, seed=3).graph
+        partitioning = HashPartitioner().partition(graph, 2)
+        aux = AuxiliaryData.from_graph(graph, partitioning)
+        assert auxiliary_memory_bytes(aux) > 0

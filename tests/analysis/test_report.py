@@ -1,0 +1,91 @@
+"""Tests for table rendering and formatting helpers."""
+
+import pytest
+
+from repro.analysis.report import Table, format_float, format_percent
+
+
+class TestFormatting:
+    def test_percent(self):
+        assert format_percent(0.1234) == "12.3%"
+        assert format_percent(0.1234, digits=0) == "12%"
+
+    def test_float(self):
+        assert format_float(3.14159) == "3.14"
+        assert format_float(3.14159, digits=4) == "3.1416"
+
+
+class TestTable:
+    def test_render(self):
+        table = Table("Title", ["a", "bb"])
+        table.add_row("x", 1)
+        table.add_row("longer", 22)
+        text = table.to_text()
+        lines = text.splitlines()
+        assert lines[0] == "Title"
+        assert lines[1] == "====="
+        assert "a" in lines[2] and "bb" in lines[2]
+        assert "longer" in text and "22" in text
+
+    def test_column_count_enforced(self):
+        table = Table("T", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row("only-one")
+
+    def test_footnotes(self):
+        table = Table("T", ["a"])
+        table.add_row("x")
+        table.add_footnote("a note")
+        assert "* a note" in table.to_text()
+
+    def test_alignment(self):
+        table = Table("T", ["col"])
+        table.add_row("short")
+        table.add_row("much longer cell")
+        lines = table.to_text().splitlines()
+        header = lines[2]
+        assert header.startswith("col")
+
+    def test_str(self):
+        table = Table("T", ["a"])
+        assert str(table) == table.to_text()
+
+
+class TestBarChart:
+    def test_render_scales_to_peak(self):
+        from repro.analysis.report import BarChart
+
+        chart = BarChart("T", width=10)
+        chart.add_bar("a", 10)
+        chart.add_bar("b", 5)
+        lines = chart.to_text().splitlines()
+        assert lines[2].count("#") == 10
+        assert lines[3].count("#") == 5
+        assert "10" in lines[2]
+
+    def test_custom_display(self):
+        from repro.analysis.report import BarChart
+
+        chart = BarChart("T")
+        chart.add_bar("a", 0.5, display="50%")
+        assert "50%" in chart.to_text()
+
+    def test_empty(self):
+        from repro.analysis.report import BarChart
+
+        assert "(no data)" in BarChart("T").to_text()
+
+    def test_validation(self):
+        from repro.analysis.report import BarChart
+
+        with pytest.raises(ValueError):
+            BarChart("T", width=2)
+        with pytest.raises(ValueError):
+            BarChart("T").add_bar("a", -1)
+
+    def test_zero_values_ok(self):
+        from repro.analysis.report import BarChart
+
+        chart = BarChart("T")
+        chart.add_bar("a", 0)
+        assert "a" in chart.to_text()

@@ -1,0 +1,56 @@
+"""Tests for the vertex -> server catalog."""
+
+import pytest
+
+from repro.cluster.catalog import Catalog
+from repro.exceptions import CatalogError
+from repro.partitioning.base import Partitioning
+
+
+class TestCatalog:
+    def test_register_lookup(self):
+        catalog = Catalog(3)
+        catalog.register(7, 2)
+        assert catalog.lookup(7) == 2
+        assert 7 in catalog
+
+    def test_lookup_missing(self):
+        catalog = Catalog(3)
+        with pytest.raises(CatalogError):
+            catalog.lookup(7)
+        assert 7 not in catalog
+
+    def test_move(self):
+        catalog = Catalog(3)
+        catalog.register(7, 0)
+        assert catalog.move(7, 2) == 0
+        assert catalog.lookup(7) == 2
+        assert 7 in catalog.vertices_on(2)
+
+    def test_unregister(self):
+        catalog = Catalog(2)
+        catalog.register(1, 1)
+        assert catalog.unregister(1) == 1
+        assert 1 not in catalog
+
+    def test_from_partitioning_is_a_copy(self):
+        partitioning = Partitioning.from_mapping({1: 0, 2: 1})
+        catalog = Catalog.from_partitioning(partitioning)
+        catalog.move(1, 1)
+        assert partitioning.partition_of(1) == 0
+
+    def test_snapshot_is_independent(self):
+        catalog = Catalog(2)
+        catalog.register(1, 0)
+        snapshot = catalog.snapshot()
+        catalog.move(1, 1)
+        assert snapshot.partition_of(1) == 0
+
+    def test_sizes_and_mapping(self):
+        catalog = Catalog(2)
+        catalog.register(1, 0)
+        catalog.register(2, 0)
+        catalog.register(3, 1)
+        assert catalog.sizes() == [2, 1]
+        assert catalog.as_mapping() == {1: 0, 2: 0, 3: 1}
+        assert sorted(catalog.vertices()) == [1, 2, 3]

@@ -1,0 +1,163 @@
+"""Integration tests for the HermesCluster facade."""
+
+import pytest
+
+from repro.cluster.hermes import HermesCluster
+from repro.core.config import RepartitionerConfig
+from repro.exceptions import ClusterError
+from repro.graph.generators import community_graph
+from repro.partitioning.hashing import HashPartitioner
+from repro.partitioning.multilevel import MultilevelPartitioner
+from tests.conftest import make_random_graph
+
+
+class TestLoading:
+    def test_load_is_consistent(self, small_cluster):
+        small_cluster.validate()
+        assert small_cluster.graph.num_vertices == 20
+
+    def test_double_load_rejected(self, small_cluster, small_graph):
+        with pytest.raises(ClusterError):
+            small_cluster.load(small_graph, HashPartitioner().partition(small_graph, 3))
+
+    def test_ghosts_present_for_cut_edges(self, small_cluster):
+        cut_edges = [
+            (u, v)
+            for u, v in small_cluster.graph.edges()
+            if small_cluster.catalog.lookup(u) != small_cluster.catalog.lookup(v)
+        ]
+        assert cut_edges  # hash partitioning certainly cuts something
+        u, v = cut_edges[0]
+        host_u = small_cluster.catalog.lookup(u)
+        host_v = small_cluster.catalog.lookup(v)
+        assert v in small_cluster.servers[host_u].store.neighbors(u)
+        assert u in small_cluster.servers[host_v].store.neighbors(v)
+
+
+class TestReadPath:
+    def test_traverse_updates_weights(self, small_cluster):
+        start = next(iter(small_cluster.graph.vertices()))
+        before = small_cluster.graph.weight(start)
+        result = small_cluster.traverse(start, hops=1)
+        assert start in result.response
+        assert small_cluster.graph.weight(start) == before + 1.0
+        small_cluster.validate()
+
+    def test_read_vertex(self, small_cluster):
+        vertex = next(iter(small_cluster.graph.vertices()))
+        props, cost = small_cluster.read_vertex(vertex)
+        assert props == {}
+        assert cost > 0
+        assert small_cluster.now >= cost
+
+    def test_clock_advances(self, small_cluster):
+        before = small_cluster.now
+        small_cluster.traverse(0, hops=1)
+        assert small_cluster.now > before
+
+
+class TestWritePath:
+    def test_add_vertex(self, small_cluster):
+        cost = small_cluster.add_vertex(1000, weight=2.0)
+        assert cost > 0
+        assert 1000 in small_cluster.catalog
+        home = small_cluster.catalog.lookup(1000)
+        assert small_cluster.servers[home].store.has_node(1000)
+        small_cluster.validate()
+
+    def test_add_duplicate_vertex(self, small_cluster):
+        with pytest.raises(ClusterError):
+            small_cluster.add_vertex(0)
+
+    def test_add_edge_local_and_remote(self, small_cluster):
+        small_cluster.add_vertex(1000)
+        small_cluster.add_vertex(1001)
+        small_cluster.add_edge(1000, 1001)
+        assert small_cluster.graph.has_edge(1000, 1001)
+        small_cluster.validate()
+
+    def test_add_duplicate_edge(self, small_cluster):
+        u, v = next(iter(small_cluster.graph.edges()))
+        with pytest.raises(ClusterError):
+            small_cluster.add_edge(u, v)
+
+    def test_writes_update_aux(self, small_cluster):
+        small_cluster.add_vertex(1000)
+        small_cluster.add_vertex(1001)
+        small_cluster.add_edge(1000, 1001)
+        home = small_cluster.catalog.lookup(1001)
+        assert small_cluster.aux.neighbor_count(1000, home) == 1
+
+
+class TestRebalance:
+    def test_trigger_fires_after_hotspot(self, small_cluster):
+        assert not small_cluster.check_trigger().should_repartition or True
+        for vertex in list(small_cluster.catalog.vertices_on(0)):
+            small_cluster.graph.set_weight(vertex, 10.0)
+            small_cluster.aux.set_weight(vertex, 10.0)
+        decision = small_cluster.check_trigger()
+        assert decision.should_repartition
+        assert 0 in decision.overloaded
+
+    def test_rebalance_none_when_balanced(self):
+        graph = make_random_graph(30, 60, seed=5)
+        cluster = HermesCluster.from_graph(
+            graph, num_servers=3, partitioner=MultilevelPartitioner(seed=1),
+            repartitioner=RepartitionerConfig(k=2),
+        )
+        if not cluster.check_trigger().should_repartition:
+            assert cluster.rebalance() is None
+
+    def test_rebalance_restores_balance_and_consistency(self, small_cluster):
+        for vertex in list(small_cluster.catalog.vertices_on(0)):
+            small_cluster.graph.set_weight(vertex, 5.0)
+            small_cluster.aux.set_weight(vertex, 5.0)
+        before = small_cluster.imbalance()
+        outcome = small_cluster.rebalance()
+        assert outcome is not None
+        result, report = outcome
+        assert small_cluster.imbalance() <= before
+        assert report.vertices_moved == result.vertices_moved
+        small_cluster.validate()
+
+    def test_forced_rebalance_improves_cut(self):
+        graph = community_graph(200, seed=6)
+        cluster = HermesCluster.from_graph(
+            graph,
+            num_servers=4,
+            partitioner=HashPartitioner(),
+            repartitioner=RepartitionerConfig(k=3),
+        )
+        before = cluster.edge_cut()
+        outcome = cluster.rebalance(force=True)
+        assert outcome is not None
+        assert cluster.edge_cut() < before
+        cluster.validate()
+
+    def test_repartition_static_matches_partitioner(self):
+        graph = community_graph(150, seed=7)
+        cluster = HermesCluster.from_graph(
+            graph, num_servers=3, partitioner=HashPartitioner()
+        )
+        partitioner = MultilevelPartitioner(seed=2)
+        expected = partitioner.partition(cluster.graph, 3)
+        cluster.repartition_static(partitioner)
+        assert cluster.partitioning() == expected
+        cluster.validate()
+
+
+class TestMetrics:
+    def test_edge_cut_fraction(self, small_cluster):
+        fraction = small_cluster.edge_cut_fraction()
+        assert 0.0 <= fraction <= 1.0
+        assert small_cluster.edge_cut() == round(
+            fraction * small_cluster.graph.num_edges
+        )
+
+    def test_storage_stats_per_server(self, small_cluster):
+        stats = small_cluster.storage_stats()
+        assert len(stats) == 3
+        assert sum(s.num_nodes for s in stats) == 20
+
+    def test_repr(self, small_cluster):
+        assert "HermesCluster" in repr(small_cluster)

@@ -1,0 +1,187 @@
+"""Tests for the two-step physical migration protocol, including the
+tricky relationship-role cases (ghost/primary reassignment)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.hermes import HermesCluster
+from repro.core.config import RepartitionerConfig
+from repro.core.migration import build_migration_plan
+from repro.graph.adjacency import SocialGraph
+from repro.partitioning.base import Partitioning
+from repro.partitioning.hashing import HashPartitioner
+from tests.conftest import make_random_graph
+
+
+def build_cluster(graph, placement, num_servers=3):
+    partitioning = Partitioning.from_mapping(placement, num_partitions=num_servers)
+    return HermesCluster.from_graph(
+        graph, num_servers=num_servers, partitioning=partitioning
+    )
+
+
+def migrate(cluster, moves):
+    plan = build_migration_plan(moves)
+    # Keep aux in sync (phase 1 normally does this).
+    for vertex, (_, target) in moves.items():
+        cluster.aux.apply_move(vertex, target, cluster.graph.neighbors(vertex))
+    return cluster._executor.execute(plan)
+
+
+class TestSingleMoves:
+    def test_move_isolated_vertex(self):
+        graph = SocialGraph()
+        for v in range(3):
+            graph.add_vertex(v)
+        cluster = build_cluster(graph, {0: 0, 1: 1, 2: 2})
+        report = migrate(cluster, {0: (0, 1)})
+        assert report.vertices_moved == 1
+        assert cluster.catalog.lookup(0) == 1
+        assert cluster.servers[1].store.has_node(0)
+        assert not cluster.servers[0].store.has_node(0)
+        cluster.validate()
+
+    def test_local_edge_becomes_cross_partition(self):
+        """Moving one endpoint away must leave a counterpart record for
+        the staying endpoint and create the right ghost/primary roles."""
+        graph = SocialGraph.from_edges([(0, 1)])
+        cluster = build_cluster(graph, {0: 0, 1: 0})
+        migrate(cluster, {0: (0, 1)})
+        # src (vertex 0) now lives on server 1 -> primary there, ghost on 0.
+        cluster.validate()
+        assert cluster.servers[1].store.neighbors(0) == [1]
+        assert cluster.servers[0].store.neighbors(1) == [0]
+
+    def test_cross_partition_edge_collapses_to_local(self):
+        graph = SocialGraph.from_edges([(0, 1)])
+        cluster = build_cluster(graph, {0: 0, 1: 1})
+        migrate(cluster, {0: (0, 1)})
+        cluster.validate()
+        store = cluster.servers[1].store
+        assert store.neighbors(0) == [1]
+        assert store.neighbors(1) == [0]
+        # A single, non-ghost record remains.
+        entry = next(iter(store.neighbor_entries(0)))
+        assert not entry.ghost
+
+    def test_third_party_endpoint_untouched(self):
+        """Edge (0, 1) with 1 on server C; 0 moves A -> B; C keeps its
+        counterpart and the rel ID is stable everywhere."""
+        graph = SocialGraph.from_edges([(0, 1)])
+        cluster = build_cluster(graph, {0: 0, 1: 2})
+        rel_before = cluster.servers[2].store.neighbor_entries(1)
+        rel_id_before = next(iter(rel_before)).rel_id
+        migrate(cluster, {0: (0, 1)})
+        cluster.validate()
+        entries = list(cluster.servers[2].store.neighbor_entries(1))
+        assert entries[0].rel_id == rel_id_before
+
+    def test_properties_travel_with_primary(self):
+        graph = SocialGraph.from_edges([(0, 1)])
+        cluster = build_cluster(graph, {0: 0, 1: 0})
+        host = cluster.servers[0].store
+        rel_id = next(iter(host.neighbor_entries(0))).rel_id
+        host.set_relationship_property(rel_id, "since", 2015)
+        migrate(cluster, {0: (0, 1)})
+        # vertex 0 is the src: the primary (with properties) moved with it.
+        assert (
+            cluster.servers[1].store.get_relationship_property(rel_id, "since")
+            == 2015
+        )
+        # The stayer's copy is a ghost with no properties.
+        assert cluster.servers[0].store.relationship(rel_id).ghost
+
+    def test_node_properties_travel(self):
+        graph = SocialGraph()
+        graph.add_vertex(0)
+        graph.add_vertex(1)
+        cluster = build_cluster(graph, {0: 0, 1: 1})
+        cluster.servers[0].store.set_node_property(0, "name", "zero")
+        migrate(cluster, {0: (0, 2)})
+        assert cluster.servers[2].store.node_properties(0) == {"name": "zero"}
+
+
+class TestConcurrentMoves:
+    def test_both_endpoints_move_to_same_server(self):
+        graph = SocialGraph.from_edges([(0, 1)])
+        cluster = build_cluster(graph, {0: 0, 1: 1})
+        migrate(cluster, {0: (0, 2), 1: (1, 2)})
+        cluster.validate()
+        store = cluster.servers[2].store
+        assert store.neighbors(0) == [1]
+        assert store.neighbors(1) == [0]
+
+    def test_both_endpoints_move_to_same_server_with_properties(self):
+        graph = SocialGraph.from_edges([(0, 1)])
+        cluster = build_cluster(graph, {0: 0, 1: 1})
+        host = cluster.servers[0].store
+        rel_id = next(iter(host.neighbor_entries(0))).rel_id
+        host.set_relationship_property(rel_id, "since", 2015)
+        migrate(cluster, {0: (0, 2), 1: (1, 2)})
+        cluster.validate()
+        assert (
+            cluster.servers[2].store.get_relationship_property(rel_id, "since")
+            == 2015
+        )
+
+    def test_endpoints_swap_servers(self):
+        graph = SocialGraph.from_edges([(0, 1)])
+        cluster = build_cluster(graph, {0: 0, 1: 1})
+        migrate(cluster, {0: (0, 1), 1: (1, 0)})
+        cluster.validate()
+
+    def test_chain_of_moves_same_source(self):
+        graph = SocialGraph.from_edges([(0, 1), (1, 2), (0, 2)])
+        cluster = build_cluster(graph, {0: 0, 1: 0, 2: 0})
+        migrate(cluster, {0: (0, 1), 1: (0, 2)})
+        cluster.validate()
+
+    def test_empty_plan(self):
+        graph = SocialGraph()
+        graph.add_vertex(0)
+        cluster = build_cluster(graph, {0: 0})
+        report = migrate(cluster, {})
+        assert report.vertices_moved == 0
+        assert report.total_cost == 0.0
+
+
+class TestReporting:
+    def test_report_counts(self):
+        graph = SocialGraph.from_edges([(0, 1), (0, 2)])
+        cluster = build_cluster(graph, {0: 0, 1: 0, 2: 0})
+        report = migrate(cluster, {0: (0, 1)})
+        assert report.vertices_moved == 1
+        assert report.relationships_transferred == 2
+        assert report.bytes_transferred > 0
+        assert report.copy_cost > 0
+        assert report.barrier_cost > 0
+        assert report.per_target == {1: 1}
+
+
+@given(
+    st.integers(min_value=0, max_value=2**30),
+    st.integers(min_value=2, max_value=4),
+)
+@settings(max_examples=25, deadline=None)
+def test_random_migrations_keep_cluster_consistent(seed, num_servers):
+    """Random graphs + random move sets must always pass the deep
+    cross-layer validation."""
+    rng = random.Random(seed)
+    graph = make_random_graph(14, 24, seed=seed % 1000)
+    cluster = HermesCluster.from_graph(
+        graph,
+        num_servers=num_servers,
+        partitioner=HashPartitioner(salt=seed % 7),
+    )
+    moves = {}
+    for vertex in list(graph.vertices()):
+        if rng.random() < 0.4:
+            source = cluster.catalog.lookup(vertex)
+            target = rng.randrange(num_servers)
+            if target != source:
+                moves[vertex] = (source, target)
+    migrate(cluster, moves)
+    cluster.validate()

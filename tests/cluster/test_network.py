@@ -1,0 +1,50 @@
+"""Tests for the simulated network cost model."""
+
+import pytest
+
+from repro.cluster.network import NetworkConfig, SimulatedNetwork
+from repro.exceptions import ClusterError
+
+
+class TestCosts:
+    def test_local_visit_cost(self):
+        network = SimulatedNetwork(4)
+        assert network.local_visit() == network.config.local_visit_cost
+
+    def test_remote_hop_counts_message(self):
+        network = SimulatedNetwork(4)
+        cost = network.remote_hop(0, 1)
+        assert cost == network.config.remote_hop_cost
+        assert network.stats.messages == 1
+        assert network.stats.per_link[(0, 1)] == 1
+
+    def test_same_server_hop_is_free(self):
+        network = SimulatedNetwork(4)
+        assert network.remote_hop(2, 2) == 0.0
+        assert network.stats.messages == 0
+
+    def test_transfer_scales_with_size(self):
+        network = SimulatedNetwork(4)
+        small = network.transfer(0, 1, 100)
+        large = network.transfer(0, 1, 100_000)
+        assert large > small
+        assert network.stats.bytes_sent == 100_100
+
+    def test_broadcast_reaches_everyone_else(self):
+        network = SimulatedNetwork(4)
+        cost = network.broadcast(0)
+        assert cost == pytest.approx(3 * network.config.remote_hop_cost)
+        assert network.stats.messages == 3
+
+    def test_validation(self):
+        with pytest.raises(ClusterError):
+            SimulatedNetwork(0)
+        network = SimulatedNetwork(2)
+        with pytest.raises(ClusterError):
+            network.remote_hop(0, 5)
+
+    def test_custom_config(self):
+        config = NetworkConfig(local_visit_cost=1.0, remote_hop_cost=10.0)
+        network = SimulatedNetwork(2, config)
+        assert network.local_visit() == 1.0
+        assert network.remote_hop(0, 1) == 10.0

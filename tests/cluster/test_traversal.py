@@ -1,0 +1,92 @@
+"""Tests for the distributed traversal engine."""
+
+import pytest
+
+from repro.cluster.catalog import Catalog
+from repro.cluster.network import NetworkConfig, SimulatedNetwork
+from repro.cluster.server import HermesServer
+from repro.cluster.traversal import TraversalEngine
+
+
+def build_two_server_path():
+    """Vertices 0-1 on server 0; 2-3 on server 1; path 0-1-2-3."""
+    servers = [HermesServer(i, 2) for i in range(2)]
+    catalog = Catalog(2)
+    placement = {0: 0, 1: 0, 2: 1, 3: 1}
+    for vertex, server in placement.items():
+        servers[server].store.create_node(vertex)
+        catalog.register(vertex, server)
+    edges = [(0, 1), (1, 2), (2, 3)]
+    rel_id = 0
+    for u, v in edges:
+        primary = catalog.lookup(u)
+        servers[primary].store.create_relationship(rel_id, u, v)
+        other = catalog.lookup(v)
+        if other != primary:
+            servers[other].store.create_relationship(rel_id, u, v, ghost=True)
+        rel_id += 1
+    network = SimulatedNetwork(2)
+    return TraversalEngine(servers, catalog, network), servers, catalog, network
+
+
+class TestOneHop:
+    def test_local_one_hop(self):
+        engine, _, _, network = build_two_server_path()
+        result = engine.traverse(0, hops=1)
+        assert set(result.response) == {0, 1}
+        assert result.processed == 2
+        assert result.remote_hops == 0
+        assert result.response_processed_ratio == 1.0
+
+    def test_cross_partition_one_hop(self):
+        engine, _, _, _ = build_two_server_path()
+        result = engine.traverse(1, hops=1)
+        assert set(result.response) == {0, 1, 2}
+        # One cut edge followed: 1 (server 0) -> 2 (server 1).
+        assert result.remote_hops == 1
+
+    def test_zero_hop_is_point_read(self):
+        engine, _, _, _ = build_two_server_path()
+        result = engine.traverse(2, hops=0)
+        assert set(result.response) == {2}
+        assert result.processed == 1
+
+    def test_cost_increases_with_remote(self):
+        engine, _, _, _ = build_two_server_path()
+        local = engine.traverse(0, hops=1).cost
+        crossing = engine.traverse(1, hops=1).cost
+        assert crossing > local
+
+
+class TestTwoHop:
+    def test_two_hop_reaches_further(self):
+        engine, _, _, _ = build_two_server_path()
+        result = engine.traverse(0, hops=2)
+        assert set(result.response) == {0, 1, 2}
+
+    def test_two_hop_revisits_counted(self):
+        """In a triangle, a 2-hop traversal reaches vertices along multiple
+        paths; processed counts each arrival (paper Section 5.3.2)."""
+        servers = [HermesServer(0, 1)]
+        catalog = Catalog(1)
+        for v in range(3):
+            servers[0].store.create_node(v)
+            catalog.register(v, 0)
+        rel = 0
+        for u, v in ((0, 1), (1, 2), (0, 2)):
+            servers[0].store.create_relationship(rel, u, v)
+            rel += 1
+        engine = TraversalEngine(servers, catalog, SimulatedNetwork(1))
+        result = engine.traverse(0, hops=2)
+        assert set(result.response) == {0, 1, 2}
+        assert result.processed > len(result.response)
+        assert result.response_processed_ratio < 1.0
+
+
+class TestUnavailable:
+    def test_unavailable_vertex_skipped(self):
+        engine, servers, _, _ = build_two_server_path()
+        servers[1].store.set_available(2, False)
+        result = engine.traverse(1, hops=1)
+        assert 2 not in result.response
+        assert set(result.response) == {0, 1}

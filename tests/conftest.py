@@ -1,0 +1,75 @@
+"""Shared fixtures: small deterministic graphs, partitionings, clusters."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.cluster.hermes import HermesCluster
+from repro.core.config import RepartitionerConfig
+from repro.graph.adjacency import SocialGraph
+from repro.partitioning.base import Partitioning
+from repro.partitioning.hashing import HashPartitioner
+
+
+def make_random_graph(
+    num_vertices: int,
+    num_edges: int,
+    seed: int = 0,
+    max_weight: float = 1.0,
+) -> SocialGraph:
+    """Deterministic Erdos-Renyi-ish graph for structural tests."""
+    rng = random.Random(seed)
+    graph = SocialGraph()
+    for vertex in range(num_vertices):
+        weight = 1.0 if max_weight == 1.0 else rng.uniform(1.0, max_weight)
+        graph.add_vertex(vertex, weight=weight)
+    attempts = 0
+    while graph.num_edges < num_edges and attempts < 50 * num_edges:
+        attempts += 1
+        u = rng.randrange(num_vertices)
+        v = rng.randrange(num_vertices)
+        if u != v and not graph.has_edge(u, v):
+            graph.add_edge(u, v)
+    return graph
+
+
+@pytest.fixture
+def triangle_graph() -> SocialGraph:
+    """Three vertices in a triangle, unit weights."""
+    graph = SocialGraph()
+    for vertex in (0, 1, 2):
+        graph.add_vertex(vertex)
+    graph.add_edge(0, 1)
+    graph.add_edge(1, 2)
+    graph.add_edge(0, 2)
+    return graph
+
+
+@pytest.fixture
+def small_graph() -> SocialGraph:
+    """20 vertices, ~40 edges, unit weights."""
+    return make_random_graph(20, 40, seed=1)
+
+
+@pytest.fixture
+def medium_graph() -> SocialGraph:
+    """100 vertices, ~300 edges, unit weights."""
+    return make_random_graph(100, 300, seed=2)
+
+
+@pytest.fixture
+def small_partitioning(small_graph) -> Partitioning:
+    return HashPartitioner().partition(small_graph, 3)
+
+
+@pytest.fixture
+def small_cluster(small_graph) -> HermesCluster:
+    """A loaded 3-server cluster over the small graph."""
+    return HermesCluster.from_graph(
+        small_graph.copy(),
+        num_servers=3,
+        partitioner=HashPartitioner(),
+        repartitioner=RepartitionerConfig(k=2),
+    )

@@ -1,0 +1,206 @@
+"""Tests for AuxiliaryData — the repartitioner's only state."""
+
+import pytest
+
+from repro.core.auxiliary import AuxiliaryData
+from repro.exceptions import PartitioningError, VertexNotFoundError
+from repro.partitioning.base import Partitioning
+from repro.partitioning.hashing import HashPartitioner
+from repro.partitioning.metrics import edge_cut
+from tests.conftest import make_random_graph
+
+
+@pytest.fixture
+def aux_pair():
+    """A 30-vertex graph with its bootstrapped auxiliary data."""
+    graph = make_random_graph(30, 60, seed=3)
+    partitioning = HashPartitioner().partition(graph, 3)
+    return graph, partitioning, AuxiliaryData.from_graph(graph, partitioning)
+
+
+class TestBootstrap:
+    def test_counters_match_graph(self, aux_pair):
+        graph, partitioning, aux = aux_pair
+        for vertex in graph.vertices():
+            expected = {}
+            for nbr in graph.neighbors(vertex):
+                part = partitioning.partition_of(nbr)
+                expected[part] = expected.get(part, 0) + 1
+            assert dict(aux.neighbor_counts(vertex)) == expected
+            assert aux.degree(vertex) == graph.degree(vertex)
+
+    def test_partition_weights(self, aux_pair):
+        graph, partitioning, aux = aux_pair
+        for partition in range(3):
+            expected = sum(
+                graph.weight(v) for v in partitioning.vertices_in(partition)
+            )
+            assert aux.partition_weights[partition] == pytest.approx(expected)
+
+    def test_edge_cut_matches_metric(self, aux_pair):
+        graph, partitioning, aux = aux_pair
+        assert aux.edge_cut() == edge_cut(graph, partitioning)
+
+    def test_to_partitioning_roundtrip(self, aux_pair):
+        _, partitioning, aux = aux_pair
+        assert aux.to_partitioning() == partitioning
+
+
+class TestIncrementalMaintenance:
+    def test_add_edge_increments_two_integers(self, aux_pair):
+        graph, partitioning, aux = aux_pair
+        u, v = 0, 29
+        if graph.has_edge(u, v):
+            graph.remove_edge(u, v)
+            aux.remove_edge(u, v)
+        before_u = dict(aux.neighbor_counts(u))
+        aux.add_edge(u, v)
+        after_u = dict(aux.neighbor_counts(u))
+        pv = aux.partition_of(v)
+        assert after_u.get(pv, 0) == before_u.get(pv, 0) + 1
+
+    def test_remove_edge_inverse_of_add(self, aux_pair):
+        _, _, aux = aux_pair
+        before = dict(aux.neighbor_counts(5))
+        aux.add_edge(5, 6)
+        aux.remove_edge(5, 6)
+        assert dict(aux.neighbor_counts(5)) == before
+
+    def test_remove_edge_below_zero_rejected(self):
+        aux = AuxiliaryData(2)
+        aux.add_vertex(1, 0, 1.0)
+        aux.add_vertex(2, 1, 1.0)
+        with pytest.raises(PartitioningError):
+            aux.remove_edge(1, 2)
+
+    def test_weight_tracking(self, aux_pair):
+        _, _, aux = aux_pair
+        partition = aux.partition_of(3)
+        before = aux.partition_weights[partition]
+        aux.add_weight(3, 2.5)
+        assert aux.weight_of(3) == pytest.approx(3.5)
+        assert aux.partition_weights[partition] == pytest.approx(before + 2.5)
+
+    def test_set_weight(self, aux_pair):
+        _, _, aux = aux_pair
+        aux.set_weight(3, 10.0)
+        assert aux.weight_of(3) == 10.0
+
+    def test_add_remove_vertex(self):
+        aux = AuxiliaryData(2)
+        aux.add_vertex(1, 0, 2.0)
+        assert aux.partition_weights == [2.0, 0.0]
+        aux.remove_vertex(1)
+        assert aux.partition_weights == [0.0, 0.0]
+        with pytest.raises(VertexNotFoundError):
+            aux.partition_of(1)
+
+    def test_remove_vertex_with_edges_rejected(self):
+        aux = AuxiliaryData(2)
+        aux.add_vertex(1, 0, 1.0)
+        aux.add_vertex(2, 1, 1.0)
+        aux.add_edge(1, 2)
+        with pytest.raises(PartitioningError):
+            aux.remove_vertex(1)
+
+    def test_duplicate_vertex_rejected(self):
+        aux = AuxiliaryData(2)
+        aux.add_vertex(1, 0, 1.0)
+        with pytest.raises(PartitioningError):
+            aux.add_vertex(1, 1, 1.0)
+
+
+class TestLogicalMove:
+    def test_move_updates_everything(self, aux_pair):
+        graph, _, aux = aux_pair
+        vertex = 7
+        source = aux.partition_of(vertex)
+        target = (source + 1) % 3
+        weight = aux.weight_of(vertex)
+        source_before = aux.partition_weights[source]
+        target_before = aux.partition_weights[target]
+
+        returned = aux.apply_move(vertex, target, graph.neighbors(vertex))
+
+        assert returned == source
+        assert aux.partition_of(vertex) == target
+        assert aux.partition_weights[source] == pytest.approx(source_before - weight)
+        assert aux.partition_weights[target] == pytest.approx(target_before + weight)
+        assert vertex in aux.vertices_in(target)
+        assert vertex not in aux.vertices_in(source)
+
+    def test_move_updates_neighbor_counters(self, aux_pair):
+        graph, _, aux = aux_pair
+        vertex = 7
+        source = aux.partition_of(vertex)
+        target = (source + 1) % 3
+        neighbor = next(iter(graph.neighbors(vertex)))
+        before = dict(aux.neighbor_counts(neighbor))
+        aux.apply_move(vertex, target, graph.neighbors(vertex))
+        after = dict(aux.neighbor_counts(neighbor))
+        assert after.get(source, 0) == before.get(source, 0) - 1
+        assert after.get(target, 0) == before.get(target, 0) + 1
+
+    def test_noop_move(self, aux_pair):
+        graph, _, aux = aux_pair
+        source = aux.partition_of(7)
+        before = dict(aux.neighbor_counts(7))
+        aux.apply_move(7, source, graph.neighbors(7))
+        assert dict(aux.neighbor_counts(7)) == before
+
+    def test_move_consistency_against_rebuild(self, aux_pair):
+        """After arbitrary moves, counters must equal a fresh bootstrap."""
+        graph, partitioning, aux = aux_pair
+        import random
+
+        rng = random.Random(9)
+        for _ in range(40):
+            vertex = rng.randrange(30)
+            target = rng.randrange(3)
+            aux.apply_move(vertex, target, graph.neighbors(vertex))
+            partitioning.move(vertex, target)
+        fresh = AuxiliaryData.from_graph(graph, partitioning)
+        for vertex in graph.vertices():
+            assert dict(aux.neighbor_counts(vertex)) == dict(
+                fresh.neighbor_counts(vertex)
+            )
+        assert aux.partition_weights == pytest.approx(fresh.partition_weights)
+
+
+class TestBalanceQueries:
+    def test_imbalance_factor_with_delta(self):
+        aux = AuxiliaryData(2)
+        aux.add_vertex(1, 0, 6.0)
+        aux.add_vertex(2, 1, 4.0)
+        # average 5; partition 0 factor 1.2; removing the vertex -> 0
+        assert aux.imbalance_factor(0) == pytest.approx(1.2)
+        assert aux.imbalance_factor(0, -6.0) == pytest.approx(0.0)
+        assert aux.imbalance_factor(1, +6.0) == pytest.approx(2.0)
+
+    def test_overloaded_underloaded(self):
+        aux = AuxiliaryData(2)
+        aux.add_vertex(1, 0, 12.0)
+        aux.add_vertex(2, 1, 8.0)
+        assert aux.is_overloaded(0, epsilon=1.1)
+        assert aux.is_underloaded(1, epsilon=1.1)
+        assert not aux.is_overloaded(0, epsilon=1.5)
+
+    def test_empty_system(self):
+        aux = AuxiliaryData(3)
+        assert aux.max_imbalance() == 1.0
+        assert aux.average_weight() == 0.0
+
+    def test_memory_entries_sparse_bound(self, aux_pair):
+        """Sparse counters never exceed the dense n*alpha bound that
+        Theorem 2's amortized accounting is based on, nor 2m entries."""
+        graph, _, aux = aux_pair
+        counter_entries, weight_entries = aux.memory_entries()
+        assert counter_entries <= min(
+            2 * graph.num_edges, graph.num_vertices * aux.num_partitions
+        )
+        assert weight_entries == aux.num_partitions
+
+    def test_invalid_partition_index(self):
+        aux = AuxiliaryData(2)
+        with pytest.raises(PartitioningError):
+            aux.imbalance_factor(5)

@@ -1,0 +1,144 @@
+"""Tests for Algorithm 1 (target selection) and the gain function."""
+
+import pytest
+
+from repro.core.auxiliary import AuxiliaryData
+from repro.core.candidates import (
+    STAGE_ANY_DIRECTION,
+    STAGE_HIGH_TO_LOW,
+    STAGE_LOW_TO_HIGH,
+    direction_allows,
+    get_target_partition,
+)
+from repro.core.gain import gain
+
+
+def build_aux(num_partitions, vertices, edges):
+    """vertices: {vertex: (partition, weight)}; edges: [(u, v)]."""
+    aux = AuxiliaryData(num_partitions)
+    for vertex, (partition, weight) in vertices.items():
+        aux.add_vertex(vertex, partition, weight)
+    for u, v in edges:
+        aux.add_edge(u, v)
+    return aux
+
+
+class TestGain:
+    def test_gain_is_target_minus_source_degree(self):
+        aux = build_aux(
+            2,
+            {1: (0, 1.0), 2: (0, 1.0), 3: (1, 1.0), 4: (1, 1.0)},
+            [(1, 2), (1, 3), (1, 4)],
+        )
+        assert gain(aux, 1, 0, 1) == 2 - 1
+        assert gain(aux, 2, 0, 1) == 0 - 1
+
+    def test_gain_zero_for_isolated(self):
+        aux = build_aux(2, {1: (0, 1.0)}, [])
+        assert gain(aux, 1, 0, 1) == 0
+
+
+class TestDirectionRule:
+    def test_stage_one_low_to_high(self):
+        assert direction_allows(STAGE_LOW_TO_HIGH, 0, 1)
+        assert not direction_allows(STAGE_LOW_TO_HIGH, 1, 0)
+
+    def test_stage_two_high_to_low(self):
+        assert direction_allows(STAGE_HIGH_TO_LOW, 1, 0)
+        assert not direction_allows(STAGE_HIGH_TO_LOW, 0, 1)
+
+    def test_ablation_any_direction(self):
+        assert direction_allows(STAGE_ANY_DIRECTION, 0, 1)
+        assert direction_allows(STAGE_ANY_DIRECTION, 1, 0)
+        assert not direction_allows(STAGE_ANY_DIRECTION, 1, 1)
+
+
+class TestAlgorithm1:
+    def test_positive_gain_vertex_selected(self):
+        # Vertex 1 has 2 neighbors in partition 1, 0 in partition 0.
+        aux = build_aux(
+            2,
+            {1: (0, 1.0), 2: (0, 2.0), 3: (1, 1.0), 4: (1, 1.0), 5: (1, 1.0)},
+            [(1, 3), (1, 4)],
+        )
+        target, value = get_target_partition(aux, 1, STAGE_LOW_TO_HIGH, 1.5)
+        assert target == 1
+        assert value == 2
+
+    def test_direction_blocks_move(self):
+        aux = build_aux(
+            2,
+            {1: (0, 1.0), 2: (0, 1.0), 3: (1, 1.0), 4: (1, 1.0), 5: (1, 1.0)},
+            [(1, 3), (1, 4)],
+        )
+        target, _ = get_target_partition(aux, 1, STAGE_HIGH_TO_LOW, 1.5)
+        assert target is None
+
+    def test_no_move_without_positive_gain_when_balanced(self):
+        # Balanced partitions, vertex has equal neighbors both sides.
+        aux = build_aux(
+            2,
+            {1: (0, 1.0), 2: (0, 1.0), 3: (1, 1.0), 4: (1, 1.0)},
+            [(1, 2), (1, 3)],
+        )
+        target, _ = get_target_partition(aux, 1, STAGE_LOW_TO_HIGH, 1.5)
+        assert target is None
+
+    def test_overloaded_source_allows_negative_gain(self):
+        # Partition 0 weight 30 vs partition 1 weight 2: badly overloaded.
+        aux = build_aux(
+            2,
+            {1: (0, 10.0), 2: (0, 10.0), 3: (0, 10.0), 4: (1, 2.0)},
+            [(1, 2)],
+        )
+        # Vertex 1's only neighbor is internal: gain -1, but the source is
+        # overloaded so it is still a candidate.
+        target, value = get_target_partition(aux, 1, STAGE_LOW_TO_HIGH, 1.1)
+        assert target == 1
+        assert value == -1
+
+    def test_target_overload_blocks_move(self):
+        # Vertex 1 has positive gain toward partition 2, but partition 2
+        # is near the epsilon bound and adding the vertex would overload
+        # it; no other admissible target exists.
+        aux = build_aux(
+            3,
+            {
+                1: (0, 2.0),
+                2: (0, 2.0),
+                3: (0, 2.0),
+                4: (1, 2.0),
+                5: (2, 8.0),
+            },
+            [(1, 5)],
+        )
+        target, _ = get_target_partition(aux, 1, STAGE_LOW_TO_HIGH, 1.4)
+        assert target is None
+
+    def test_source_underload_blocks_move(self):
+        # Removing vertex 1 would underload partition 0 below (2-eps)*avg.
+        aux = build_aux(
+            2,
+            {1: (0, 5.0), 2: (1, 5.0), 3: (1, 1.0)},
+            [(1, 2)],
+        )
+        target, _ = get_target_partition(aux, 1, STAGE_LOW_TO_HIGH, 1.1)
+        assert target is None
+
+    def test_max_gain_target_chosen(self):
+        # Vertex 1: one neighbor in partition 1, two in partition 2.
+        aux = build_aux(
+            3,
+            {
+                1: (0, 1.0),
+                2: (0, 1.0),
+                3: (1, 1.0),
+                4: (2, 1.0),
+                5: (2, 1.0),
+                6: (1, 1.0),
+            },
+            [(1, 3), (1, 4), (1, 5)],
+        )
+        target, value = get_target_partition(aux, 1, STAGE_LOW_TO_HIGH, 1.9)
+        assert target == 2
+        assert value == 2

@@ -1,0 +1,51 @@
+"""Tests for migration-plan construction."""
+
+import pytest
+
+from repro.core.migration import MigrationPlan, VertexMove, build_migration_plan
+from repro.exceptions import PartitioningError
+
+
+class TestBuildPlan:
+    def test_from_moves_map(self):
+        plan = build_migration_plan({1: (0, 2), 2: (1, 0), 3: (0, 2)})
+        assert plan.num_moves == 3
+        assert {move.vertex for move in plan.moves} == {1, 2, 3}
+
+    def test_rejects_noop_moves(self):
+        with pytest.raises(PartitioningError):
+            build_migration_plan({1: (2, 2)})
+
+    def test_empty_plan(self):
+        plan = build_migration_plan({})
+        assert plan.num_moves == 0
+        assert plan.by_target() == {}
+
+
+class TestGrouping:
+    @pytest.fixture
+    def plan(self):
+        return build_migration_plan({1: (0, 2), 2: (1, 0), 3: (0, 2), 4: (2, 1)})
+
+    def test_incoming_outgoing(self, plan):
+        assert {m.vertex for m in plan.incoming(2)} == {1, 3}
+        assert {m.vertex for m in plan.outgoing(0)} == {1, 3}
+        assert {m.vertex for m in plan.incoming(1)} == {4}
+
+    def test_by_target(self, plan):
+        grouped = plan.by_target()
+        assert {m.vertex for m in grouped[2]} == {1, 3}
+        assert {m.vertex for m in grouped[0]} == {2}
+
+    def test_by_source(self, plan):
+        grouped = plan.by_source()
+        assert {m.vertex for m in grouped[0]} == {1, 3}
+        assert {m.vertex for m in grouped[2]} == {4}
+
+    def test_moves_sorted_by_target(self, plan):
+        targets = [move.target for move in plan.moves]
+        assert targets == sorted(targets)
+
+    def test_vertex_move_fields(self):
+        move = VertexMove(vertex=5, source=1, target=3)
+        assert (move.vertex, move.source, move.target) == (5, 1, 3)

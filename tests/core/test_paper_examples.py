@@ -1,0 +1,105 @@
+"""The paper's worked examples, as executable tests.
+
+* Figure 1 — the weblogger hotspot: vertex b becomes popular, partition 1
+  overloads, and the repartitioner migrates exactly the split-pattern
+  vertex e, restoring balance with minimal edge-cut damage.
+* Figure 2 — oscillation: with single-stage (any-direction) migration two
+  densely inter-connected groups swap forever; the two-stage rule
+  converges after a one-way merge.
+"""
+
+import pytest
+
+from repro.core.config import RepartitionerConfig
+from repro.core.repartitioner import LightweightRepartitioner
+from repro.experiments.ablations import oscillation_graph
+from repro.graph.adjacency import SocialGraph
+from repro.partitioning.base import Partitioning
+from repro.partitioning.metrics import edge_cut, partition_weights
+
+
+def figure1_graph():
+    """A graph consistent with Figure 1's description.
+
+    Partition 1 hosts a..e (weights 2,2,3,2,2), partition 2 hosts f..j
+    (2,3,2,2,2).  Vertices a-d have only internal neighbors; e has a
+    split access pattern (one neighbor in each partition); there is one
+    edge-cut (e-f).
+    """
+    vertices = "abcdefghij"
+    ids = {name: index for index, name in enumerate(vertices)}
+    graph = SocialGraph()
+    weights = {"a": 2, "b": 2, "c": 3, "d": 2, "e": 2, "f": 2, "g": 3, "h": 2, "i": 2, "j": 2}
+    for name in vertices:
+        graph.add_vertex(ids[name], weight=float(weights[name]))
+    edges = [
+        ("a", "b"), ("b", "c"), ("c", "d"), ("a", "d"), ("d", "e"),  # partition 1
+        ("f", "g"), ("g", "h"), ("h", "i"), ("i", "j"), ("f", "j"),  # partition 2
+        ("e", "f"),  # the single edge-cut
+    ]
+    for u, v in edges:
+        graph.add_edge(ids[u], ids[v])
+    partitioning = Partitioning(2)
+    for name in "abcde":
+        partitioning.assign(ids[name], 0)
+    for name in "fghij":
+        partitioning.assign(ids[name], 1)
+    return graph, partitioning, ids
+
+
+class TestFigure1:
+    def test_initial_state_matches_paper(self):
+        graph, partitioning, _ = figure1_graph()
+        assert partition_weights(graph, partitioning) == [11.0, 11.0]
+        assert edge_cut(graph, partitioning) == 1
+
+    def test_weblogger_spike_triggers_and_e_migrates(self):
+        graph, partitioning, ids = figure1_graph()
+        # "user b is a popular weblogger who posts a post": weight 2 -> 6.
+        graph.set_weight(ids["b"], 6.0)
+        # Partition 1 weight 15 vs average 13: ratio > epsilon = 1.1.
+        assert partition_weights(graph, partitioning)[0] == 15.0
+
+        config = RepartitionerConfig(epsilon=1.1, k=1)
+        result = LightweightRepartitioner(config).run(graph, partitioning)
+
+        # Exactly e migrates to partition 2; the load becomes 13 / 13.
+        assert result.moves == {ids["e"]: (0, 1)}
+        assert partition_weights(graph, partitioning) == [13.0, 13.0]
+        assert result.converged
+
+    def test_f_does_not_migrate_back(self):
+        """'vertex f will not be migrated since partition 1 has a higher
+        aggregate weight' — and after e's move the system is stable."""
+        graph, partitioning, ids = figure1_graph()
+        graph.set_weight(ids["b"], 6.0)
+        result = LightweightRepartitioner(RepartitionerConfig(k=1)).run(
+            graph, partitioning
+        )
+        assert ids["f"] not in result.moves
+        # Final edge-cut: e-d crosses now, e-f no longer does.
+        assert edge_cut(graph, partitioning) == 1
+
+
+class TestFigure2:
+    def test_two_stage_converges(self):
+        graph, partitioning = oscillation_graph(group_size=6)
+        config = RepartitionerConfig(
+            epsilon=1.9, k=6, two_stage=True, max_iterations=20, stall_iterations=None
+        )
+        result = LightweightRepartitioner(config).run(graph, partitioning)
+        assert result.converged
+        assert result.final_edge_cut < result.initial_edge_cut
+
+    def test_single_stage_oscillates(self):
+        graph, partitioning = oscillation_graph(group_size=6)
+        config = RepartitionerConfig(
+            epsilon=1.9, k=6, two_stage=False, max_iterations=20, stall_iterations=None
+        )
+        result = LightweightRepartitioner(config).run(graph, partitioning)
+        assert not result.converged
+        # The groups keep swapping: the cut never improves.
+        assert result.final_edge_cut >= result.initial_edge_cut
+        assert result.total_logical_migrations >= 10 * result.vertices_moved or (
+            result.total_logical_migrations > 100
+        )

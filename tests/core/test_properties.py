@@ -1,0 +1,99 @@
+"""Property-based tests (hypothesis) on the repartitioner's invariants."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.auxiliary import AuxiliaryData
+from repro.core.config import RepartitionerConfig
+from repro.core.repartitioner import LightweightRepartitioner
+from repro.graph.adjacency import SocialGraph
+from repro.partitioning.base import Partitioning
+from repro.partitioning.metrics import edge_cut, partition_weights
+
+
+@st.composite
+def graph_and_partitioning(draw):
+    """A random small graph with weights plus a random total assignment."""
+    num_vertices = draw(st.integers(min_value=4, max_value=24))
+    num_partitions = draw(st.integers(min_value=2, max_value=4))
+    seed = draw(st.integers(min_value=0, max_value=10**6))
+    rng = random.Random(seed)
+    graph = SocialGraph()
+    for vertex in range(num_vertices):
+        graph.add_vertex(vertex, weight=rng.choice([1.0, 1.0, 2.0, 3.0]))
+    for u in range(num_vertices):
+        for v in range(u + 1, num_vertices):
+            if rng.random() < 0.25:
+                graph.add_edge(u, v)
+    partitioning = Partitioning(num_partitions)
+    for vertex in range(num_vertices):
+        partitioning.assign(vertex, rng.randrange(num_partitions))
+    return graph, partitioning
+
+
+@given(graph_and_partitioning())
+@settings(max_examples=60, deadline=None)
+def test_aux_bootstrap_matches_direct_metrics(data):
+    graph, partitioning = data
+    aux = AuxiliaryData.from_graph(graph, partitioning)
+    assert aux.edge_cut() == edge_cut(graph, partitioning)
+    direct = partition_weights(graph, partitioning)
+    for partition in range(partitioning.num_partitions):
+        assert abs(aux.partition_weights[partition] - direct[partition]) < 1e-9
+
+
+@given(graph_and_partitioning(), st.integers(min_value=1, max_value=5))
+@settings(max_examples=40, deadline=None)
+def test_repartitioner_preserves_global_invariants(data, k):
+    graph, partitioning = data
+    aux = AuxiliaryData.from_graph(graph, partitioning)
+    total_weight = sum(aux.partition_weights)
+    config = RepartitionerConfig(k=k, max_iterations=30)
+    result = LightweightRepartitioner(config).run(graph, partitioning, aux=aux)
+
+    # 1. Total weight is conserved by migration.
+    assert abs(sum(aux.partition_weights) - total_weight) < 1e-9
+    # 2. The aux edge-cut agrees with a from-scratch recount.
+    assert aux.edge_cut() == edge_cut(graph, partitioning)
+    # 3. Every vertex remains assigned exactly once.
+    assert partitioning.num_vertices == graph.num_vertices
+    # 4. The reported final cut matches reality.
+    assert result.final_edge_cut == edge_cut(graph, partitioning)
+    # 5. The moves map is exact.
+    for vertex, (source, target) in result.moves.items():
+        assert partitioning.partition_of(vertex) == target
+        assert source != target
+
+
+@given(graph_and_partitioning())
+@settings(max_examples=40, deadline=None)
+def test_aux_counters_consistent_after_run(data):
+    """After a full run, every counter equals a fresh bootstrap's."""
+    graph, partitioning = data
+    aux = AuxiliaryData.from_graph(graph, partitioning)
+    LightweightRepartitioner(RepartitionerConfig(k=2, max_iterations=20)).run(
+        graph, partitioning, aux=aux
+    )
+    fresh = AuxiliaryData.from_graph(graph, partitioning)
+    for vertex in graph.vertices():
+        assert dict(aux.neighbor_counts(vertex)) == dict(fresh.neighbor_counts(vertex))
+
+
+@given(graph_and_partitioning())
+@settings(max_examples=30, deadline=None)
+def test_balanced_uniform_start_cut_monotone(data):
+    """With uniform weights and a balanced start, no overload shedding can
+    occur, so the per-iteration edge-cut must be non-increasing."""
+    graph, _ = data
+    for vertex in graph.vertices():
+        graph.set_weight(vertex, 1.0)
+    partitioning = Partitioning(2)
+    for index, vertex in enumerate(sorted(graph.vertices())):
+        partitioning.assign(vertex, index % 2)
+    result = LightweightRepartitioner(RepartitionerConfig(k=1)).run(
+        graph, partitioning
+    )
+    cuts = [result.initial_edge_cut] + [s.edge_cut for s in result.history]
+    assert all(b <= a for a, b in zip(cuts, cuts[1:]))

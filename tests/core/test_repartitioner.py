@@ -1,0 +1,169 @@
+"""Tests for Algorithm 2 and the repartitioner driver."""
+
+import pytest
+
+from repro.core.auxiliary import AuxiliaryData
+from repro.core.config import RepartitionerConfig
+from repro.core.repartitioner import LightweightRepartitioner
+from repro.exceptions import PartitioningError
+from repro.graph.adjacency import SocialGraph
+from repro.graph.generators import community_graph
+from repro.partitioning.base import Partitioning
+from repro.partitioning.hashing import HashPartitioner
+from repro.partitioning.metrics import edge_cut, imbalance_factor
+from tests.conftest import make_random_graph
+
+
+def balanced_round_robin(graph, num_partitions):
+    partitioning = Partitioning(num_partitions)
+    for index, vertex in enumerate(sorted(graph.vertices())):
+        partitioning.assign(vertex, index % num_partitions)
+    return partitioning
+
+
+class TestBasicRuns:
+    def test_improves_random_partitioning(self, medium_graph):
+        partitioning = balanced_round_robin(medium_graph, 4)
+        before = edge_cut(medium_graph, partitioning)
+        result = LightweightRepartitioner(RepartitionerConfig(k=3)).run(
+            medium_graph, partitioning
+        )
+        assert result.final_edge_cut < before
+        assert result.final_edge_cut == edge_cut(medium_graph, partitioning)
+
+    def test_cut_never_increases_from_balanced_start(self, medium_graph):
+        """Theorem 4's practical consequence: with a balanced start (no
+        overload shedding), the cut is monotonically non-increasing."""
+        partitioning = balanced_round_robin(medium_graph, 4)
+        result = LightweightRepartitioner(RepartitionerConfig(k=2)).run(
+            medium_graph, partitioning
+        )
+        cuts = [result.initial_edge_cut] + [s.edge_cut for s in result.history]
+        assert all(b <= a for a, b in zip(cuts, cuts[1:]))
+
+    def test_rebalances_overload(self):
+        """A hotspot partition must shed weight back into the epsilon band."""
+        graph = make_random_graph(60, 150, seed=4)
+        partitioning = balanced_round_robin(graph, 3)
+        for vertex in partitioning.vertices_in(0):
+            graph.set_weight(vertex, 3.0)
+        before = imbalance_factor(graph, partitioning)
+        assert before > 1.1
+        result = LightweightRepartitioner(RepartitionerConfig(k=2)).run(
+            graph, partitioning
+        )
+        assert result.final_imbalance < before
+        assert result.final_imbalance <= 1.2
+
+    def test_converged_flag_on_stable_input(self):
+        """A perfectly partitioned graph needs no moves at all."""
+        graph = SocialGraph.from_edges([(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)])
+        partitioning = Partitioning.from_mapping(
+            {0: 0, 1: 0, 2: 0, 3: 1, 4: 1, 5: 1}
+        )
+        result = LightweightRepartitioner(RepartitionerConfig(k=2)).run(
+            graph, partitioning
+        )
+        assert result.converged
+        assert result.iterations == 1
+        assert result.vertices_moved == 0
+        assert result.final_edge_cut == 0
+
+    def test_moves_map_matches_partitioning(self, medium_graph):
+        partitioning = balanced_round_robin(medium_graph, 4)
+        original = partitioning.copy()
+        result = LightweightRepartitioner(RepartitionerConfig(k=3)).run(
+            medium_graph, partitioning
+        )
+        for vertex, (source, target) in result.moves.items():
+            assert original.partition_of(vertex) == source
+            assert partitioning.partition_of(vertex) == target
+            assert source != target
+        unmoved = set(medium_graph.vertices()) - set(result.moves)
+        for vertex in unmoved:
+            assert original.partition_of(vertex) == partitioning.partition_of(vertex)
+
+    def test_weight_conserved(self, medium_graph):
+        partitioning = balanced_round_robin(medium_graph, 4)
+        aux = AuxiliaryData.from_graph(medium_graph, partitioning)
+        total_before = sum(aux.partition_weights)
+        LightweightRepartitioner(RepartitionerConfig(k=3)).run(
+            medium_graph, partitioning, aux=aux
+        )
+        assert sum(aux.partition_weights) == pytest.approx(total_before)
+
+    def test_accepts_prebuilt_aux(self, medium_graph):
+        partitioning = balanced_round_robin(medium_graph, 4)
+        aux = AuxiliaryData.from_graph(medium_graph, partitioning)
+        result = LightweightRepartitioner(RepartitionerConfig(k=3)).run(
+            medium_graph, partitioning, aux=aux
+        )
+        assert aux.edge_cut() == result.final_edge_cut
+
+    def test_rejects_mismatched_aux(self, medium_graph):
+        partitioning = balanced_round_robin(medium_graph, 4)
+        wrong_aux = AuxiliaryData(3)
+        with pytest.raises(PartitioningError):
+            LightweightRepartitioner().run(medium_graph, partitioning, aux=wrong_aux)
+
+    def test_on_iteration_callback(self, medium_graph):
+        partitioning = balanced_round_robin(medium_graph, 4)
+        seen = []
+        LightweightRepartitioner(RepartitionerConfig(k=3)).run(
+            medium_graph, partitioning, on_iteration=seen.append
+        )
+        assert seen
+        assert seen[0].iteration == 1
+        assert seen[-1].migrations == 0 or seen[-1].iteration >= 1
+
+
+class TestKBehavior:
+    def test_larger_k_fewer_iterations(self):
+        """The paper's Table 2 trend on a community graph."""
+        graph = community_graph(300, seed=5)
+        iterations = {}
+        for k in (2, 8, 24):
+            partitioning = HashPartitioner(salt=1).partition(graph, 4)
+            result = LightweightRepartitioner(
+                RepartitionerConfig(k=k, max_iterations=300)
+            ).run(graph, partitioning)
+            iterations[k] = result.iterations
+        # Strict monotonicity can wobble by an iteration between adjacent
+        # k values; the paper's trend is about the order of magnitude.
+        assert iterations[8] <= iterations[2]
+        assert iterations[24] <= iterations[2]
+        assert iterations[24] <= iterations[8] + 2
+
+    def test_k_caps_migrations_per_stage(self, medium_graph):
+        partitioning = balanced_round_robin(medium_graph, 4)
+        k = 2
+        result = LightweightRepartitioner(RepartitionerConfig(k=k)).run(
+            medium_graph, partitioning
+        )
+        # Two stages, four source partitions: at most 2*4*k per iteration.
+        for stats in result.history:
+            assert stats.migrations <= 2 * 4 * k
+
+
+class TestStallAndAblation:
+    def test_stall_detection_bounds_runtime(self):
+        graph = make_random_graph(80, 240, seed=6)
+        partitioning = balanced_round_robin(graph, 4)
+        config = RepartitionerConfig(k=8, max_iterations=500, stall_iterations=3)
+        result = LightweightRepartitioner(config).run(graph, partitioning)
+        assert result.converged or result.stalled
+        assert result.iterations < 500
+
+    def test_single_stage_ablation_runs(self, medium_graph):
+        partitioning = balanced_round_robin(medium_graph, 4)
+        config = RepartitionerConfig(k=3, two_stage=False, max_iterations=20)
+        result = LightweightRepartitioner(config).run(medium_graph, partitioning)
+        assert result.iterations <= 20
+
+    def test_history_records_every_iteration(self, medium_graph):
+        partitioning = balanced_round_robin(medium_graph, 4)
+        result = LightweightRepartitioner(RepartitionerConfig(k=3)).run(
+            medium_graph, partitioning
+        )
+        assert len(result.history) == result.iterations
+        assert result.total_logical_migrations >= result.vertices_moved

@@ -1,0 +1,208 @@
+"""Tests for the per-server sharded auxiliary data.
+
+The headline property: the lightweight repartitioner produces *identical*
+results whether its auxiliary data is centralized or sharded per server —
+which is the substance of the paper's claim that the algorithm needs no
+global state.
+"""
+
+import pytest
+
+from repro.core.auxiliary import AuxiliaryData
+from repro.core.config import RepartitionerConfig
+from repro.core.repartitioner import LightweightRepartitioner
+from repro.core.sharded import ShardedAuxiliaryData
+from repro.exceptions import PartitioningError, VertexNotFoundError
+from repro.graph.generators import community_graph
+from repro.partitioning.hashing import HashPartitioner
+from tests.conftest import make_random_graph
+
+
+@pytest.fixture
+def setup():
+    graph = make_random_graph(40, 90, seed=23, max_weight=3.0)
+    partitioning = HashPartitioner(salt=23).partition(graph, 3)
+    return graph, partitioning
+
+
+class TestShardEquivalence:
+    def test_bootstrap_matches_centralized(self, setup):
+        graph, partitioning = setup
+        sharded = ShardedAuxiliaryData.from_graph(graph, partitioning)
+        central = AuxiliaryData.from_graph(graph, partitioning)
+        assert sharded.edge_cut() == central.edge_cut()
+        assert sharded.partition_weights == pytest.approx(central.partition_weights)
+        for vertex in graph.vertices():
+            assert dict(sharded.neighbor_counts(vertex)) == dict(
+                central.neighbor_counts(vertex)
+            )
+            assert sharded.partition_of(vertex) == central.partition_of(vertex)
+
+    def test_repartitioner_runs_identically(self, setup):
+        """Same moves, same iterations, same final cut — sharded layout
+        changes nothing observable."""
+        graph, partitioning = setup
+        config = RepartitionerConfig(k=3, max_iterations=50)
+
+        central_partitioning = partitioning.copy()
+        central = AuxiliaryData.from_graph(graph, central_partitioning)
+        central_result = LightweightRepartitioner(config).run(
+            graph, central_partitioning, aux=central
+        )
+
+        sharded_partitioning = partitioning.copy()
+        sharded = ShardedAuxiliaryData.from_graph(graph, sharded_partitioning)
+        sharded_result = LightweightRepartitioner(config).run(
+            graph, sharded_partitioning, aux=sharded
+        )
+
+        assert sharded_result.moves == central_result.moves
+        assert sharded_result.iterations == central_result.iterations
+        assert sharded_result.final_edge_cut == central_result.final_edge_cut
+        assert sharded_partitioning == central_partitioning
+
+    def test_locality_of_storage(self, setup):
+        """Each shard stores data for exactly its hosted vertices."""
+        graph, partitioning = setup
+        sharded = ShardedAuxiliaryData.from_graph(graph, partitioning)
+        for shard in sharded.shards:
+            for vertex in shard.vertex_weights:
+                assert partitioning.partition_of(vertex) == shard.server_id
+
+    def test_to_centralized_roundtrip(self, setup):
+        graph, partitioning = setup
+        sharded = ShardedAuxiliaryData.from_graph(graph, partitioning)
+        central = sharded.to_centralized()
+        assert central.edge_cut() == sharded.edge_cut()
+        assert central.partition_weights == pytest.approx(
+            sharded.partition_weights
+        )
+
+
+class TestShardMechanics:
+    def test_move_transfers_record_between_shards(self, setup):
+        graph, partitioning = setup
+        sharded = ShardedAuxiliaryData.from_graph(graph, partitioning)
+        vertex = next(iter(graph.vertices()))
+        source = sharded.partition_of(vertex)
+        target = (source + 1) % 3
+        sharded.apply_move(vertex, target, graph.neighbors(vertex))
+        assert vertex not in sharded.shards[source].vertex_weights
+        assert vertex in sharded.shards[target].vertex_weights
+        assert sharded.partition_of(vertex) == target
+
+    def test_messages_counted(self, setup):
+        graph, partitioning = setup
+        sharded = ShardedAuxiliaryData.from_graph(graph, partitioning)
+        before = sharded.messages_sent
+        vertex = next(iter(graph.vertices()))
+        target = (sharded.partition_of(vertex) + 1) % 3
+        sharded.apply_move(vertex, target, graph.neighbors(vertex))
+        assert sharded.messages_sent > before
+
+    def test_gossip_refreshes_weight_vector(self, setup):
+        graph, partitioning = setup
+        sharded = ShardedAuxiliaryData.from_graph(graph, partitioning)
+        # Tamper with the replicated vector, then gossip restores truth.
+        sharded.partition_weights[0] = -1.0
+        sharded.gossip_weights()
+        assert sharded.partition_weights[0] == pytest.approx(
+            sharded.shards[0].local_weight
+        )
+
+    def test_weight_updates(self, setup):
+        graph, partitioning = setup
+        sharded = ShardedAuxiliaryData.from_graph(graph, partitioning)
+        vertex = next(iter(graph.vertices()))
+        home = sharded.partition_of(vertex)
+        before = sharded.partition_weights[home]
+        sharded.add_weight(vertex, 4.0)
+        assert sharded.partition_weights[home] == pytest.approx(before + 4.0)
+
+    def test_decay(self, setup):
+        graph, partitioning = setup
+        sharded = ShardedAuxiliaryData.from_graph(graph, partitioning)
+        sharded.decay_weights(0.5)
+        for vertex in graph.vertices():
+            assert sharded.weight_of(vertex) >= 1.0
+
+    def test_error_paths(self):
+        sharded = ShardedAuxiliaryData(2)
+        with pytest.raises(VertexNotFoundError):
+            sharded.partition_of(9)
+        sharded.add_vertex(1, 0, 1.0)
+        with pytest.raises(PartitioningError):
+            sharded.add_vertex(1, 1, 1.0)
+        with pytest.raises(PartitioningError):
+            sharded.imbalance_factor(5)
+        sharded.add_vertex(2, 1, 1.0)
+        sharded.add_edge(1, 2)
+        with pytest.raises(PartitioningError):
+            sharded.remove_vertex(1)
+
+    def test_memory_entries_theorem2_shape(self):
+        """Per-shard counter entries stay near the hosted-vertex count
+        (amortized n + Theta(alpha), Theorem 2)."""
+        graph = community_graph(200, seed=24)
+        partitioning = HashPartitioner().partition(graph, 4)
+        sharded = ShardedAuxiliaryData.from_graph(graph, partitioning)
+        for shard in sharded.shards:
+            entries = sum(len(c) for c in shard.neighbor_counts.values())
+            hosted = len(shard.vertex_weights)
+            assert entries <= hosted * sharded.num_partitions
+
+
+# ----------------------------------------------------------------------
+# Property-based equivalence under random operation sequences
+# ----------------------------------------------------------------------
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["move", "weight", "edge"]),
+            st.integers(0, 19),
+            st.integers(0, 19),
+        ),
+        max_size=40,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_sharded_equals_centralized_under_churn(operations):
+    """Any interleaving of moves, weight bumps and edge changes leaves the
+    sharded and centralized auxiliary data in identical states."""
+    graph = make_random_graph(20, 35, seed=29)
+    partitioning = HashPartitioner(salt=29).partition(graph, 3)
+    sharded = ShardedAuxiliaryData.from_graph(graph, partitioning)
+    central = AuxiliaryData.from_graph(graph, partitioning)
+
+    for kind, a, b in operations:
+        if kind == "move":
+            target = b % 3
+            neighbors = graph.neighbors(a)
+            sharded.apply_move(a, target, neighbors)
+            central.apply_move(a, target, neighbors)
+        elif kind == "weight":
+            sharded.add_weight(a, 1.0 + b)
+            central.add_weight(a, 1.0 + b)
+        else:  # edge toggle
+            if a == b:
+                continue
+            if graph.has_edge(a, b):
+                graph.remove_edge(a, b)
+                sharded.remove_edge(a, b)
+                central.remove_edge(a, b)
+            else:
+                graph.add_edge(a, b)
+                sharded.add_edge(a, b)
+                central.add_edge(a, b)
+
+    assert sharded.edge_cut() == central.edge_cut()
+    assert sharded.partition_weights == pytest.approx(central.partition_weights)
+    for vertex in graph.vertices():
+        assert sharded.partition_of(vertex) == central.partition_of(vertex)
+        assert dict(sharded.neighbor_counts(vertex)) == dict(
+            central.neighbor_counts(vertex)
+        )

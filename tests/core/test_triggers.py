@@ -1,0 +1,49 @@
+"""Tests for the imbalance trigger."""
+
+import pytest
+
+from repro.core.auxiliary import AuxiliaryData
+from repro.core.triggers import ImbalanceTrigger
+from repro.exceptions import PartitioningError
+
+
+def build_aux(weights):
+    aux = AuxiliaryData(len(weights))
+    vertex = 0
+    for partition, weight in enumerate(weights):
+        aux.add_vertex(vertex, partition, weight)
+        vertex += 1
+    return aux
+
+
+class TestTrigger:
+    def test_balanced_does_not_fire(self):
+        decision = ImbalanceTrigger(1.1).check(build_aux([10.0, 10.0, 10.0]))
+        assert not decision.should_repartition
+        assert decision.overloaded == []
+        assert decision.underloaded == []
+        assert decision.max_imbalance == pytest.approx(1.0)
+
+    def test_overload_fires(self):
+        decision = ImbalanceTrigger(1.1).check(build_aux([15.0, 10.0, 10.0]))
+        assert decision.should_repartition
+        assert decision.overloaded == [0]
+        # The others sit at 10/11.67 = 0.857 < 0.9: also underloaded.
+        assert set(decision.underloaded) == {1, 2}
+
+    def test_underload_fires_alone(self):
+        # 9 / 10.33 ~ 0.87 < 0.9 but max is 11 / 10.33 ~ 1.065 < 1.1.
+        decision = ImbalanceTrigger(1.1).check(build_aux([11.0, 11.0, 9.0]))
+        assert decision.should_repartition
+        assert decision.overloaded == []
+        assert decision.underloaded == [2]
+
+    def test_epsilon_widens_band(self):
+        aux = build_aux([15.0, 10.0, 10.0])
+        assert not ImbalanceTrigger(1.5).check(aux).should_repartition
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(PartitioningError):
+            ImbalanceTrigger(1.0)
+        with pytest.raises(PartitioningError):
+            ImbalanceTrigger(2.0)

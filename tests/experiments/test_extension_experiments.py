@@ -1,0 +1,67 @@
+"""Tiny-scale tests for the extension experiments (baselines, spar)."""
+
+import pytest
+
+from repro.experiments import baselines, spar
+from repro.experiments.common import GraphScale
+
+TINY = GraphScale(n=250, num_partitions=4, seed=12)
+
+
+class TestBaselines:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return baselines.run(TINY)
+
+    def test_grid_complete(self, result):
+        strategies = {cell.strategy for cell in result.cells}
+        assert strategies == {"hash", "LDG", "Fennel", "JA-BE-JA", "Metis-like"}
+        assert len(result.cells) == 3 * 5
+
+    def test_structure_aware_beats_hash(self, result):
+        indexed = {(c.dataset, c.strategy): c for c in result.cells}
+        for dataset in ("orkut", "twitter", "dblp"):
+            hash_cut = indexed[(dataset, "hash")].initial_cut
+            for strategy in ("LDG", "Fennel", "JA-BE-JA", "Metis-like"):
+                assert indexed[(dataset, strategy)].initial_cut < hash_cut
+
+    def test_repartitioner_restores_weight_balance(self, result):
+        for cell in result.cells:
+            assert cell.refined_imbalance <= 1.2
+
+    def test_render(self, result):
+        text = baselines.render(result)
+        assert "JA-BE-JA" in text
+        assert "Fennel" in text
+
+
+class TestSpar:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return spar.run(TINY)
+
+    def test_cells(self, result):
+        assert len(result.cells) == 3
+        for cell in result.cells:
+            assert cell.replication.one_hop_local_fraction == 1.0
+            assert cell.replication.replication_factor >= 1.0
+            assert 0.0 < cell.replication.two_hop_local_fraction <= 1.0
+
+    def test_replication_tracks_cut(self, result):
+        by_cut = sorted(result.cells, key=lambda c: c.edge_cut_fraction)
+        factors = [c.replication.replication_factor for c in by_cut]
+        assert factors == sorted(factors)
+
+    def test_render(self, result):
+        text = spar.render(result)
+        assert "SPAR" in text
+        assert "replication factor" in text
+
+
+class TestRunnerIncludesExtensions:
+    def test_registered(self):
+        from repro.experiments.runner import EXPERIMENTS, ORDER
+
+        assert "baselines" in EXPERIMENTS
+        assert "spar" in EXPERIMENTS
+        assert ORDER.index("baselines") > ORDER.index("ablations")

@@ -1,0 +1,138 @@
+"""Tests for the social-network generators."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.generators import (
+    Dataset,
+    clustered_powerlaw_graph,
+    community_graph,
+    dataset_names,
+    dblp_like,
+    make_dataset,
+    orkut_like,
+    powerlaw_cluster_graph,
+    preferential_attachment_graph,
+    twitter_like,
+    zipf_vertex_weights,
+)
+from repro.graph.stats import clustering_coefficient
+
+
+class TestPreferentialAttachment:
+    def test_size(self):
+        graph = preferential_attachment_graph(100, m=3, seed=1)
+        assert graph.num_vertices == 100
+        # seed clique of 4 = 6 edges, then 96 vertices x 3 edges
+        assert graph.num_edges == 6 + 96 * 3
+
+    def test_determinism(self):
+        a = preferential_attachment_graph(60, m=2, seed=5)
+        b = preferential_attachment_graph(60, m=2, seed=5)
+        assert sorted(map(sorted, a.edges())) == sorted(map(sorted, b.edges()))
+
+    def test_heavy_tail(self):
+        graph = preferential_attachment_graph(500, m=2, seed=2)
+        degrees = sorted((graph.degree(v) for v in graph.vertices()), reverse=True)
+        # The top vertex should be a hub far above the median degree.
+        assert degrees[0] >= 5 * degrees[len(degrees) // 2]
+
+    def test_invalid_parameters(self):
+        with pytest.raises(GraphError):
+            preferential_attachment_graph(3, m=5)
+        with pytest.raises(GraphError):
+            preferential_attachment_graph(10, m=0)
+
+
+class TestPowerlawCluster:
+    def test_triangle_probability_increases_clustering(self):
+        low = powerlaw_cluster_graph(300, m=4, triangle_probability=0.0, seed=3)
+        high = powerlaw_cluster_graph(300, m=4, triangle_probability=0.9, seed=3)
+        assert clustering_coefficient(high) > clustering_coefficient(low)
+
+    def test_invalid_probability(self):
+        with pytest.raises(GraphError):
+            powerlaw_cluster_graph(50, m=2, triangle_probability=1.5)
+
+    def test_connected(self):
+        graph = powerlaw_cluster_graph(200, m=3, triangle_probability=0.5, seed=4)
+        assert len(list(graph.connected_components())) == 1
+
+
+class TestCommunityGraph:
+    def test_connected(self):
+        graph = community_graph(300, seed=5)
+        assert len(list(graph.connected_components())) == 1
+
+    def test_high_clustering(self):
+        graph = community_graph(400, intra_probability=0.9, seed=6)
+        assert clustering_coefficient(graph) > 0.5
+
+    def test_size(self):
+        graph = community_graph(250, seed=7)
+        assert graph.num_vertices == 250
+
+
+class TestClusteredPowerlaw:
+    def test_inter_fraction_roughly_respected(self):
+        graph = clustered_powerlaw_graph(
+            600, m=4, triangle_probability=0.3, inter_edge_fraction=0.2, seed=8
+        )
+        assert graph.num_vertices == 600
+        assert len(list(graph.connected_components())) == 1
+
+    def test_invalid_fraction(self):
+        with pytest.raises(GraphError):
+            clustered_powerlaw_graph(
+                100, m=3, triangle_probability=0.3, inter_edge_fraction=1.0
+            )
+
+
+class TestDatasets:
+    @pytest.mark.parametrize("factory", [orkut_like, twitter_like, dblp_like])
+    def test_factory_produces_named_dataset(self, factory):
+        dataset = factory(n=300, seed=9)
+        assert isinstance(dataset, Dataset)
+        assert dataset.graph.num_vertices == 300
+        assert dataset.paper_stats["num_nodes"] > 0
+
+    def test_shape_ordering_matches_paper(self):
+        """DBLP must be the most clustered and longest-path dataset."""
+        orkut = orkut_like(n=500, seed=10)
+        twitter = twitter_like(n=500, seed=10)
+        dblp = dblp_like(n=500, seed=10)
+        cc = {
+            d.name: clustering_coefficient(d.graph)
+            for d in (orkut, twitter, dblp)
+        }
+        assert cc["dblp"] > cc["orkut"] > cc["twitter"]
+
+    def test_twitter_symmetry_metadata(self):
+        assert twitter_like(n=200, seed=1).symmetric_link_fraction == pytest.approx(
+            0.221
+        )
+
+    def test_make_dataset_by_name(self):
+        for name in dataset_names():
+            dataset = make_dataset(name, n=200, seed=2)
+            assert dataset.name == name
+
+    def test_make_dataset_unknown(self):
+        with pytest.raises(GraphError):
+            make_dataset("facebook")
+
+
+class TestZipfWeights:
+    def test_mean_and_floor(self):
+        dataset = orkut_like(n=300, seed=3)
+        zipf_vertex_weights(dataset.graph, average_weight=2.0, seed=3)
+        weights = [dataset.graph.weight(v) for v in dataset.graph.vertices()]
+        assert min(weights) >= 1.0
+        assert max(weights) > 10 * sorted(weights)[len(weights) // 2]
+
+    def test_empty_graph_noop(self):
+        from repro.graph.adjacency import SocialGraph
+
+        graph = SocialGraph()
+        zipf_vertex_weights(graph)
+        assert graph.num_vertices == 0

@@ -1,0 +1,70 @@
+"""Tests for SNAP edge-list I/O."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.adjacency import SocialGraph
+from repro.graph.io import load_snap_edge_list, save_edge_list
+
+
+def write_lines(tmp_path, lines, name="edges.txt"):
+    path = tmp_path / name
+    path.write_text("\n".join(lines) + "\n")
+    return str(path)
+
+
+class TestLoad:
+    def test_basic_load(self, tmp_path):
+        path = write_lines(tmp_path, ["# comment", "0 1", "1 2", "2 0"])
+        dataset = load_snap_edge_list(path, name="toy")
+        assert dataset.name == "toy"
+        assert dataset.graph.num_vertices == 3
+        assert dataset.graph.num_edges == 3
+        assert dataset.symmetric_link_fraction == 1.0
+
+    def test_ids_are_interned_densely(self, tmp_path):
+        path = write_lines(tmp_path, ["1000 2000", "2000 3000"])
+        dataset = load_snap_edge_list(path)
+        assert sorted(dataset.graph.vertices()) == [0, 1, 2]
+
+    def test_duplicate_edges_and_self_loops_skipped(self, tmp_path):
+        path = write_lines(tmp_path, ["0 1", "1 0", "0 0", "0 1"])
+        dataset = load_snap_edge_list(path)
+        assert dataset.graph.num_edges == 1
+
+    def test_directed_symmetry_fraction(self, tmp_path):
+        # 0->1 and 1->0 reciprocated; 1->2 not.
+        path = write_lines(tmp_path, ["0 1", "1 0", "1 2"])
+        dataset = load_snap_edge_list(path, directed=True)
+        assert dataset.graph.num_edges == 2
+        assert dataset.symmetric_link_fraction == pytest.approx(0.5)
+
+    def test_max_vertices_cap(self, tmp_path):
+        path = write_lines(tmp_path, ["0 1", "2 3", "4 5"])
+        dataset = load_snap_edge_list(path, max_vertices=2)
+        assert dataset.graph.num_vertices == 2
+        assert dataset.graph.num_edges == 1
+
+    def test_missing_file(self):
+        with pytest.raises(GraphError):
+            load_snap_edge_list("/nonexistent/file.txt")
+
+    def test_malformed_line(self, tmp_path):
+        path = write_lines(tmp_path, ["0 1", "justonetoken"])
+        with pytest.raises(GraphError, match="malformed"):
+            load_snap_edge_list(path)
+
+    def test_non_integer_ids(self, tmp_path):
+        path = write_lines(tmp_path, ["a b"])
+        with pytest.raises(GraphError, match="non-integer"):
+            load_snap_edge_list(path)
+
+
+class TestRoundTrip:
+    def test_save_then_load(self, tmp_path):
+        graph = SocialGraph.from_edges([(0, 1), (1, 2), (2, 3), (3, 0)])
+        path = str(tmp_path / "out.txt")
+        save_edge_list(graph, path, header="test graph")
+        dataset = load_snap_edge_list(path)
+        assert dataset.graph.num_vertices == 4
+        assert dataset.graph.num_edges == 4

@@ -1,0 +1,106 @@
+"""Tests for graph statistics (Table 1 quantities)."""
+
+import math
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.adjacency import SocialGraph
+from repro.graph.generators import Dataset, orkut_like
+from repro.graph.stats import (
+    average_path_length,
+    clustering_coefficient,
+    degree_histogram,
+    powerlaw_exponent,
+    summarize,
+)
+
+
+def path_graph(n):
+    graph = SocialGraph()
+    for v in range(n):
+        graph.add_vertex(v)
+    for v in range(n - 1):
+        graph.add_edge(v, v + 1)
+    return graph
+
+
+class TestAveragePathLength:
+    def test_path_graph_exact(self):
+        # P4: distances 1,2,3,1,2,1 (pairs both directions averaged the same)
+        graph = path_graph(4)
+        expected = (1 + 2 + 3 + 1 + 2 + 1) / 6
+        assert average_path_length(graph) == pytest.approx(expected)
+
+    def test_complete_triangle(self):
+        graph = SocialGraph.from_edges([(0, 1), (1, 2), (0, 2)])
+        assert average_path_length(graph) == pytest.approx(1.0)
+
+    def test_tiny_graphs(self):
+        graph = SocialGraph()
+        assert average_path_length(graph) == 0.0
+        graph.add_vertex(0)
+        assert average_path_length(graph) == 0.0
+
+    def test_sampling_close_to_exact(self):
+        dataset = orkut_like(n=300, seed=1)
+        exact = average_path_length(dataset.graph)
+        sampled = average_path_length(dataset.graph, sample_size=100, seed=2)
+        assert sampled == pytest.approx(exact, rel=0.15)
+
+
+class TestClustering:
+    def test_triangle_is_fully_clustered(self):
+        graph = SocialGraph.from_edges([(0, 1), (1, 2), (0, 2)])
+        assert clustering_coefficient(graph) == pytest.approx(1.0)
+
+    def test_star_has_zero_clustering(self):
+        graph = SocialGraph.from_edges([(0, 1), (0, 2), (0, 3)])
+        assert clustering_coefficient(graph) == 0.0
+
+    def test_empty(self):
+        assert clustering_coefficient(SocialGraph()) == 0.0
+
+
+class TestDegreeHistogram:
+    def test_star(self):
+        graph = SocialGraph.from_edges([(0, 1), (0, 2), (0, 3)])
+        assert degree_histogram(graph) == {3: 1, 1: 3}
+
+
+class TestPowerlawExponent:
+    def test_known_distribution(self):
+        # Degrees drawn as d = round(dmin * u^(-1/(alpha-1))) follow a power
+        # law with exponent alpha; the MLE should land near it.
+        import random
+
+        rng = random.Random(42)
+        alpha = 2.5
+        degrees = [
+            max(1, int(2 * rng.random() ** (-1.0 / (alpha - 1.0))))
+            for _ in range(20000)
+        ]
+        # Truncation to integers biases small-degree bins; fit on the tail.
+        estimate = powerlaw_exponent(degrees, dmin=8)
+        assert estimate == pytest.approx(alpha, rel=0.05)
+
+    def test_invalid_dmin(self):
+        with pytest.raises(GraphError):
+            powerlaw_exponent([1, 2, 3], dmin=0)
+
+    def test_empty_tail(self):
+        with pytest.raises(GraphError):
+            powerlaw_exponent([1, 1, 1], dmin=5)
+
+
+class TestSummarize:
+    def test_full_row(self):
+        dataset = orkut_like(n=300, seed=3)
+        stats = summarize(dataset, path_sample=50, seed=1)
+        assert stats.name == "orkut"
+        assert stats.num_nodes == 300
+        assert stats.num_edges == dataset.graph.num_edges
+        assert stats.average_path_length > 1.0
+        assert 0.0 < stats.clustering_coefficient < 1.0
+        assert stats.powerlaw_coefficient > 1.0
+        assert len(stats.as_row()) == 7

@@ -1,0 +1,112 @@
+"""Tests for the Partitioning state object."""
+
+import pytest
+
+from repro.exceptions import InvalidPartitionError, VertexNotFoundError
+from repro.partitioning.base import Partitioning
+
+
+class TestConstruction:
+    def test_requires_positive_partitions(self):
+        with pytest.raises(InvalidPartitionError):
+            Partitioning(0)
+
+    def test_from_mapping(self):
+        partitioning = Partitioning.from_mapping({1: 0, 2: 1, 3: 1})
+        assert partitioning.num_partitions == 2
+        assert partitioning.partition_of(3) == 1
+        assert partitioning.sizes() == [1, 2]
+
+    def test_from_mapping_explicit_count(self):
+        partitioning = Partitioning.from_mapping({1: 0}, num_partitions=4)
+        assert partitioning.num_partitions == 4
+
+    def test_from_empty_mapping(self):
+        partitioning = Partitioning.from_mapping({})
+        assert partitioning.num_partitions == 1
+        assert partitioning.num_vertices == 0
+
+
+class TestAssignment:
+    def test_assign_and_lookup(self):
+        partitioning = Partitioning(2)
+        partitioning.assign(5, 1)
+        assert partitioning.partition_of(5) == 1
+        assert 5 in partitioning
+        assert partitioning.get(5) == 1
+        assert partitioning.get(6) is None
+
+    def test_assign_out_of_range(self):
+        partitioning = Partitioning(2)
+        with pytest.raises(InvalidPartitionError):
+            partitioning.assign(1, 2)
+        with pytest.raises(InvalidPartitionError):
+            partitioning.assign(1, -1)
+
+    def test_double_assign_rejected(self):
+        partitioning = Partitioning(2)
+        partitioning.assign(1, 0)
+        with pytest.raises(InvalidPartitionError):
+            partitioning.assign(1, 1)
+
+    def test_move(self):
+        partitioning = Partitioning(3)
+        partitioning.assign(1, 0)
+        previous = partitioning.move(1, 2)
+        assert previous == 0
+        assert partitioning.partition_of(1) == 2
+        assert 1 in partitioning.vertices_in(2)
+        assert 1 not in partitioning.vertices_in(0)
+
+    def test_move_to_same_partition(self):
+        partitioning = Partitioning(2)
+        partitioning.assign(1, 0)
+        assert partitioning.move(1, 0) == 0
+        assert partitioning.partition_of(1) == 0
+
+    def test_move_unknown_vertex(self):
+        partitioning = Partitioning(2)
+        with pytest.raises(VertexNotFoundError):
+            partitioning.move(9, 0)
+
+    def test_remove(self):
+        partitioning = Partitioning(2)
+        partitioning.assign(1, 1)
+        assert partitioning.remove(1) == 1
+        assert 1 not in partitioning
+        with pytest.raises(VertexNotFoundError):
+            partitioning.remove(1)
+
+    def test_partition_of_unknown(self):
+        partitioning = Partitioning(2)
+        with pytest.raises(VertexNotFoundError):
+            partitioning.partition_of(1)
+
+
+class TestViewsAndCopy:
+    def test_sizes_and_members(self):
+        partitioning = Partitioning.from_mapping({1: 0, 2: 0, 3: 1})
+        assert partitioning.sizes() == [2, 1]
+        assert partitioning.vertices_in(0) == {1, 2}
+
+    def test_vertices_in_out_of_range(self):
+        with pytest.raises(InvalidPartitionError):
+            Partitioning(2).vertices_in(5)
+
+    def test_copy_is_independent(self):
+        original = Partitioning.from_mapping({1: 0, 2: 1})
+        clone = original.copy()
+        clone.move(1, 1)
+        assert original.partition_of(1) == 0
+
+    def test_equality(self):
+        a = Partitioning.from_mapping({1: 0, 2: 1})
+        b = Partitioning.from_mapping({2: 1, 1: 0})
+        assert a == b
+        b.move(1, 1)
+        assert a != b
+
+    def test_as_mapping_roundtrip(self):
+        mapping = {1: 0, 2: 1, 3: 0}
+        partitioning = Partitioning.from_mapping(mapping)
+        assert partitioning.as_mapping() == mapping

@@ -1,0 +1,46 @@
+"""Tests for the random hash-based partitioner."""
+
+from repro.partitioning.hashing import HashPartitioner
+from repro.partitioning.metrics import imbalance_factor
+from tests.conftest import make_random_graph
+
+
+class TestPlacement:
+    def test_deterministic(self):
+        partitioner = HashPartitioner(salt=3)
+        assert all(
+            partitioner.place(v, 8) == partitioner.place(v, 8) for v in range(100)
+        )
+
+    def test_independent_of_graph(self, small_graph):
+        partitioner = HashPartitioner(salt=1)
+        partitioning = partitioner.partition(small_graph, 4)
+        for vertex in small_graph.vertices():
+            assert partitioning.partition_of(vertex) == partitioner.place(vertex, 4)
+
+    def test_salt_changes_placement(self):
+        a = HashPartitioner(salt=1)
+        b = HashPartitioner(salt=2)
+        placements_a = [a.place(v, 8) for v in range(200)]
+        placements_b = [b.place(v, 8) for v in range(200)]
+        assert placements_a != placements_b
+
+    def test_range(self):
+        partitioner = HashPartitioner()
+        assert all(0 <= partitioner.place(v, 5) < 5 for v in range(1000))
+
+
+class TestDistribution:
+    def test_roughly_uniform(self):
+        """Hash partitioning's selling point: good load balance."""
+        graph = make_random_graph(2000, 0, seed=0)
+        partitioning = HashPartitioner(salt=7).partition(graph, 8)
+        assert imbalance_factor(graph, partitioning) < 1.15
+
+    def test_covers_all_partitions(self, medium_graph):
+        partitioning = HashPartitioner().partition(medium_graph, 4)
+        assert all(size > 0 for size in partitioning.sizes())
+
+    def test_partition_vertices_helper(self):
+        partitioning = HashPartitioner().partition_vertices(range(50), 5)
+        assert partitioning.num_vertices == 50

@@ -1,0 +1,106 @@
+"""Tests for edge-cut / balance / migration metrics."""
+
+import pytest
+
+from repro.exceptions import PartitioningError
+from repro.graph.adjacency import SocialGraph
+from repro.partitioning.base import Partitioning
+from repro.partitioning.metrics import (
+    edge_cut,
+    edge_cut_fraction,
+    imbalance_factor,
+    is_valid_partitioning,
+    migration_stats,
+    partition_weights,
+)
+
+
+@pytest.fixture
+def square_graph():
+    """4-cycle 0-1-2-3, unit weights."""
+    return SocialGraph.from_edges([(0, 1), (1, 2), (2, 3), (3, 0)])
+
+
+class TestEdgeCut:
+    def test_split_pairs(self, square_graph):
+        partitioning = Partitioning.from_mapping({0: 0, 1: 0, 2: 1, 3: 1})
+        assert edge_cut(square_graph, partitioning) == 2
+        assert edge_cut_fraction(square_graph, partitioning) == 0.5
+
+    def test_all_one_partition(self, square_graph):
+        partitioning = Partitioning.from_mapping(
+            {v: 0 for v in range(4)}, num_partitions=2
+        )
+        assert edge_cut(square_graph, partitioning) == 0
+
+    def test_alternating(self, square_graph):
+        partitioning = Partitioning.from_mapping({0: 0, 1: 1, 2: 0, 3: 1})
+        assert edge_cut(square_graph, partitioning) == 4
+
+    def test_empty_graph_fraction(self):
+        graph = SocialGraph()
+        graph.add_vertex(0)
+        partitioning = Partitioning.from_mapping({0: 0})
+        assert edge_cut_fraction(graph, partitioning) == 0.0
+
+
+class TestBalance:
+    def test_partition_weights(self, square_graph):
+        square_graph.set_weight(0, 3.0)
+        partitioning = Partitioning.from_mapping({0: 0, 1: 0, 2: 1, 3: 1})
+        assert partition_weights(square_graph, partitioning) == [4.0, 2.0]
+
+    def test_imbalance_factor(self, square_graph):
+        partitioning = Partitioning.from_mapping({0: 0, 1: 0, 2: 0, 3: 1})
+        # weights [3, 1], average 2 -> factor 1.5
+        assert imbalance_factor(square_graph, partitioning) == pytest.approx(1.5)
+
+    def test_perfect_balance(self, square_graph):
+        partitioning = Partitioning.from_mapping({0: 0, 1: 0, 2: 1, 3: 1})
+        assert imbalance_factor(square_graph, partitioning) == pytest.approx(1.0)
+
+    def test_validity(self, square_graph):
+        balanced = Partitioning.from_mapping({0: 0, 1: 0, 2: 1, 3: 1})
+        skewed = Partitioning.from_mapping({0: 0, 1: 0, 2: 0, 3: 1})
+        assert is_valid_partitioning(square_graph, balanced, epsilon=1.1)
+        assert not is_valid_partitioning(square_graph, skewed, epsilon=1.1)
+        assert is_valid_partitioning(square_graph, skewed, epsilon=1.6)
+
+    def test_validity_rejects_bad_epsilon(self, square_graph):
+        partitioning = Partitioning.from_mapping({0: 0, 1: 0, 2: 1, 3: 1})
+        with pytest.raises(PartitioningError):
+            is_valid_partitioning(square_graph, partitioning, epsilon=0.5)
+
+
+class TestMigrationStats:
+    def test_no_change(self, square_graph):
+        partitioning = Partitioning.from_mapping({0: 0, 1: 0, 2: 1, 3: 1})
+        stats = migration_stats(square_graph, partitioning, partitioning.copy())
+        assert stats.vertices_moved == 0
+        assert stats.relationships_changed == 0
+        assert stats.vertex_fraction == 0.0
+        assert stats.relationship_fraction == 0.0
+
+    def test_single_move_touches_incident_edges(self, square_graph):
+        initial = Partitioning.from_mapping({0: 0, 1: 0, 2: 1, 3: 1})
+        final = initial.copy()
+        final.move(1, 1)
+        stats = migration_stats(square_graph, initial, final)
+        assert stats.vertices_moved == 1
+        # vertex 1's incident edges: (0,1) and (1,2)
+        assert stats.relationships_changed == 2
+        assert stats.vertex_fraction == pytest.approx(0.25)
+        assert stats.relationship_fraction == pytest.approx(0.5)
+
+    def test_mismatched_partition_counts(self, square_graph):
+        a = Partitioning.from_mapping({v: 0 for v in range(4)}, num_partitions=2)
+        b = Partitioning.from_mapping({v: 0 for v in range(4)}, num_partitions=3)
+        with pytest.raises(PartitioningError):
+            migration_stats(square_graph, a, b)
+
+    def test_empty_graph_fractions(self):
+        graph = SocialGraph()
+        a = Partitioning(2)
+        stats = migration_stats(graph, a, a.copy())
+        assert stats.vertex_fraction == 0.0
+        assert stats.relationship_fraction == 0.0

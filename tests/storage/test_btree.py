@@ -1,0 +1,155 @@
+"""Tests for the B+Tree, including a model-based hypothesis suite."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import StorageError
+from repro.storage.btree import BPlusTree
+
+
+class TestBasics:
+    def test_empty(self):
+        tree = BPlusTree(order=4)
+        assert len(tree) == 0
+        assert tree.get(1) is None
+        assert tree.get(1, "x") == "x"
+        assert 1 not in tree
+        assert tree.max_key() is None
+        assert list(tree.items()) == []
+
+    def test_insert_and_get(self):
+        tree = BPlusTree(order=4)
+        tree.insert(5, "five")
+        tree.insert(3, "three")
+        assert tree.get(5) == "five"
+        assert tree.get(3) == "three"
+        assert len(tree) == 2
+
+    def test_overwrite(self):
+        tree = BPlusTree(order=4)
+        tree.insert(1, "a")
+        tree.insert(1, "b")
+        assert tree.get(1) == "b"
+        assert len(tree) == 1
+
+    def test_order_validation(self):
+        with pytest.raises(StorageError):
+            BPlusTree(order=3)
+
+    def test_delete(self):
+        tree = BPlusTree(order=4)
+        tree.insert(1, "a")
+        assert tree.delete(1) == "a"
+        assert 1 not in tree
+        with pytest.raises(KeyError):
+            tree.delete(1)
+
+
+class TestBulk:
+    @pytest.mark.parametrize("order", [4, 5, 16, 64])
+    def test_sequential_inserts(self, order):
+        tree = BPlusTree(order=order)
+        for key in range(500):
+            tree.insert(key, key * 2)
+        tree.check_invariants()
+        assert len(tree) == 500
+        assert [key for key, _ in tree.items()] == list(range(500))
+
+    @pytest.mark.parametrize("order", [4, 5, 16])
+    def test_random_insert_delete(self, order):
+        rng = random.Random(order)
+        tree = BPlusTree(order=order)
+        keys = list(range(400))
+        rng.shuffle(keys)
+        for key in keys:
+            tree.insert(key, -key)
+        tree.check_invariants()
+        rng.shuffle(keys)
+        for key in keys[:350]:
+            assert tree.delete(key) == -key
+        tree.check_invariants()
+        survivors = sorted(keys[350:])
+        assert [key for key, _ in tree.items()] == survivors
+
+    def test_delete_everything(self):
+        tree = BPlusTree(order=5)
+        for key in range(100):
+            tree.insert(key, key)
+        for key in range(100):
+            tree.delete(key)
+        tree.check_invariants()
+        assert len(tree) == 0
+        assert list(tree.items()) == []
+
+    def test_max_key(self):
+        tree = BPlusTree(order=4)
+        for key in (5, 1, 9, 3):
+            tree.insert(key, None)
+        assert tree.max_key() == 9
+        tree.delete(9)
+        assert tree.max_key() == 5
+
+
+class TestRange:
+    def test_range_scan(self):
+        tree = BPlusTree(order=4)
+        for key in range(0, 100, 2):
+            tree.insert(key, key)
+        assert [key for key, _ in tree.range(10, 20)] == [10, 12, 14, 16, 18, 20]
+
+    def test_range_outside(self):
+        tree = BPlusTree(order=4)
+        tree.insert(5, None)
+        assert list(tree.range(10, 20)) == []
+        assert [key for key, _ in tree.range(0, 100)] == [5]
+
+    def test_keys_sorted(self):
+        tree = BPlusTree(order=4)
+        for key in (9, 2, 7, 4):
+            tree.insert(key, None)
+        assert list(tree.keys()) == [2, 4, 7, 9]
+
+
+@st.composite
+def operations(draw):
+    ops = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["insert", "delete", "get"]),
+                st.integers(min_value=0, max_value=60),
+            ),
+            max_size=200,
+        )
+    )
+    order = draw(st.sampled_from([4, 5, 8]))
+    return ops, order
+
+
+@given(operations())
+@settings(max_examples=80, deadline=None)
+def test_model_based_against_dict(data):
+    """The tree must behave exactly like a dict under any op sequence."""
+    ops, order = data
+    tree = BPlusTree(order=order)
+    model = {}
+    for op, key in ops:
+        if op == "insert":
+            tree.insert(key, key * 3)
+            model[key] = key * 3
+        elif op == "delete":
+            if key in model:
+                assert tree.delete(key) == model.pop(key)
+            else:
+                try:
+                    tree.delete(key)
+                    raise AssertionError("expected KeyError")
+                except KeyError:
+                    pass
+        else:
+            assert tree.get(key) == model.get(key)
+    tree.check_invariants()
+    assert dict(tree.items()) == model
+    assert len(tree) == len(model)

@@ -1,0 +1,164 @@
+"""Tests for the Neo4j-style local Traversal API."""
+
+import pytest
+
+from repro.exceptions import StorageError
+from repro.storage.graph_store import GraphStore
+from repro.storage.traversal_api import (
+    Evaluation,
+    Path,
+    TraversalDescription,
+    Uniqueness,
+)
+
+
+@pytest.fixture
+def store():
+    """A small local graph:  0-1-2-3 path, plus a triangle 0-4-5-0,
+    and a ghost edge 3 -> 100 (remote endpoint)."""
+    s = GraphStore()
+    for i in range(6):
+        s.create_node(i)
+    for u, v in ((0, 1), (1, 2), (2, 3), (0, 4), (4, 5), (5, 0)):
+        s.create_relationship(s.allocate_rel_id(), u, v)
+    s.create_relationship(s.allocate_rel_id(), 3, 100, ghost=True)
+    return s
+
+
+class TestBasics:
+    def test_bfs_order_and_coverage(self, store):
+        paths = list(TraversalDescription().breadth_first().traverse(store, 0))
+        ends = [path.end for path in paths]
+        assert ends[0] == 0
+        assert set(ends) == {0, 1, 2, 3, 4, 5}
+        # BFS: depth-1 nodes come before depth-2 nodes.
+        depth = {path.end: path.length for path in paths}
+        assert depth[1] == 1 and depth[4] == 1 and depth[5] == 1
+        assert depth[2] == 2
+
+    def test_dfs_reaches_everything(self, store):
+        paths = list(TraversalDescription().depth_first().traverse(store, 0))
+        assert {path.end for path in paths} == {0, 1, 2, 3, 4, 5}
+
+    def test_max_depth(self, store):
+        paths = list(TraversalDescription().max_depth(1).traverse(store, 0))
+        assert {path.end for path in paths} == {0, 1, 4, 5}
+
+    def test_min_depth_excludes_start(self, store):
+        paths = list(
+            TraversalDescription().min_depth(1).max_depth(1).traverse(store, 0)
+        )
+        assert {path.end for path in paths} == {1, 4, 5}
+
+    def test_paths_carry_relationships(self, store):
+        paths = {
+            path.end: path
+            for path in TraversalDescription().max_depth(2).traverse(store, 0)
+        }
+        path_to_2 = paths[2]
+        assert path_to_2.nodes == (0, 1, 2)
+        assert path_to_2.length == 2
+        assert len(path_to_2.relationships) == 2
+        assert path_to_2.start == 0
+
+    def test_missing_start_yields_nothing(self, store):
+        assert list(TraversalDescription().traverse(store, 999)) == []
+
+    def test_unavailable_node_skipped(self, store):
+        store.set_available(1, False)
+        paths = list(TraversalDescription().traverse(store, 0))
+        ends = {path.end for path in paths}
+        assert 1 not in ends
+        assert 2 not in ends  # only reachable through 1
+
+    def test_depth_validation(self):
+        with pytest.raises(StorageError):
+            TraversalDescription().max_depth(-1)
+        with pytest.raises(StorageError):
+            TraversalDescription().min_depth(-1)
+
+
+class TestUniqueness:
+    def test_node_global_visits_once(self, store):
+        paths = list(
+            TraversalDescription()
+            .uniqueness(Uniqueness.NODE_GLOBAL)
+            .traverse(store, 0)
+        )
+        ends = [path.end for path in paths]
+        assert len(ends) == len(set(ends))
+
+    def test_node_path_allows_multiple_routes(self, store):
+        # In the triangle 0-4-5-0, vertex 5 is reachable as 0-5 and 0-4-5.
+        paths = list(
+            TraversalDescription()
+            .uniqueness(Uniqueness.NODE_PATH)
+            .max_depth(2)
+            .traverse(store, 0)
+        )
+        routes_to_5 = [path for path in paths if path.end == 5]
+        assert len(routes_to_5) >= 2
+
+    def test_node_path_forbids_cycles_within_path(self, store):
+        paths = list(
+            TraversalDescription()
+            .uniqueness(Uniqueness.NODE_PATH)
+            .max_depth(4)
+            .traverse(store, 0)
+        )
+        for path in paths:
+            assert len(path.nodes) == len(set(path.nodes))
+
+
+class TestFiltersAndEvaluators:
+    def test_ghost_edges_followable_by_default_but_not_expandable(self, store):
+        paths = list(TraversalDescription().traverse(store, 3))
+        # The remote endpoint 100 is not local: never entered.
+        assert all(path.end != 100 for path in paths)
+
+    def test_exclude_ghosts_filter(self, store):
+        entries_seen = []
+        description = TraversalDescription().exclude_ghosts().evaluator(
+            lambda path: Evaluation.INCLUDE_AND_CONTINUE
+        )
+        for path in description.traverse(store, 3):
+            entries_seen.append(path.end)
+        assert 100 not in entries_seen
+
+    def test_custom_relationship_filter(self, store):
+        # Only follow relationships whose id is even.
+        description = TraversalDescription().filter_relationships(
+            lambda entry: entry.rel_id % 2 == 0
+        )
+        paths = list(description.traverse(store, 0))
+        for path in paths:
+            assert all(rel % 2 == 0 for rel in path.relationships)
+
+    def test_prune_evaluator(self, store):
+        def stop_at_one(path: Path) -> Evaluation:
+            if path.length >= 1:
+                return Evaluation.INCLUDE_AND_PRUNE
+            return Evaluation.INCLUDE_AND_CONTINUE
+
+        paths = list(TraversalDescription().evaluator(stop_at_one).traverse(store, 0))
+        assert max(path.length for path in paths) == 1
+
+    def test_exclude_evaluator(self, store):
+        def only_even_nodes(path: Path) -> Evaluation:
+            if path.end % 2 == 0:
+                return Evaluation.INCLUDE_AND_CONTINUE
+            return Evaluation.EXCLUDE_AND_CONTINUE
+
+        paths = list(
+            TraversalDescription().evaluator(only_even_nodes).traverse(store, 0)
+        )
+        assert all(path.end % 2 == 0 for path in paths)
+        # Odd nodes are traversed through, just not included.
+        assert {path.end for path in paths} == {0, 2, 4}
+
+    def test_builder_is_immutable(self, store):
+        base = TraversalDescription()
+        limited = base.max_depth(1)
+        all_paths = list(base.traverse(store, 0))
+        limited_paths = list(limited.traverse(store, 0))
+        assert len(all_paths) > len(limited_paths)

@@ -1,0 +1,85 @@
+"""Tests for the property-value codec (roundtrip + hypothesis)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import StorageError
+from repro.storage.values import decode_value, encode_value
+
+
+SAMPLES = [
+    None,
+    True,
+    False,
+    0,
+    1,
+    -1,
+    2**70,
+    -(2**70),
+    0.0,
+    3.14159,
+    float("inf"),
+    "",
+    "hello",
+    "unicode: héllo ✓",
+    b"",
+    b"\x00\xff" * 10,
+    [],
+    [1, "two", 3.0, None, True],
+    [[1, 2], [3, [4, 5]]],
+]
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("value", SAMPLES, ids=repr)
+    def test_samples(self, value):
+        assert decode_value(encode_value(value)) == value
+
+    def test_bool_not_confused_with_int(self):
+        assert decode_value(encode_value(True)) is True
+        assert decode_value(encode_value(1)) == 1
+        assert decode_value(encode_value(1)) is not True
+
+    def test_unsupported_type(self):
+        with pytest.raises(StorageError):
+            encode_value({"a": 1})
+        with pytest.raises(StorageError):
+            encode_value(object())
+
+
+class TestMalformed:
+    def test_truncated(self):
+        payload = encode_value("hello world")
+        with pytest.raises(StorageError):
+            decode_value(payload[:-3])
+
+    def test_trailing_garbage(self):
+        with pytest.raises(StorageError):
+            decode_value(encode_value(1) + b"\x00")
+
+    def test_unknown_tag(self):
+        with pytest.raises(StorageError):
+            decode_value(bytes([250]))
+
+    def test_empty(self):
+        with pytest.raises(StorageError):
+            decode_value(b"")
+
+
+value_strategy = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers()
+    | st.floats(allow_nan=False)
+    | st.text(max_size=40)
+    | st.binary(max_size=40),
+    lambda children: st.lists(children, max_size=6),
+    max_leaves=20,
+)
+
+
+@given(value_strategy)
+@settings(max_examples=200, deadline=None)
+def test_roundtrip_property(value):
+    assert decode_value(encode_value(value)) == value

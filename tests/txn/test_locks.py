@@ -1,0 +1,142 @@
+"""Tests for the shared/exclusive lock table."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.txn.locks import LockManager, LockMode
+
+
+class TestGrants:
+    def test_exclusive_grant(self):
+        locks = LockManager()
+        assert locks.acquire(1, "r", LockMode.EXCLUSIVE)
+        assert locks.holds(1, "r")
+
+    def test_shared_compatible(self):
+        locks = LockManager()
+        assert locks.acquire(1, "r", LockMode.SHARED)
+        assert locks.acquire(2, "r", LockMode.SHARED)
+        assert locks.holds(1, "r") and locks.holds(2, "r")
+
+    def test_exclusive_conflicts_with_shared(self):
+        locks = LockManager()
+        assert locks.acquire(1, "r", LockMode.SHARED)
+        assert not locks.acquire(2, "r", LockMode.EXCLUSIVE)
+        assert locks.is_waiting(2, "r")
+
+    def test_shared_blocked_by_exclusive(self):
+        locks = LockManager()
+        assert locks.acquire(1, "r", LockMode.EXCLUSIVE)
+        assert not locks.acquire(2, "r", LockMode.SHARED)
+
+    def test_reentrant(self):
+        locks = LockManager()
+        assert locks.acquire(1, "r", LockMode.EXCLUSIVE)
+        assert locks.acquire(1, "r", LockMode.EXCLUSIVE)
+        assert locks.acquire(1, "r", LockMode.SHARED)
+
+    def test_upgrade_sole_holder(self):
+        locks = LockManager()
+        assert locks.acquire(1, "r", LockMode.SHARED)
+        assert locks.acquire(1, "r", LockMode.EXCLUSIVE)
+
+    def test_upgrade_blocked_with_cohablers(self):
+        locks = LockManager()
+        assert locks.acquire(1, "r", LockMode.SHARED)
+        assert locks.acquire(2, "r", LockMode.SHARED)
+        assert not locks.acquire(1, "r", LockMode.EXCLUSIVE)
+
+    def test_fifo_no_queue_jumping(self):
+        locks = LockManager()
+        assert locks.acquire(1, "r", LockMode.EXCLUSIVE)
+        assert not locks.acquire(2, "r", LockMode.SHARED)
+        # Txn 3 could share with nobody: the queue is non-empty, so it
+        # must wait behind txn 2 even after 1 releases.
+        assert not locks.acquire(3, "r", LockMode.EXCLUSIVE)
+
+
+class TestRelease:
+    def test_release_promotes_waiter(self):
+        locks = LockManager()
+        locks.acquire(1, "r", LockMode.EXCLUSIVE)
+        locks.acquire(2, "r", LockMode.EXCLUSIVE)
+        promoted = locks.release_all(1)
+        assert (2, "r") in promoted
+        assert locks.holds(2, "r")
+
+    def test_release_promotes_shared_batch(self):
+        locks = LockManager()
+        locks.acquire(1, "r", LockMode.EXCLUSIVE)
+        locks.acquire(2, "r", LockMode.SHARED)
+        locks.acquire(3, "r", LockMode.SHARED)
+        promoted = locks.release_all(1)
+        assert set(promoted) == {(2, "r"), (3, "r")}
+        assert locks.holds(2, "r") and locks.holds(3, "r")
+
+    def test_release_promotes_pending_upgrade(self):
+        locks = LockManager()
+        locks.acquire(1, "r", LockMode.SHARED)
+        locks.acquire(2, "r", LockMode.SHARED)
+        locks.acquire(1, "r", LockMode.EXCLUSIVE)  # queued upgrade
+        promoted = locks.release_all(2)
+        assert (1, "r") in promoted
+        assert locks.holds(1, "r")
+
+    def test_release_drops_queued_waits(self):
+        locks = LockManager()
+        locks.acquire(1, "r", LockMode.EXCLUSIVE)
+        locks.acquire(2, "r", LockMode.EXCLUSIVE)
+        locks.release_all(2)  # 2 gives up while waiting
+        assert not locks.is_waiting(2, "r")
+        locks.release_all(1)
+        assert not locks.holds(2, "r")
+
+    def test_release_all_multiple_resources(self):
+        locks = LockManager()
+        locks.acquire(1, "a", LockMode.EXCLUSIVE)
+        locks.acquire(1, "b", LockMode.EXCLUSIVE)
+        locks.release_all(1)
+        assert not locks.holds(1, "a")
+        assert not locks.holds(1, "b")
+        assert locks.held_resources(1) == set()
+
+
+class TestWaitTracking:
+    def test_waiting_since(self):
+        locks = LockManager()
+        locks.acquire(1, "r", LockMode.EXCLUSIVE, now=0.0)
+        locks.acquire(2, "r", LockMode.EXCLUSIVE, now=5.0)
+        waits = locks.waiting_since()
+        assert waits == [(2, "r", 5.0)]
+
+    def test_duplicate_enqueue_ignored(self):
+        locks = LockManager()
+        locks.acquire(1, "r", LockMode.EXCLUSIVE)
+        locks.acquire(2, "r", LockMode.EXCLUSIVE, now=1.0)
+        locks.acquire(2, "r", LockMode.EXCLUSIVE, now=2.0)
+        assert len(locks.waiting_since()) == 1
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["acquire_s", "acquire_x", "release"]),
+            st.integers(1, 4),  # txn
+            st.integers(0, 2),  # resource
+        ),
+        max_size=60,
+    )
+)
+@settings(max_examples=80, deadline=None)
+def test_lock_table_invariants_under_churn(ops):
+    """No op sequence may produce multiple exclusive holders or a broken
+    reverse index."""
+    locks = LockManager()
+    for op, txn, resource in ops:
+        if op == "acquire_s":
+            locks.acquire(txn, resource, LockMode.SHARED)
+        elif op == "acquire_x":
+            locks.acquire(txn, resource, LockMode.EXCLUSIVE)
+        else:
+            locks.release_all(txn)
+        locks.assert_consistent()

@@ -1,0 +1,94 @@
+"""Tests for mixed read/write traces and the client pool."""
+
+import pytest
+
+from repro.cluster.clients import ClientPool
+from repro.exceptions import WorkloadError
+from repro.graph.generators import community_graph
+from repro.cluster.hermes import HermesCluster
+from repro.partitioning.hashing import HashPartitioner
+from repro.workloads.mixed import mixed_trace
+from repro.workloads.queries import InsertEdge, InsertVertex, ReadVertex, Traversal
+from tests.conftest import make_random_graph
+
+
+class TestMixedTrace:
+    def test_write_fraction_respected(self):
+        graph = make_random_graph(50, 100, seed=1)
+        ops = list(mixed_trace(graph, 2000, write_fraction=0.3, seed=2))
+        writes = sum(1 for op in ops if isinstance(op, (InsertEdge, InsertVertex)))
+        assert 0.25 < writes / len(ops) < 0.35
+
+    def test_pure_reads(self):
+        graph = make_random_graph(20, 30, seed=3)
+        ops = list(mixed_trace(graph, 100, write_fraction=0.0, seed=4))
+        assert all(isinstance(op, Traversal) for op in ops)
+
+    def test_validation(self):
+        graph = make_random_graph(10, 10, seed=5)
+        with pytest.raises(WorkloadError):
+            list(mixed_trace(graph, 10, write_fraction=1.5))
+        with pytest.raises(WorkloadError):
+            list(mixed_trace(graph, -1, write_fraction=0.1))
+
+
+class TestClientPool:
+    @pytest.fixture
+    def cluster(self):
+        graph = community_graph(80, seed=6)
+        return HermesCluster.from_graph(
+            graph, num_servers=3, partitioner=HashPartitioner()
+        )
+
+    def test_runs_full_trace(self, cluster):
+        pool = ClientPool(cluster, num_clients=4)
+        trace = mixed_trace(cluster.graph, 50, write_fraction=0.2, seed=7)
+        report = pool.run(trace)
+        assert report.operations == 50
+        assert report.traversals + report.writes == 50
+        assert report.total_cost > 0
+        assert report.wall_time == pytest.approx(report.total_cost / 4)
+        cluster.validate()
+
+    def test_duration_budget_stops_early(self, cluster):
+        pool = ClientPool(cluster, num_clients=4)
+        trace = mixed_trace(cluster.graph, 10**6, write_fraction=0.0, seed=8)
+        report = pool.run(trace, duration=0.001)
+        assert report.operations < 10**6
+        assert report.wall_time >= 0.001
+
+    def test_max_operations(self, cluster):
+        pool = ClientPool(cluster, num_clients=4)
+        trace = mixed_trace(cluster.graph, 10**6, write_fraction=0.0, seed=9)
+        report = pool.run(trace, max_operations=7)
+        assert report.operations == 7
+
+    def test_read_vertex_operation(self, cluster):
+        pool = ClientPool(cluster, num_clients=1)
+        vertex = next(iter(cluster.graph.vertices()))
+        report = pool.run([ReadVertex(vertex)])
+        assert report.reads == 1
+        assert report.processed_vertices == 1
+
+    def test_throughput_metric(self, cluster):
+        pool = ClientPool(cluster, num_clients=2)
+        trace = mixed_trace(cluster.graph, 40, write_fraction=0.0, seed=10)
+        report = pool.run(trace)
+        assert report.throughput_vertices_per_second > 0
+        assert 0 < report.response_processed_ratio <= 1.0
+
+    def test_invalid_clients(self, cluster):
+        with pytest.raises(WorkloadError):
+            ClientPool(cluster, num_clients=0)
+
+    def test_unknown_operation_rejected(self, cluster):
+        pool = ClientPool(cluster, num_clients=1)
+        with pytest.raises(WorkloadError):
+            pool.run(["not-an-operation"])
+
+    def test_empty_report_properties(self, cluster):
+        pool = ClientPool(cluster, num_clients=2)
+        report = pool.run([])
+        assert report.wall_time == 0.0
+        assert report.throughput_vertices_per_second == 0.0
+        assert report.response_processed_ratio == 0.0

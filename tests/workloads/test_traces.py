@@ -1,0 +1,91 @@
+"""Tests for the read-traffic trace generators."""
+
+import collections
+
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.workloads.queries import Traversal
+from repro.workloads.traces import (
+    TraceConfig,
+    hotspot_trace,
+    uniform_trace,
+    zipf_trace,
+)
+
+VERTICES = list(range(100))
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            TraceConfig(num_queries=-1)
+        with pytest.raises(WorkloadError):
+            TraceConfig(hops=-1)
+
+
+class TestUniform:
+    def test_count_and_type(self):
+        ops = list(uniform_trace(VERTICES, TraceConfig(num_queries=50, seed=1)))
+        assert len(ops) == 50
+        assert all(isinstance(op, Traversal) for op in ops)
+        assert all(op.start in VERTICES for op in ops)
+
+    def test_deterministic(self):
+        a = list(uniform_trace(VERTICES, TraceConfig(num_queries=20, seed=2)))
+        b = list(uniform_trace(VERTICES, TraceConfig(num_queries=20, seed=2)))
+        assert a == b
+
+    def test_hops_respected(self):
+        ops = list(uniform_trace(VERTICES, TraceConfig(num_queries=5, hops=2, seed=3)))
+        assert all(op.hops == 2 for op in ops)
+
+    def test_empty_population(self):
+        with pytest.raises(WorkloadError):
+            list(uniform_trace([], TraceConfig(num_queries=1)))
+
+
+class TestHotspot:
+    def test_hot_set_oversampled(self):
+        hot = VERTICES[:20]  # 20% of the population
+        ops = list(
+            hotspot_trace(
+                VERTICES, hot, TraceConfig(num_queries=5000, seed=4), hot_multiplier=2.0
+            )
+        )
+        hot_hits = sum(1 for op in ops if op.start in set(hot))
+        # Expect ~40% of queries in the hot set (2x the uniform 20%).
+        assert 0.3 < hot_hits / len(ops) < 0.5
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            list(hotspot_trace(VERTICES, [], TraceConfig(num_queries=1)))
+        with pytest.raises(WorkloadError):
+            list(
+                hotspot_trace(
+                    VERTICES, VERTICES[:5], TraceConfig(num_queries=1), hot_multiplier=0.5
+                )
+            )
+
+    def test_all_hot_degenerate(self):
+        ops = list(
+            hotspot_trace(VERTICES, VERTICES, TraceConfig(num_queries=10, seed=5))
+        )
+        assert len(ops) == 10
+
+
+class TestZipf:
+    def test_heavy_head(self):
+        ops = list(
+            zipf_trace(VERTICES, TraceConfig(num_queries=5000, seed=6), exponent=1.2)
+        )
+        counts = collections.Counter(op.start for op in ops)
+        top = counts.most_common(1)[0][1]
+        median = sorted(counts.values())[len(counts) // 2]
+        assert top > 5 * median
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            list(zipf_trace([], TraceConfig(num_queries=1)))
+        with pytest.raises(WorkloadError):
+            list(zipf_trace(VERTICES, TraceConfig(num_queries=1), exponent=0))

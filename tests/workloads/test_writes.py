@@ -1,0 +1,61 @@
+"""Tests for graph-evolution write generation."""
+
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.graph.adjacency import SocialGraph
+from repro.workloads.queries import InsertEdge, InsertVertex
+from repro.workloads.writes import GraphEvolution
+from tests.conftest import make_random_graph
+
+
+class TestGraphEvolution:
+    def test_validation(self):
+        graph = SocialGraph()
+        with pytest.raises(WorkloadError):
+            GraphEvolution(graph, new_vertex_fraction=1.5)
+        with pytest.raises(WorkloadError):
+            GraphEvolution(graph, triadic_fraction=-0.1)
+
+    def test_new_vertices_get_fresh_ids(self):
+        graph = make_random_graph(10, 15, seed=1)
+        evolution = GraphEvolution(graph, new_vertex_fraction=1.0, seed=2)
+        ops = list(evolution.operations(5))
+        assert all(isinstance(op, InsertVertex) for op in ops)
+        ids = [op.vertex for op in ops]
+        assert len(set(ids)) == 5
+        assert min(ids) > max(graph.vertices())
+
+    def test_edges_are_valid_non_duplicates(self):
+        graph = make_random_graph(30, 50, seed=3)
+        evolution = GraphEvolution(graph, new_vertex_fraction=0.0, seed=4)
+        for op in evolution.operations(30):
+            if isinstance(op, InsertEdge):
+                assert op.u != op.v
+                assert not graph.has_edge(op.u, op.v)
+                # Apply so subsequent ops see the updated graph.
+                graph.add_edge(op.u, op.v)
+
+    def test_triadic_closure_bias(self):
+        """With triadic generation, most new edges close a 2-path."""
+        graph = make_random_graph(40, 120, seed=5)
+        evolution = GraphEvolution(
+            graph, new_vertex_fraction=0.0, triadic_fraction=1.0, seed=6
+        )
+        closures = 0
+        edges = 0
+        for op in evolution.operations(40):
+            if not isinstance(op, InsertEdge):
+                continue
+            edges += 1
+            if set(graph.neighbors(op.u)) & set(graph.neighbors(op.v)):
+                closures += 1
+            graph.add_edge(op.u, op.v)
+        assert edges > 0
+        assert closures / edges > 0.7
+
+    def test_empty_graph_emits_vertices(self):
+        graph = SocialGraph()
+        evolution = GraphEvolution(graph, seed=7)
+        op = evolution.next_operation()
+        assert isinstance(op, InsertVertex)
