@@ -54,6 +54,65 @@ def test_bench_candidate_selection(benchmark, partitioned):
     benchmark(select)
 
 
+def test_bench_selection_full_scan_reference(benchmark, partitioned):
+    """Pre-optimization candidate selection: every hosted vertex of the
+    source partition is evaluated through the reference Algorithm 1.
+    Kept as the comparison baseline for the boundary-scan bench below."""
+    graph, _, aux = partitioned
+
+    def select_full():
+        total = 0
+        average = aux.average_weight()
+        for source in range(aux.num_partitions):
+            for vertex in sorted(aux.vertices_in(source)):
+                target, _ = get_target_partition(
+                    aux, vertex, STAGE_LOW_TO_HIGH, 1.1, average
+                )
+                if target is not None:
+                    total += 1
+        return total
+
+    benchmark(select_full)
+
+
+def test_bench_selection_boundary_scan(benchmark, partitioned):
+    """Optimized candidate selection via the incremental engine: only the
+    stage's directional boundary set is scanned (full member set only
+    when the source is overloaded), through the inlined hot loop."""
+    graph, _, aux = partitioned
+    config = RepartitionerConfig(k=10)
+    repartitioner = LightweightRepartitioner(config)
+    k = config.effective_k(graph.num_vertices)
+
+    def select_boundary():
+        total = 0
+        average = aux.average_weight()
+        for source in range(aux.num_partitions):
+            total += len(
+                repartitioner._select_candidates(
+                    aux, source, STAGE_LOW_TO_HIGH, k, average
+                )
+            )
+        return total
+
+    benchmark(select_boundary)
+
+
+def test_bench_phase1_end_to_end(benchmark):
+    """End-to-end phase-1 run at n=5000 / 8 partitions — the acceptance
+    workload for the boundary-tracking engine (see BENCH_repartitioner.json
+    at the repo root for the recorded before/after numbers)."""
+    dataset = orkut_like(n=5000, seed=21)
+    graph = dataset.graph
+
+    def phase1():
+        partitioning = HashPartitioner(salt=21).partition(graph, 8)
+        config = RepartitionerConfig(k=10, max_iterations=60)
+        return LightweightRepartitioner(config).run(graph, partitioning)
+
+    benchmark.pedantic(phase1, rounds=3, iterations=1)
+
+
 def test_bench_logical_move(benchmark, partitioned):
     graph, _, aux = partitioned
     rng = random.Random(1)

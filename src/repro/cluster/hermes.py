@@ -17,7 +17,9 @@ system distributes across servers:
 * ``aux`` — the :class:`~repro.core.AuxiliaryData` that in Hermes is
   sharded per server; centralizing it changes nothing observable because
   every read the algorithm performs is one a hosting server could answer
-  locally.
+  locally.  Pass ``sharded_aux=True`` to run on the paper's per-server
+  :class:`~repro.core.ShardedAuxiliaryData` layout instead — the
+  repartitioner produces identical moves either way.
 """
 
 from __future__ import annotations
@@ -33,6 +35,7 @@ from repro.cluster.server import HermesServer
 from repro.cluster.traversal import TraversalEngine, TraversalResult
 from repro.core.auxiliary import AuxiliaryData
 from repro.core.config import RepartitionerConfig
+from repro.core.sharded import ShardedAuxiliaryData
 from repro.core.migration import build_migration_plan
 from repro.core.repartitioner import LightweightRepartitioner, RepartitionResult
 from repro.core.triggers import ImbalanceTrigger, TriggerDecision
@@ -53,6 +56,7 @@ class HermesCluster:
         repartitioner: Optional[RepartitionerConfig] = None,
         lock_timeout: float = 1.0,
         track_weights: bool = True,
+        sharded_aux: bool = False,
     ):
         if num_servers < 1:
             raise ClusterError("need at least one server")
@@ -70,7 +74,11 @@ class HermesCluster:
         ]
         self.catalog = Catalog(num_servers)
         self.graph = SocialGraph()
-        self.aux = AuxiliaryData(num_servers)
+        self.aux = (
+            ShardedAuxiliaryData(num_servers)
+            if sharded_aux
+            else AuxiliaryData(num_servers)
+        )
         self.repartitioner_config = repartitioner or RepartitionerConfig()
         self.trigger = ImbalanceTrigger(self.repartitioner_config.epsilon)
         self.track_weights = track_weights
@@ -318,6 +326,11 @@ class HermesCluster:
 
     def imbalance(self) -> float:
         return self.aux.max_imbalance()
+
+    def boundary_sizes(self) -> List[int]:
+        """Per-server count of vertices with cross-server neighbors — the
+        working-set size of the next phase-1 selection scan."""
+        return self.aux.boundary_sizes()
 
     def partitioning(self) -> Partitioning:
         return self.catalog.snapshot()

@@ -16,7 +16,9 @@ from repro.core.migration import MigrationPlan, build_migration_plan
 from repro.core.repartitioner import (
     IterationStats,
     LightweightRepartitioner,
+    ParallelSelectionStrategy,
     RepartitionResult,
+    SerialSelectionStrategy,
 )
 from repro.core.sharded import AuxiliaryShard, ShardedAuxiliaryData
 from repro.core.triggers import ImbalanceTrigger
@@ -29,6 +31,8 @@ __all__ = [
     "LightweightRepartitioner",
     "RepartitionResult",
     "IterationStats",
+    "SerialSelectionStrategy",
+    "ParallelSelectionStrategy",
     "MigrationCandidate",
     "get_target_partition",
     "gain",

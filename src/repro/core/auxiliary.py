@@ -15,6 +15,20 @@ adding an edge increments two integers, reading a vertex bumps its weight,
 and a logical migration moves one vertex's record and adjusts its
 neighbors' counters.  Maintenance cost is therefore proportional to the
 rate of change of the graph, never to its size.
+
+On top of the paper's counters this implementation keeps three derived
+structures up to date under the same incremental maintenance (see
+DESIGN.md, "Hot-path engineering"):
+
+* per-partition **directional boundary sets** — the vertices with >= 1
+  neighbor in a higher-ID (resp. lower-ID) partition, i.e. the only
+  vertices a non-overloaded partition ever needs to scan during a
+  stage-1 (resp. stage-2) candidate selection;
+* an **incremental external-degree total**, making ``edge_cut()`` O(1);
+* a **memoized total/max of the partition-weight vector**, making
+  ``average_weight()`` and ``max_imbalance()`` O(1) between weight
+  changes (the refreshed values are computed with exactly the same
+  ``sum``/``max`` expressions as before, so results are bit-identical).
 """
 
 from __future__ import annotations
@@ -24,6 +38,16 @@ from typing import Dict, Iterable, Iterator, List, Set, Tuple
 from repro.exceptions import PartitioningError, VertexNotFoundError
 from repro.graph.adjacency import SocialGraph
 from repro.partitioning.base import Partitioning
+
+
+def decayed_weight(weight: float, factor: float, floor: float) -> float:
+    """The shared popularity-aging rule: multiply, but never below floor."""
+    return max(floor, weight * factor)
+
+
+def check_decay_factor(factor: float) -> None:
+    if not 0.0 < factor <= 1.0:
+        raise PartitioningError(f"decay factor must be in (0, 1], got {factor}")
 
 
 class AuxiliaryData:
@@ -36,6 +60,14 @@ class AuxiliaryData:
         "_vertex_weights",
         "_neighbor_counts",
         "_members",
+        "_boundary_high",
+        "_boundary_low",
+        "_ext_high",
+        "_ext_low",
+        "_total_external",
+        "_weights_dirty",
+        "_cached_total_weight",
+        "_cached_max_weight",
     )
 
     def __init__(self, num_partitions: int):
@@ -49,6 +81,16 @@ class AuxiliaryData:
         #: sparse counters: vertex -> {partition: neighbor count > 0}
         self._neighbor_counts: Dict[int, Dict[int, int]] = {}
         self._members: List[Set[int]] = [set() for _ in range(num_partitions)]
+        #: vertices with >= 1 neighbor on a higher-ID / lower-ID partition
+        #: (stage 1 / stage 2 scan sets; their union is the boundary)
+        self._boundary_high: List[Set[int]] = [set() for _ in range(num_partitions)]
+        self._boundary_low: List[Set[int]] = [set() for _ in range(num_partitions)]
+        self._ext_high: Dict[int, int] = {}
+        self._ext_low: Dict[int, int] = {}
+        self._total_external = 0
+        self._weights_dirty = True
+        self._cached_total_weight = 0.0
+        self._cached_max_weight = 0.0
 
     # ------------------------------------------------------------------
     # Construction
@@ -82,7 +124,10 @@ class AuxiliaryData:
         self._vertex_weights[vertex] = weight
         self._neighbor_counts[vertex] = {}
         self._members[partition].add(vertex)
+        self._ext_high[vertex] = 0
+        self._ext_low[vertex] = 0
         self.partition_weights[partition] += weight
+        self._weights_dirty = True
 
     def remove_vertex(self, vertex: int) -> None:
         partition = self.partition_of(vertex)
@@ -92,27 +137,33 @@ class AuxiliaryData:
                 f"vertex {vertex} still has incident edges; remove them first"
             )
         self.partition_weights[partition] -= self._vertex_weights[vertex]
+        self._weights_dirty = True
         self._members[partition].discard(vertex)
+        self._boundary_high[partition].discard(vertex)
+        self._boundary_low[partition].discard(vertex)
         del self._vertex_partition[vertex]
         del self._vertex_weights[vertex]
         del self._neighbor_counts[vertex]
+        del self._ext_high[vertex]
+        del self._ext_low[vertex]
 
     def add_edge(self, u: int, v: int) -> None:
         """A new relationship: two integers get incremented (Section 3.1)."""
         pu, pv = self.partition_of(u), self.partition_of(v)
-        self._bump(u, pv, +1)
-        self._bump(v, pu, +1)
+        self._bump(u, pu, pv, +1)
+        self._bump(v, pv, pu, +1)
 
     def remove_edge(self, u: int, v: int) -> None:
         pu, pv = self.partition_of(u), self.partition_of(v)
-        self._bump(u, pv, -1)
-        self._bump(v, pu, -1)
+        self._bump(u, pu, pv, -1)
+        self._bump(v, pv, pu, -1)
 
     def add_weight(self, vertex: int, delta: float) -> None:
         """A read request increments the vertex's popularity weight."""
         partition = self.partition_of(vertex)
         self._vertex_weights[vertex] += delta
         self.partition_weights[partition] += delta
+        self._weights_dirty = True
 
     def set_weight(self, vertex: int, weight: float) -> None:
         self.add_weight(vertex, weight - self._vertex_weights[vertex])
@@ -124,16 +175,30 @@ class AuxiliaryData:
         so the balancer tracks *current* traffic rather than all-time
         totals.  ``floor`` keeps every vertex minimally weighted so empty
         partitions remain comparable.
-        """
-        if not 0.0 < factor <= 1.0:
-            raise PartitioningError(f"decay factor must be in (0, 1], got {factor}")
-        self.partition_weights = [0.0] * self.num_partitions
-        for vertex, weight in self._vertex_weights.items():
-            decayed = max(floor, weight * factor)
-            self._vertex_weights[vertex] = decayed
-            self.partition_weights[self._vertex_partition[vertex]] += decayed
 
-    def _bump(self, vertex: int, partition: int, delta: int) -> None:
+        Both auxiliary implementations share this semantics: each vertex
+        weight becomes ``max(floor, weight * factor)`` and each
+        partition's aggregate is rebuilt as the sum of its members'
+        decayed weights in sorted-vertex order, so centralized and
+        sharded stores end up with identical weight vectors.
+        """
+        check_decay_factor(factor)
+        weights = self._vertex_weights
+        for vertex, weight in weights.items():
+            weights[vertex] = decayed_weight(weight, factor, floor)
+        for partition, members in enumerate(self._members):
+            self.partition_weights[partition] = sum(
+                weights[vertex] for vertex in sorted(members)
+            )
+        self._weights_dirty = True
+
+    def _bump(self, vertex: int, home: int, partition: int, delta: int) -> None:
+        """Adjust ``vertex``'s neighbor count in ``partition`` by ``delta``.
+
+        ``home`` is the vertex's own partition; counts toward any *other*
+        partition are external degree, so the boundary set and the running
+        external-degree total are maintained here, in the same O(1) step.
+        """
         counts = self._neighbor_counts[vertex]
         new_value = counts.get(partition, 0) + delta
         if new_value < 0:
@@ -145,6 +210,22 @@ class AuxiliaryData:
             counts.pop(partition, None)
         else:
             counts[partition] = new_value
+        if partition > home:
+            ext = self._ext_high[vertex] + delta
+            self._ext_high[vertex] = ext
+            self._total_external += delta
+            if ext == 0:
+                self._boundary_high[home].discard(vertex)
+            elif ext == delta:  # first neighbor in a higher partition
+                self._boundary_high[home].add(vertex)
+        elif partition < home:
+            ext = self._ext_low[vertex] + delta
+            self._ext_low[vertex] = ext
+            self._total_external += delta
+            if ext == 0:
+                self._boundary_low[home].discard(vertex)
+            elif ext == delta:  # first neighbor in a lower partition
+                self._boundary_low[home].add(vertex)
 
     # ------------------------------------------------------------------
     # Logical migration
@@ -166,12 +247,109 @@ class AuxiliaryData:
         weight = self._vertex_weights[vertex]
         self.partition_weights[source] -= weight
         self.partition_weights[target] += weight
+        self._weights_dirty = True
         self._members[source].discard(vertex)
         self._members[target].add(vertex)
         self._vertex_partition[vertex] = target
+        # The vertex's own external degree is re-derived from its (sparse)
+        # counters against the new home; its neighbors' external degrees
+        # adjust inside the per-neighbor counter bumps below.
+        counts = self._neighbor_counts[vertex]
+        new_high = 0
+        new_low = 0
+        for partition, count in counts.items():
+            if partition > target:
+                new_high += count
+            elif partition < target:
+                new_low += count
+        self._total_external += (
+            new_high + new_low - self._ext_high[vertex] - self._ext_low[vertex]
+        )
+        self._ext_high[vertex] = new_high
+        self._ext_low[vertex] = new_low
+        self._boundary_high[source].discard(vertex)
+        self._boundary_low[source].discard(vertex)
+        if new_high:
+            self._boundary_high[target].add(vertex)
+        if new_low:
+            self._boundary_low[target].add(vertex)
+        # Per-neighbor counter transfer, inlined from _bump: each
+        # neighbor's "count in source" decrements and "count in target"
+        # increments.  Total external degree only changes for neighbors
+        # hosted on the source or target; a neighbor elsewhere keeps its
+        # total but may shift one unit between its high/low direction
+        # when source and target straddle its home partition.
+        vertex_partition = self._vertex_partition
+        neighbor_counts = self._neighbor_counts
+        ext_high = self._ext_high
+        ext_low = self._ext_low
+        boundary_high = self._boundary_high
+        boundary_low = self._boundary_low
         for nbr in neighbors:
-            self._bump(nbr, source, -1)
-            self._bump(nbr, target, +1)
+            nbr_counts = neighbor_counts[nbr]
+            value = nbr_counts.get(source, 0) - 1
+            if value < 0:
+                raise PartitioningError(
+                    f"neighbor count of vertex {nbr} in partition {source} "
+                    "would become negative"
+                )
+            if value == 0:
+                del nbr_counts[source]
+            else:
+                nbr_counts[source] = value
+            nbr_counts[target] = nbr_counts.get(target, 0) + 1
+            home = vertex_partition[nbr]
+            if home == source:
+                # The edge to ``vertex`` turned external, toward target.
+                if target > home:
+                    ext = ext_high[nbr] + 1
+                    ext_high[nbr] = ext
+                    if ext == 1:
+                        boundary_high[home].add(nbr)
+                else:
+                    ext = ext_low[nbr] + 1
+                    ext_low[nbr] = ext
+                    if ext == 1:
+                        boundary_low[home].add(nbr)
+                self._total_external += 1
+            elif home == target:
+                # The edge to ``vertex`` turned internal; it pointed
+                # toward source before the move.
+                if source > home:
+                    ext = ext_high[nbr] - 1
+                    ext_high[nbr] = ext
+                    if ext == 0:
+                        boundary_high[home].discard(nbr)
+                else:
+                    ext = ext_low[nbr] - 1
+                    ext_low[nbr] = ext
+                    if ext == 0:
+                        boundary_low[home].discard(nbr)
+                self._total_external -= 1
+            else:
+                # Third-party host: total external degree is unchanged,
+                # but the edge may swap direction if source and target
+                # lie on opposite sides of the neighbor's home.
+                source_high = source > home
+                if source_high != (target > home):
+                    if source_high:
+                        ext = ext_high[nbr] - 1
+                        ext_high[nbr] = ext
+                        if ext == 0:
+                            boundary_high[home].discard(nbr)
+                        ext = ext_low[nbr] + 1
+                        ext_low[nbr] = ext
+                        if ext == 1:
+                            boundary_low[home].add(nbr)
+                    else:
+                        ext = ext_low[nbr] - 1
+                        ext_low[nbr] = ext
+                        if ext == 0:
+                            boundary_low[home].discard(nbr)
+                        ext = ext_high[nbr] + 1
+                        ext_high[nbr] = ext
+                        if ext == 1:
+                            boundary_high[home].add(nbr)
         return source
 
     # ------------------------------------------------------------------
@@ -208,17 +386,57 @@ class AuxiliaryData:
         return sum(self.neighbor_counts(vertex).values())
 
     def external_degree(self, vertex: int) -> int:
-        """``d_ex(v)``: neighbors in partitions other than v's own."""
-        home = self.partition_of(vertex)
-        return sum(
-            count
-            for partition, count in self.neighbor_counts(vertex).items()
-            if partition != home
-        )
+        """``d_ex(v)``: neighbors in partitions other than v's own.  O(1)."""
+        try:
+            return self._ext_high[vertex] + self._ext_low[vertex]
+        except KeyError:
+            raise VertexNotFoundError(vertex) from None
 
     def vertices_in(self, partition: int) -> Set[int]:
         self._check_partition(partition)
         return self._members[partition]
+
+    def boundary_vertices(self, partition: int) -> Set[int]:
+        """Hosted vertices with >= 1 external neighbor (fresh set).
+
+        These are the only admissible migration candidates of a partition
+        that is not overloaded: an interior vertex's gain toward every
+        other partition is ``-d_v(home) <= 0``, which Algorithm 1 rejects
+        unless the source may shed load at negative gain.
+        """
+        self._check_partition(partition)
+        return self._boundary_high[partition] | self._boundary_low[partition]
+
+    def boundary_toward_higher(self, partition: int) -> Set[int]:
+        """Hosted vertices with >= 1 neighbor in a *higher-ID* partition
+        (do not mutate) — the stage-1 candidate scan set: a positive-gain
+        move toward a higher partition requires a neighbor there.
+        """
+        self._check_partition(partition)
+        return self._boundary_high[partition]
+
+    def boundary_toward_lower(self, partition: int) -> Set[int]:
+        """Stage-2 counterpart of :meth:`boundary_toward_higher`."""
+        self._check_partition(partition)
+        return self._boundary_low[partition]
+
+    def boundary_sizes(self) -> List[int]:
+        return [
+            len(high | low)
+            for high, low in zip(self._boundary_high, self._boundary_low)
+        ]
+
+    def selection_view(
+        self, partition: int
+    ) -> Tuple[Dict[int, float], Dict[int, Dict[int, int]]]:
+        """(vertex weights, neighbor counters) readable for ``partition``'s
+        hosted vertices — the raw maps Algorithm 1 evaluates, exposed so
+        the selection hot loop can use plain dict lookups (do not mutate).
+        The centralized store shares one map across partitions; the
+        sharded store returns the hosting shard's local maps.
+        """
+        self._check_partition(partition)
+        return self._vertex_weights, self._neighbor_counts
 
     def vertices(self) -> Iterator[int]:
         return iter(self._vertex_partition)
@@ -230,8 +448,17 @@ class AuxiliaryData:
     # ------------------------------------------------------------------
     # Balance queries (Algorithm 1 lines 2, 5 and 11)
     # ------------------------------------------------------------------
+    def _refresh_weight_cache(self) -> None:
+        # Same expressions as the historical per-call computation, so the
+        # memoized values are bit-identical to a fresh sum()/max().
+        self._cached_total_weight = sum(self.partition_weights)
+        self._cached_max_weight = max(self.partition_weights)
+        self._weights_dirty = False
+
     def average_weight(self) -> float:
-        return sum(self.partition_weights) / self.num_partitions
+        if self._weights_dirty:
+            self._refresh_weight_cache()
+        return self._cached_total_weight / self.num_partitions
 
     def imbalance_factor(self, partition: int, weight_delta: float = 0.0) -> float:
         """Ratio of (partition weight + delta) to the average weight.
@@ -257,15 +484,14 @@ class AuxiliaryData:
         average = self.average_weight()
         if average == 0:
             return 1.0
-        return max(self.partition_weights) / average
+        return self._cached_max_weight / average
 
     # ------------------------------------------------------------------
     # Derived whole-system metrics (for instrumentation, not the algorithm)
     # ------------------------------------------------------------------
     def edge_cut(self) -> int:
-        """Edge-cut computed purely from the counters: sum d_ex(v) / 2."""
-        total_external = sum(self.external_degree(v) for v in self.vertices())
-        return total_external // 2
+        """Edge-cut from the incremental counter: sum d_ex(v) / 2.  O(1)."""
+        return self._total_external // 2
 
     def to_partitioning(self) -> Partitioning:
         """Materialize the current assignment as a Partitioning object."""
@@ -273,6 +499,36 @@ class AuxiliaryData:
         for vertex, partition in self._vertex_partition.items():
             partitioning.assign(vertex, partition)
         return partitioning
+
+    def ingest_counts(self, vertex: int, counts: Dict[int, int]) -> None:
+        """Bulk-install a vertex's counter record (shard materialization).
+
+        Replaces the vertex's sparse counters wholesale while keeping the
+        external-degree total and boundary sets consistent.
+        """
+        home = self.partition_of(vertex)
+        old_ext = self._ext_high[vertex] + self._ext_low[vertex]
+        self._neighbor_counts[vertex] = {
+            partition: count for partition, count in counts.items() if count
+        }
+        new_high = 0
+        new_low = 0
+        for partition, count in counts.items():
+            if partition > home:
+                new_high += count
+            elif partition < home:
+                new_low += count
+        self._total_external += new_high + new_low - old_ext
+        self._ext_high[vertex] = new_high
+        self._ext_low[vertex] = new_low
+        if new_high:
+            self._boundary_high[home].add(vertex)
+        else:
+            self._boundary_high[home].discard(vertex)
+        if new_low:
+            self._boundary_low[home].add(vertex)
+        else:
+            self._boundary_low[home].discard(vertex)
 
     def memory_entries(self) -> Tuple[int, int]:
         """(counter entries, weight entries) actually stored.

@@ -12,6 +12,18 @@ migration to ``P_t`` iff all of the following hold (Section 3.1):
    gain are then acceptable) or the gain is strictly positive.
 
 Among admissible targets the one with maximum gain wins.
+
+Hot-path engineering (see DESIGN.md): migrations never change the total
+system weight, so within one selection stage the average weight is a
+constant.  Callers that evaluate many vertices against the same snapshot
+pass a **frozen** ``average`` (and the source's precomputed ``overloaded``
+flag) so no per-candidate weight-vector re-summing happens; the balance
+tests below then reduce to one multiply-free comparison each, with float
+semantics identical to the historical ``imbalance_factor`` calls.  When a
+source is *not* overloaded, only targets the vertex actually has
+neighbors in can beat the strictly-positive-gain bar, so the target scan
+iterates the vertex's sparse counter keys (in ascending partition ID, the
+same tie-break order as the dense scan) instead of all alpha partitions.
 """
 
 from __future__ import annotations
@@ -56,17 +68,32 @@ def get_target_partition(
     vertex: int,
     stage: int,
     epsilon: float,
+    average: Optional[float] = None,
+    overloaded: Optional[bool] = None,
 ) -> Tuple[Optional[int], int]:
     """Paper Algorithm 1: returns ``(target, gain)``; target None if no move.
 
     Only auxiliary data is consulted: the vertex's per-partition neighbor
     counts, its weight, and the aggregate partition weights.
+
+    ``average`` and ``overloaded`` let a per-stage caller freeze the
+    (migration-invariant) average weight and the source's overload status
+    instead of re-deriving them per vertex; when omitted they are computed
+    from ``aux`` exactly as the historical per-call code did.
     """
     source = aux.partition_of(vertex)
     weight = aux.weight_of(vertex)
+    partition_weights = aux.partition_weights
+    if average is None:
+        average = aux.average_weight()
 
-    # Line 2: moving v away must not underload the source.
-    if aux.imbalance_factor(source, -weight) < 2.0 - epsilon:
+    # Line 2: moving v away must not underload the source.  The factor
+    # expressions mirror ``imbalance_factor`` term for term so a frozen
+    # average yields bit-identical floats.
+    source_factor = (
+        1.0 if average == 0 else (partition_weights[source] + -weight) / average
+    )
+    if source_factor < 2.0 - epsilon:
         return None, 0
 
     # Lines 4-6: an overloaded source may shed vertices at negative gain;
@@ -79,16 +106,26 @@ def get_target_partition(
     # partition can have strictly negative gain.  We follow the prose and
     # treat the overloaded bound as unbounded below; the top-k selection
     # still prefers the least-damaging (maximum-gain) vertices.
-    target: Optional[int] = None
-    max_gain: float = 0
-    if aux.imbalance_factor(source) > epsilon:
-        max_gain = float("-inf")
+    if overloaded is None:
+        overloaded = (
+            1.0 if average == 0 else partition_weights[source] / average
+        ) > epsilon
 
     counts = aux.neighbor_counts(vertex)
     d_source = counts.get(source, 0)
 
-    # Lines 7-13: scan admissible targets, keep the maximum-gain one.
-    for candidate in range(aux.num_partitions):
+    # Lines 7-13: scan admissible targets, keep the maximum-gain one.  A
+    # non-overloaded source needs gain > 0, which only partitions present
+    # in the sparse counters can supply; an overloaded source admits
+    # negative gain, so every partition stays in play.
+    target: Optional[int] = None
+    max_gain: float = 0
+    if overloaded:
+        max_gain = float("-inf")
+        candidates = range(aux.num_partitions)
+    else:
+        candidates = sorted(counts)
+    for candidate in candidates:
         if candidate == source:
             continue
         if not direction_allows(stage, source, candidate):
@@ -96,7 +133,12 @@ def get_target_partition(
         candidate_gain = counts.get(candidate, 0) - d_source
         if candidate_gain <= max_gain:
             continue  # cheap reject before the balance check
-        if aux.imbalance_factor(candidate, +weight) < epsilon:
+        candidate_factor = (
+            1.0
+            if average == 0
+            else (partition_weights[candidate] + weight) / average
+        )
+        if candidate_factor < epsilon:
             target = candidate
             max_gain = candidate_gain
 

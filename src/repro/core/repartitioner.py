@@ -9,11 +9,22 @@ and logically migrates them — only auxiliary records move.  The phase ends
 when an entire iteration selects no candidate; the resulting set of moves
 is then handed to the physical-migration phase (:mod:`repro.core.migration`
 and :mod:`repro.cluster.migration_executor`).
+
+Hot-path engineering (DESIGN.md): selection freezes the stage's average
+weight once (migrations never change the total), scans only the source
+partition's *boundary set* unless the source is overloaded (interior
+vertices can then be shed at negative gain, so the full member set is
+admissible), and may fan the per-partition selection out over a thread
+pool via :class:`ParallelSelectionStrategy` — selection is read-only
+against the snapshot, matching the paper's "each partition selects its
+candidates in parallel".  All three optimizations preserve the exact move
+sequence of the straightforward implementation.
 """
 
 from __future__ import annotations
 
 import heapq
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -23,7 +34,6 @@ from repro.core.candidates import (
     STAGE_HIGH_TO_LOW,
     STAGE_LOW_TO_HIGH,
     MigrationCandidate,
-    get_target_partition,
 )
 from repro.core.config import RepartitionerConfig
 from repro.exceptions import PartitioningError
@@ -73,6 +83,48 @@ class RepartitionResult:
         return len(self.moves)
 
 
+class SerialSelectionStrategy:
+    """Select each partition's candidates one after the other (default)."""
+
+    def select(
+        self, select_one: Callable[[int], List[MigrationCandidate]], sources: range
+    ) -> List[List[MigrationCandidate]]:
+        return [select_one(source) for source in sources]
+
+    def close(self) -> None:
+        pass
+
+
+class ParallelSelectionStrategy:
+    """Fan per-partition selection out over a thread pool.
+
+    The paper's stage semantics — every partition selects against the same
+    auxiliary-data snapshot, moves apply only afterwards — make selection
+    embarrassingly parallel: it reads the snapshot and writes nothing.
+    Results are gathered in source-partition order, so the applied move
+    sequence is identical to the serial strategy's.
+    """
+
+    def __init__(self, max_workers: Optional[int] = None):
+        self.max_workers = max_workers
+        self._pool: Optional[ThreadPoolExecutor] = None
+
+    def select(
+        self, select_one: Callable[[int], List[MigrationCandidate]], sources: range
+    ) -> List[List[MigrationCandidate]]:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.max_workers,
+                thread_name_prefix="hermes-select",
+            )
+        return list(self._pool.map(select_one, sources))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+
 class LightweightRepartitioner:
     """The paper's dynamic repartitioner (Sections 3.1-3.3).
 
@@ -92,6 +144,11 @@ class LightweightRepartitioner:
 
     def __init__(self, config: Optional[RepartitionerConfig] = None):
         self.config = config or RepartitionerConfig()
+
+    def _make_selection_strategy(self):
+        if self.config.parallel_selection:
+            return ParallelSelectionStrategy(self.config.selection_workers)
+        return SerialSelectionStrategy()
 
     # ------------------------------------------------------------------
     def run(
@@ -138,32 +195,38 @@ class LightweightRepartitioner:
             else (STAGE_ANY_DIRECTION,)
         )
         k = self.config.effective_k(graph.num_vertices)
+        selection = self._make_selection_strategy()
 
-        best_cut = result.initial_edge_cut
-        best_cut_iteration = 0
-        for iteration in range(1, self.config.max_iterations + 1):
-            migrations = 0
-            for stage in stages:
-                migrations += self._run_stage(graph, partitioning, aux, stage, k)
-            stats = IterationStats(
-                iteration=iteration,
-                migrations=migrations,
-                edge_cut=aux.edge_cut(),
-                max_imbalance=aux.max_imbalance(),
-            )
-            result.history.append(stats)
-            result.iterations = iteration
-            if on_iteration is not None:
-                on_iteration(stats)
-            if migrations == 0:
-                result.converged = True
-                break
-            if stats.edge_cut < best_cut:
-                best_cut = stats.edge_cut
-                best_cut_iteration = iteration
-            if self._stalled(stats, iteration, best_cut_iteration):
-                result.stalled = True
-                break
+        try:
+            best_cut = result.initial_edge_cut
+            best_cut_iteration = 0
+            for iteration in range(1, self.config.max_iterations + 1):
+                migrations = 0
+                for stage in stages:
+                    migrations += self._run_stage(
+                        graph, partitioning, aux, stage, k, selection
+                    )
+                stats = IterationStats(
+                    iteration=iteration,
+                    migrations=migrations,
+                    edge_cut=aux.edge_cut(),
+                    max_imbalance=aux.max_imbalance(),
+                )
+                result.history.append(stats)
+                result.iterations = iteration
+                if on_iteration is not None:
+                    on_iteration(stats)
+                if migrations == 0:
+                    result.converged = True
+                    break
+                if stats.edge_cut < best_cut:
+                    best_cut = stats.edge_cut
+                    best_cut_iteration = iteration
+                if self._stalled(stats, iteration, best_cut_iteration):
+                    result.stalled = True
+                    break
+        finally:
+            selection.close()
 
         result.final_edge_cut = aux.edge_cut()
         result.final_imbalance = aux.max_imbalance()
@@ -197,6 +260,7 @@ class LightweightRepartitioner:
         aux: AuxiliaryData,
         stage: int,
         k: int,
+        selection: Optional[SerialSelectionStrategy] = None,
     ) -> int:
         """One stage: parallel per-partition selection, then apply moves.
 
@@ -204,11 +268,19 @@ class LightweightRepartitioner:
         of the auxiliary data (matching the paper's parallel execution:
         "the algorithm does not know the target partition of other
         vertices"), selects its top-k by gain, and all chosen vertices then
-        migrate logically.
+        migrate logically.  The average weight is frozen once per stage:
+        logical migration moves weight between partitions but never
+        changes the total, and no moves apply until selection finishes.
         """
-        chosen: List[MigrationCandidate] = []
-        for source in range(aux.num_partitions):
-            chosen.extend(self._select_candidates(aux, source, stage, k))
+        if selection is None:
+            selection = SerialSelectionStrategy()
+        average = aux.average_weight()
+
+        def select_one(source: int) -> List[MigrationCandidate]:
+            return self._select_candidates(aux, source, stage, k, average)
+
+        per_source = selection.select(select_one, range(aux.num_partitions))
+        chosen = [candidate for batch in per_source for candidate in batch]
         for candidate in chosen:
             # Current partition may have changed only if the same vertex was
             # selected twice, which per-partition selection rules out.
@@ -219,26 +291,140 @@ class LightweightRepartitioner:
         return len(chosen)
 
     def _select_candidates(
-        self, aux: AuxiliaryData, source: int, stage: int, k: int
+        self,
+        aux: AuxiliaryData,
+        source: int,
+        stage: int,
+        k: int,
+        average: Optional[float] = None,
     ) -> List[MigrationCandidate]:
         """Algorithm 2 lines 4-9 for one source partition.
 
         Returns at most ``k`` candidates, the ones with maximum gain.
+        This is the selection hot loop, so Algorithm 1 (the per-vertex
+        target choice, reference implementation in
+        :func:`~repro.core.candidates.get_target_partition`) is inlined
+        against the raw weight/counter maps with the stage's frozen
+        average.  Only the boundary set is scanned unless the source is
+        overloaded: an interior vertex's best gain is ``-d_v(source) <= 0``,
+        which Algorithm 1 only admits for overload shedding.  The inlined
+        target scan picks the maximum-gain balance-admissible target,
+        lowest partition ID on ties — provably the same winner as the
+        reference's ascending scan — and its balance tests reuse the
+        historical ``imbalance_factor`` float expressions term for term,
+        so the selected candidates are bit-identical.
         """
         epsilon = self.config.epsilon
-        top_k: List[Tuple[int, int, MigrationCandidate]] = []  # min-heap
+        if average is None:
+            average = aux.average_weight()
+        partition_weights = aux.partition_weights
+        source_weight = partition_weights[source]
+        overloaded = (
+            1.0 if average == 0 else source_weight / average
+        ) > epsilon
+        weights, counters = aux.selection_view(source)
+        two_minus_eps = 2.0 - epsilon
+        # Admissible-target ID bounds for the stage, hoisted out of the
+        # inner loops.  The overload path scans the dense range ascending
+        # (as in the reference); the non-overloaded path instead walks the
+        # vertex's sparse counters, since only partitions it has neighbors
+        # in can clear the strictly-positive-gain bar — and therefore only
+        # needs to scan the stage's *directional* boundary set: a vertex
+        # with no neighbor in an allowed-direction partition cannot
+        # produce a candidate this stage.
+        if stage == STAGE_LOW_TO_HIGH:
+            cp_lo, cp_hi = source + 1, aux.num_partitions - 1
+            scan = (
+                aux.vertices_in(source)
+                if overloaded
+                else aux.boundary_toward_higher(source)
+            )
+        elif stage == STAGE_HIGH_TO_LOW:
+            cp_lo, cp_hi = 0, source - 1
+            scan = (
+                aux.vertices_in(source)
+                if overloaded
+                else aux.boundary_toward_lower(source)
+            )
+        else:  # STAGE_ANY_DIRECTION (ablation only)
+            cp_lo, cp_hi = 0, aux.num_partitions - 1
+            scan = (
+                aux.vertices_in(source)
+                if overloaded
+                else aux.boundary_vertices(source)
+            )
+        dense_targets = range(cp_lo, cp_hi + 1)
+
+        # Min-heap of (gain, tiebreak, vertex, target); the unique tiebreak
+        # means the trailing fields never get compared, and the winning
+        # MigrationCandidate objects are only materialized for the <= k
+        # survivors rather than every admissible vertex.
+        top_k: List[Tuple[int, int, int, int]] = []
+        heappush, heapreplace = heapq.heappush, heapq.heapreplace
         tiebreak = 0
         # Sorted scan: deterministic tie-breaking regardless of how the
         # auxiliary store (centralized or sharded) orders its vertex sets.
-        for vertex in sorted(aux.vertices_in(source)):
-            target, vertex_gain = get_target_partition(aux, vertex, stage, epsilon)
+        for vertex in sorted(scan):
+            weight = weights[vertex]
+            # Algorithm 1 line 2: moving v must not underload the source.
+            if (
+                average != 0
+                and (source_weight + -weight) / average < two_minus_eps
+            ):
+                continue
+            counts = counters[vertex]
+            d_source = counts.get(source, 0)
+            target = None
+            if overloaded:
+                best_gain = float("-inf")
+                for candidate_partition in dense_targets:
+                    if candidate_partition == source:
+                        continue
+                    candidate_gain = (
+                        counts.get(candidate_partition, 0) - d_source
+                    )
+                    if candidate_gain <= best_gain:
+                        continue
+                    if (
+                        average == 0
+                        or (partition_weights[candidate_partition] + weight)
+                        / average
+                        < epsilon
+                    ):
+                        target = candidate_partition
+                        best_gain = candidate_gain
+            else:
+                best_gain = 0
+                for candidate_partition, count in counts.items():
+                    if (
+                        candidate_partition < cp_lo
+                        or candidate_partition > cp_hi
+                        or candidate_partition == source
+                    ):
+                        continue
+                    candidate_gain = count - d_source
+                    if candidate_gain < best_gain or (
+                        candidate_gain == best_gain
+                        and (target is None or candidate_partition > target)
+                    ):
+                        continue
+                    if (
+                        average == 0
+                        or (partition_weights[candidate_partition] + weight)
+                        / average
+                        < epsilon
+                    ):
+                        target = candidate_partition
+                        best_gain = candidate_gain
             if target is None:
                 continue
-            candidate = MigrationCandidate(vertex, source, target, vertex_gain)
-            entry = (vertex_gain, tiebreak, candidate)
+            entry = (best_gain, tiebreak, vertex, target)
             tiebreak += 1
             if len(top_k) < k:
-                heapq.heappush(top_k, entry)
-            elif entry[0] > top_k[0][0]:
-                heapq.heapreplace(top_k, entry)
-        return [entry[2] for entry in top_k]
+                heappush(top_k, entry)
+            elif best_gain > top_k[0][0]:
+                heapreplace(top_k, entry)
+        return [
+            MigrationCandidate(entry[2], source, entry[3], entry[0])
+            for entry in top_k
+        ]

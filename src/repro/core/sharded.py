@@ -15,6 +15,14 @@ server knows the total weight of all other partitions" (Section 3.1).
   shard and forwards counter updates to each neighbor's hosting shard —
   the messages the real system exchanges.
 
+Each shard additionally maintains its own **directional boundary
+sets** (hosted vertices with >= 1 neighbor on a higher-ID / lower-ID
+server), per-vertex directional external-degree maps, a running
+external-degree total and a cached aggregate weight — all
+updated in the same O(1) steps that maintain the paper's counters, so
+``edge_cut()``, ``average_weight()`` and ``max_imbalance()`` never sweep
+the vertex set (see DESIGN.md, "Hot-path engineering").
+
 The class is interface-compatible with
 :class:`~repro.core.auxiliary.AuxiliaryData`, so the
 :class:`~repro.core.repartitioner.LightweightRepartitioner` runs on it
@@ -25,9 +33,9 @@ that the algorithm needs no global state.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Set, Tuple
+from typing import Dict, Iterable, Iterator, KeysView, List, Set, Tuple
 
-from repro.core.auxiliary import AuxiliaryData
+from repro.core.auxiliary import AuxiliaryData, check_decay_factor, decayed_weight
 from repro.exceptions import PartitioningError, VertexNotFoundError
 from repro.graph.adjacency import SocialGraph
 from repro.partitioning.base import Partitioning
@@ -36,17 +44,37 @@ from repro.partitioning.base import Partitioning
 class AuxiliaryShard:
     """One server's slice: counters + weights for hosted vertices only."""
 
-    __slots__ = ("server_id", "num_partitions", "vertex_weights", "neighbor_counts")
+    __slots__ = (
+        "server_id",
+        "num_partitions",
+        "vertex_weights",
+        "neighbor_counts",
+        "boundary_high",
+        "boundary_low",
+        "ext_high",
+        "ext_low",
+        "total_external",
+        "_local_weight",
+    )
 
     def __init__(self, server_id: int, num_partitions: int):
         self.server_id = server_id
         self.num_partitions = num_partitions
         self.vertex_weights: Dict[int, float] = {}
         self.neighbor_counts: Dict[int, Dict[int, int]] = {}
+        #: hosted vertices with >= 1 neighbor on a higher-ID (resp.
+        #: lower-ID) server — the stage-1 / stage-2 scan sets
+        self.boundary_high: Set[int] = set()
+        self.boundary_low: Set[int] = set()
+        self.ext_high: Dict[int, int] = {}
+        self.ext_low: Dict[int, int] = {}
+        self.total_external = 0
+        self._local_weight = 0.0
 
     @property
     def local_weight(self) -> float:
-        return sum(self.vertex_weights.values())
+        """Aggregate hosted weight, maintained incrementally.  O(1)."""
+        return self._local_weight
 
     def host(self, vertex: int, weight: float, counts: Dict[int, int]) -> None:
         if vertex in self.vertex_weights:
@@ -55,6 +83,21 @@ class AuxiliaryShard:
             )
         self.vertex_weights[vertex] = weight
         self.neighbor_counts[vertex] = dict(counts)
+        self._local_weight += weight
+        high = 0
+        low = 0
+        for partition, count in counts.items():
+            if partition > self.server_id:
+                high += count
+            elif partition < self.server_id:
+                low += count
+        self.ext_high[vertex] = high
+        self.ext_low[vertex] = low
+        self.total_external += high + low
+        if high:
+            self.boundary_high.add(vertex)
+        if low:
+            self.boundary_low.add(vertex)
 
     def evict(self, vertex: int) -> Tuple[float, Dict[int, int]]:
         """Hand the vertex's auxiliary record to a migration message."""
@@ -62,7 +105,15 @@ class AuxiliaryShard:
             weight = self.vertex_weights.pop(vertex)
         except KeyError:
             raise VertexNotFoundError(vertex) from None
+        self._local_weight -= weight
+        self.total_external -= self.ext_high.pop(vertex) + self.ext_low.pop(vertex)
+        self.boundary_high.discard(vertex)
+        self.boundary_low.discard(vertex)
         return weight, self.neighbor_counts.pop(vertex)
+
+    def bump_weight(self, vertex: int, delta: float) -> None:
+        self.vertex_weights[vertex] += delta
+        self._local_weight += delta
 
     def bump(self, vertex: int, partition: int, delta: int) -> None:
         counts = self.neighbor_counts[vertex]
@@ -76,6 +127,34 @@ class AuxiliaryShard:
             counts.pop(partition, None)
         else:
             counts[partition] = value
+        if partition > self.server_id:
+            ext = self.ext_high[vertex] + delta
+            self.ext_high[vertex] = ext
+            self.total_external += delta
+            if ext == 0:
+                self.boundary_high.discard(vertex)
+            elif ext == delta:  # first neighbor on a higher server
+                self.boundary_high.add(vertex)
+        elif partition < self.server_id:
+            ext = self.ext_low[vertex] + delta
+            self.ext_low[vertex] = ext
+            self.total_external += delta
+            if ext == 0:
+                self.boundary_low.discard(vertex)
+            elif ext == delta:  # first neighbor on a lower server
+                self.boundary_low.add(vertex)
+
+    def decay(self, factor: float, floor: float) -> None:
+        """Apply the shared aging rule locally and rebuild the aggregate.
+
+        The aggregate is re-summed in sorted-vertex order — the same
+        order the centralized store uses — so the gossiped weight vector
+        matches the centralized one exactly.
+        """
+        weights = self.vertex_weights
+        for vertex, weight in weights.items():
+            weights[vertex] = decayed_weight(weight, factor, floor)
+        self._local_weight = sum(weights[vertex] for vertex in sorted(weights))
 
 
 class ShardedAuxiliaryData:
@@ -94,6 +173,9 @@ class ShardedAuxiliaryData:
         self.partition_weights: List[float] = [0.0] * num_partitions
         #: instrumentation: migration/update messages between shards
         self.messages_sent = 0
+        self._weights_dirty = True
+        self._cached_total_weight = 0.0
+        self._cached_max_weight = 0.0
 
     # ------------------------------------------------------------------
     @classmethod
@@ -120,6 +202,7 @@ class ShardedAuxiliaryData:
         which each server 'knows the total weight of all partitions')."""
         self.partition_weights = [shard.local_weight for shard in self.shards]
         self.messages_sent += self.num_partitions * (self.num_partitions - 1)
+        self._weights_dirty = True
 
     # ------------------------------------------------------------------
     # Maintenance driven by request execution
@@ -131,6 +214,7 @@ class ShardedAuxiliaryData:
         self.shards[partition].host(vertex, weight, {})
         self._home[vertex] = partition
         self.partition_weights[partition] += weight
+        self._weights_dirty = True
 
     def remove_vertex(self, vertex: int) -> None:
         shard = self._shard_of(vertex)
@@ -140,6 +224,7 @@ class ShardedAuxiliaryData:
             )
         weight, _ = shard.evict(vertex)
         self.partition_weights[shard.server_id] -= weight
+        self._weights_dirty = True
         del self._home[vertex]
 
     def add_edge(self, u: int, v: int) -> None:
@@ -158,18 +243,21 @@ class ShardedAuxiliaryData:
 
     def add_weight(self, vertex: int, delta: float) -> None:
         shard = self._shard_of(vertex)
-        shard.vertex_weights[vertex] += delta
+        shard.bump_weight(vertex, delta)
         self.partition_weights[shard.server_id] += delta
+        self._weights_dirty = True
 
     def set_weight(self, vertex: int, weight: float) -> None:
         self.add_weight(vertex, weight - self.weight_of(vertex))
 
     def decay_weights(self, factor: float, floor: float = 1.0) -> None:
-        if not 0.0 < factor <= 1.0:
-            raise PartitioningError(f"decay factor must be in (0, 1], got {factor}")
+        """Shared decay semantics: every shard ages its hosted weights
+        locally, then the refreshed aggregates are gossiped so the
+        replicated vector — floors included — matches the centralized
+        implementation exactly."""
+        check_decay_factor(factor)
         for shard in self.shards:
-            for vertex, weight in shard.vertex_weights.items():
-                shard.vertex_weights[vertex] = max(floor, weight * factor)
+            shard.decay(factor, floor)
         self.gossip_weights()
 
     # ------------------------------------------------------------------
@@ -185,12 +273,76 @@ class ShardedAuxiliaryData:
         self._home[vertex] = target
         self.partition_weights[source] -= weight
         self.partition_weights[target] += weight
+        self._weights_dirty = True
         self.messages_sent += 1  # the migrated auxiliary record
+        # Per-neighbor counter transfer, inlined from AuxiliaryShard.bump:
+        # a neighbor hosted on the source gains an external neighbor, one
+        # on the target loses one, and anywhere else the totals cancel —
+        # though the edge may swap direction when source and target
+        # straddle the neighbor's home (those shards still receive a
+        # forwarded update message either way).
+        home_map = self._home
+        shards = self.shards
         for nbr in neighbors:
-            shard = self._shard_of(nbr)
-            shard.bump(nbr, source, -1)
-            shard.bump(nbr, target, +1)
-            if shard.server_id not in (source, target):
+            home = home_map[nbr]
+            shard = shards[home]
+            nbr_counts = shard.neighbor_counts[nbr]
+            value = nbr_counts.get(source, 0) - 1
+            if value < 0:
+                raise PartitioningError(
+                    f"negative neighbor count for vertex {nbr} on shard "
+                    f"{home}"
+                )
+            if value == 0:
+                del nbr_counts[source]
+            else:
+                nbr_counts[source] = value
+            nbr_counts[target] = nbr_counts.get(target, 0) + 1
+            if home == source:
+                if target > home:
+                    ext = shard.ext_high[nbr] + 1
+                    shard.ext_high[nbr] = ext
+                    if ext == 1:
+                        shard.boundary_high.add(nbr)
+                else:
+                    ext = shard.ext_low[nbr] + 1
+                    shard.ext_low[nbr] = ext
+                    if ext == 1:
+                        shard.boundary_low.add(nbr)
+                shard.total_external += 1
+            elif home == target:
+                if source > home:
+                    ext = shard.ext_high[nbr] - 1
+                    shard.ext_high[nbr] = ext
+                    if ext == 0:
+                        shard.boundary_high.discard(nbr)
+                else:
+                    ext = shard.ext_low[nbr] - 1
+                    shard.ext_low[nbr] = ext
+                    if ext == 0:
+                        shard.boundary_low.discard(nbr)
+                shard.total_external -= 1
+            else:
+                source_high = source > home
+                if source_high != (target > home):
+                    if source_high:
+                        ext = shard.ext_high[nbr] - 1
+                        shard.ext_high[nbr] = ext
+                        if ext == 0:
+                            shard.boundary_high.discard(nbr)
+                        ext = shard.ext_low[nbr] + 1
+                        shard.ext_low[nbr] = ext
+                        if ext == 1:
+                            shard.boundary_low.add(nbr)
+                    else:
+                        ext = shard.ext_low[nbr] - 1
+                        shard.ext_low[nbr] = ext
+                        if ext == 0:
+                            shard.boundary_low.discard(nbr)
+                        ext = shard.ext_high[nbr] + 1
+                        shard.ext_high[nbr] = ext
+                        if ext == 1:
+                            shard.boundary_high.add(nbr)
                 self.messages_sent += 1  # forwarded counter update
         return source
 
@@ -218,16 +370,47 @@ class ShardedAuxiliaryData:
         return sum(self.neighbor_counts(vertex).values())
 
     def external_degree(self, vertex: int) -> int:
-        home = self.partition_of(vertex)
-        return sum(
-            count
-            for partition, count in self.neighbor_counts(vertex).items()
-            if partition != home
-        )
+        """``d_ex(v)`` from the hosting shard's running maps.  O(1)."""
+        shard = self._shard_of(vertex)
+        return shard.ext_high[vertex] + shard.ext_low[vertex]
 
-    def vertices_in(self, partition: int) -> Set[int]:
+    def vertices_in(self, partition: int) -> KeysView[int]:
+        """Stable view of a shard's hosted vertices (no copy; do not
+        mutate), consistent with :meth:`AuxiliaryData.vertices_in`."""
         self._check_partition(partition)
-        return set(self.shards[partition].vertex_weights)
+        return self.shards[partition].vertex_weights.keys()
+
+    def boundary_vertices(self, partition: int) -> Set[int]:
+        """The shard's hosted vertices with external neighbors (fresh set)."""
+        self._check_partition(partition)
+        shard = self.shards[partition]
+        return shard.boundary_high | shard.boundary_low
+
+    def boundary_toward_higher(self, partition: int) -> Set[int]:
+        """Stage-1 scan set: hosted vertices with >= 1 neighbor on a
+        higher-ID server (do not mutate)."""
+        self._check_partition(partition)
+        return self.shards[partition].boundary_high
+
+    def boundary_toward_lower(self, partition: int) -> Set[int]:
+        """Stage-2 counterpart of :meth:`boundary_toward_higher`."""
+        self._check_partition(partition)
+        return self.shards[partition].boundary_low
+
+    def boundary_sizes(self) -> List[int]:
+        return [
+            len(shard.boundary_high | shard.boundary_low)
+            for shard in self.shards
+        ]
+
+    def selection_view(
+        self, partition: int
+    ) -> Tuple[Dict[int, float], Dict[int, Dict[int, int]]]:
+        """The hosting shard's local (weights, counters) maps — everything
+        Algorithm 1 reads about ``partition``'s vertices (do not mutate)."""
+        self._check_partition(partition)
+        shard = self.shards[partition]
+        return shard.vertex_weights, shard.neighbor_counts
 
     def vertices(self) -> Iterator[int]:
         return iter(self._home)
@@ -239,8 +422,15 @@ class ShardedAuxiliaryData:
     # ------------------------------------------------------------------
     # Balance queries
     # ------------------------------------------------------------------
+    def _refresh_weight_cache(self) -> None:
+        self._cached_total_weight = sum(self.partition_weights)
+        self._cached_max_weight = max(self.partition_weights)
+        self._weights_dirty = False
+
     def average_weight(self) -> float:
-        return sum(self.partition_weights) / self.num_partitions
+        if self._weights_dirty:
+            self._refresh_weight_cache()
+        return self._cached_total_weight / self.num_partitions
 
     def imbalance_factor(self, partition: int, weight_delta: float = 0.0) -> float:
         self._check_partition(partition)
@@ -259,14 +449,13 @@ class ShardedAuxiliaryData:
         average = self.average_weight()
         if average == 0:
             return 1.0
-        return max(self.partition_weights) / average
+        return self._cached_max_weight / average
 
     # ------------------------------------------------------------------
     def edge_cut(self) -> int:
-        total_external = sum(
-            self.external_degree(vertex) for vertex in self._home
-        )
-        return total_external // 2
+        """Sum of per-shard external-degree totals / 2 — O(alpha), no
+        vertex sweep (each server keeps its own running total)."""
+        return sum(shard.total_external for shard in self.shards) // 2
 
     def to_partitioning(self) -> Partitioning:
         partitioning = Partitioning(self.num_partitions)
@@ -280,9 +469,7 @@ class ShardedAuxiliaryData:
         for vertex, partition in self._home.items():
             central.add_vertex(vertex, partition, self.weight_of(vertex))
         for vertex in self._home:
-            counts = self.neighbor_counts(vertex)
-            for partition, count in counts.items():
-                central._neighbor_counts[vertex][partition] = count
+            central.ingest_counts(vertex, self.neighbor_counts(vertex))
         return central
 
     def memory_entries(self) -> Tuple[int, int]:

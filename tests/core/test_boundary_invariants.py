@@ -1,0 +1,251 @@
+"""Invariant tests for the incremental boundary/edge-cut/weight caches.
+
+The hot-path engineering in :mod:`repro.core.auxiliary` and
+:mod:`repro.core.sharded` keeps three derived structures up to date under
+every mutation: per-partition directional boundary sets, a running
+external-degree total (making ``edge_cut()`` O(1)) and a memoized
+total/max of the weight vector (making ``average_weight()`` and
+``max_imbalance()`` O(1)).  These tests drive random operation sequences
+— edge churn, weight churn, migrations, vertex add/remove, decay — on
+both auxiliary implementations in lockstep and compare every derived
+structure against a from-scratch recompute.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Set
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.auxiliary import AuxiliaryData
+from repro.core.candidates import (
+    STAGE_ANY_DIRECTION,
+    STAGE_HIGH_TO_LOW,
+    STAGE_LOW_TO_HIGH,
+    get_target_partition,
+)
+from repro.core.config import RepartitionerConfig
+from repro.core.repartitioner import LightweightRepartitioner
+from repro.core.sharded import ShardedAuxiliaryData
+
+
+class ModelState:
+    """A trivially-correct reference model: explicit adjacency + maps."""
+
+    def __init__(self, num_partitions: int):
+        self.num_partitions = num_partitions
+        self.adjacency: Dict[int, Set[int]] = {}
+        self.partition: Dict[int, int] = {}
+        self.weight: Dict[int, float] = {}
+
+    def external_degree(self, vertex: int) -> int:
+        home = self.partition[vertex]
+        return sum(1 for n in self.adjacency[vertex] if self.partition[n] != home)
+
+    def directional_degree(self, vertex: int, higher: bool) -> int:
+        home = self.partition[vertex]
+        return sum(
+            1
+            for n in self.adjacency[vertex]
+            if (self.partition[n] > home) == higher and self.partition[n] != home
+        )
+
+    def edge_cut(self) -> int:
+        cut = 0
+        for u, nbrs in self.adjacency.items():
+            for v in nbrs:
+                if u < v and self.partition[u] != self.partition[v]:
+                    cut += 1
+        return cut
+
+    def partition_weights(self):
+        totals = [0.0] * self.num_partitions
+        for vertex, weight in self.weight.items():
+            totals[self.partition[vertex]] += weight
+        return totals
+
+
+def drive_random_ops(aux_list, model: ModelState, rng: random.Random, num_ops: int):
+    """Apply the same random operation stream to every aux and the model."""
+    next_vertex = 0
+
+    def existing():
+        return rng.choice(sorted(model.adjacency))
+
+    # Seed a few vertices so edge ops have something to work with.
+    for _ in range(4):
+        partition = rng.randrange(model.num_partitions)
+        weight = float(rng.randint(1, 5))
+        for aux in aux_list:
+            aux.add_vertex(next_vertex, partition, weight)
+        model.adjacency[next_vertex] = set()
+        model.partition[next_vertex] = partition
+        model.weight[next_vertex] = weight
+        next_vertex += 1
+
+    for _ in range(num_ops):
+        op = rng.randrange(8)
+        if op == 0:  # add_vertex
+            partition = rng.randrange(model.num_partitions)
+            weight = float(rng.randint(1, 5))
+            for aux in aux_list:
+                aux.add_vertex(next_vertex, partition, weight)
+            model.adjacency[next_vertex] = set()
+            model.partition[next_vertex] = partition
+            model.weight[next_vertex] = weight
+            next_vertex += 1
+        elif op in (1, 2):  # add_edge (biased: churn needs edges)
+            u, v = existing(), existing()
+            if u == v or v in model.adjacency[u]:
+                continue
+            for aux in aux_list:
+                aux.add_edge(u, v)
+            model.adjacency[u].add(v)
+            model.adjacency[v].add(u)
+        elif op == 3:  # remove_edge
+            u = existing()
+            if not model.adjacency[u]:
+                continue
+            v = rng.choice(sorted(model.adjacency[u]))
+            for aux in aux_list:
+                aux.remove_edge(u, v)
+            model.adjacency[u].discard(v)
+            model.adjacency[v].discard(u)
+        elif op == 4:  # add_weight
+            u = existing()
+            delta = float(rng.randint(1, 3))
+            for aux in aux_list:
+                aux.add_weight(u, delta)
+            model.weight[u] += delta
+        elif op in (5, 6):  # apply_move (logical migration)
+            u = existing()
+            target = rng.randrange(model.num_partitions)
+            if target == model.partition[u]:
+                continue
+            neighbors = sorted(model.adjacency[u])
+            for aux in aux_list:
+                aux.apply_move(u, target, neighbors)
+            model.partition[u] = target
+        else:  # remove_vertex (only legal when isolated)
+            u = existing()
+            if model.adjacency[u] or len(model.adjacency) <= 2:
+                continue
+            for aux in aux_list:
+                aux.remove_vertex(u)
+            del model.adjacency[u]
+            del model.partition[u]
+            del model.weight[u]
+
+
+def check_against_model(aux, model: ModelState):
+    # Directional boundary sets match a from-scratch classification.
+    for partition in range(model.num_partitions):
+        members = {v for v, p in model.partition.items() if p == partition}
+        expected_high = {
+            v for v in members if model.directional_degree(v, higher=True) > 0
+        }
+        expected_low = {
+            v for v in members if model.directional_degree(v, higher=False) > 0
+        }
+        assert set(aux.boundary_toward_higher(partition)) == expected_high
+        assert set(aux.boundary_toward_lower(partition)) == expected_low
+        assert aux.boundary_vertices(partition) == expected_high | expected_low
+    assert aux.boundary_sizes() == [
+        len(aux.boundary_vertices(p)) for p in range(model.num_partitions)
+    ]
+    # Per-vertex external degree and the O(1) edge-cut counter.
+    for vertex in model.adjacency:
+        assert aux.external_degree(vertex) == model.external_degree(vertex)
+    assert aux.edge_cut() == model.edge_cut()
+    # Weight vector and the memoized O(1) aggregate queries.
+    expected_weights = model.partition_weights()
+    for partition in range(model.num_partitions):
+        assert abs(aux.partition_weights[partition] - expected_weights[partition]) < 1e-9
+    assert aux.average_weight() == sum(aux.partition_weights) / model.num_partitions
+    if sum(aux.partition_weights) > 0:
+        assert aux.max_imbalance() == max(aux.partition_weights) / aux.average_weight()
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10**6),
+    num_ops=st.integers(min_value=10, max_value=120),
+    num_partitions=st.integers(min_value=2, max_value=5),
+)
+@settings(max_examples=40, deadline=None)
+def test_incremental_structures_match_recompute(seed, num_ops, num_partitions):
+    rng = random.Random(seed)
+    central = AuxiliaryData(num_partitions)
+    sharded = ShardedAuxiliaryData(num_partitions)
+    model = ModelState(num_partitions)
+    drive_random_ops([central, sharded], model, rng, num_ops)
+    check_against_model(central, model)
+    check_against_model(sharded, model)
+    # The two implementations agree bit-for-bit on the weight vector.
+    assert central.partition_weights == sharded.partition_weights
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10**6),
+    factor=st.sampled_from([0.25, 0.5, 0.9, 1.0]),
+)
+@settings(max_examples=25, deadline=None)
+def test_decay_semantics_identical_across_implementations(seed, factor):
+    """Satellite regression: decay is max(floor, w*factor) per vertex and
+    both implementations rebuild aggregates in the same order, so the
+    weight vectors match *exactly* (not approximately)."""
+    rng = random.Random(seed)
+    num_partitions = 3
+    central = AuxiliaryData(num_partitions)
+    sharded = ShardedAuxiliaryData(num_partitions)
+    model = ModelState(num_partitions)
+    drive_random_ops([central, sharded], model, rng, 60)
+    floor = rng.choice([0.5, 1.0, 2.0])
+    central.decay_weights(factor, floor=floor)
+    sharded.decay_weights(factor, floor=floor)
+    assert central.partition_weights == sharded.partition_weights
+    for vertex, weight in model.weight.items():
+        expected = max(floor, weight * factor)
+        assert central.weight_of(vertex) == expected
+        assert sharded.weight_of(vertex) == expected
+    model.weight = {v: max(floor, w * factor) for v, w in model.weight.items()}
+    check_against_model(central, model)
+    check_against_model(sharded, model)
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10**6),
+    stage=st.sampled_from([STAGE_LOW_TO_HIGH, STAGE_HIGH_TO_LOW, STAGE_ANY_DIRECTION]),
+)
+@settings(max_examples=30, deadline=None)
+def test_inlined_selection_matches_reference_algorithm(seed, stage):
+    """The inlined hot loop in ``_select_candidates`` must agree with the
+    readable reference implementation (``get_target_partition``) on every
+    candidate it emits, and must not miss any candidate the reference
+    would produce from a full member scan."""
+    rng = random.Random(seed)
+    num_partitions = 4
+    aux = AuxiliaryData(num_partitions)
+    model = ModelState(num_partitions)
+    drive_random_ops([aux], model, rng, 80)
+    config = RepartitionerConfig(k=10**9, max_iterations=1)
+    repartitioner = LightweightRepartitioner(config)
+    epsilon = config.epsilon
+    average = aux.average_weight()
+    for source in range(num_partitions):
+        candidates = repartitioner._select_candidates(
+            aux, source, stage, k=10**9, average=average
+        )
+        by_vertex = {c.vertex: c for c in candidates}
+        for vertex in sorted(aux.vertices_in(source)):
+            expected_target, expected_gain = get_target_partition(
+                aux, vertex, stage, epsilon, average
+            )
+            got = by_vertex.get(vertex)
+            if expected_target is None:
+                assert got is None
+            else:
+                assert got is not None
+                assert got.target == expected_target
+                assert got.gain == expected_gain

@@ -1,0 +1,68 @@
+"""The optimized candidate engine must not change *any* observable output.
+
+``tests/core/fixtures/repartitioner_reference.json`` pins the full phase-1
+output — every move and every per-iteration history row, including the
+``repr()`` of the float imbalance — produced by the pre-optimization
+implementation (full member-set scans, per-call ``sum()`` aggregates) on
+three seeded orkut-like graphs.  The boundary-tracking engine, on both
+auxiliary stores and under both selection strategies, must reproduce those
+outputs byte for byte: the optimization is a pure reformulation of
+Algorithm 1/2, not an approximation.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.auxiliary import AuxiliaryData
+from repro.core.config import RepartitionerConfig
+from repro.core.repartitioner import LightweightRepartitioner
+from repro.core.sharded import ShardedAuxiliaryData
+from repro.graph.generators import orkut_like
+from repro.partitioning.hashing import HashPartitioner
+
+FIXTURE = Path(__file__).parent / "fixtures" / "repartitioner_reference.json"
+
+with FIXTURE.open() as fh:
+    CASES = json.load(fh)["cases"]
+
+AUX_IMPLS = {
+    "centralized": AuxiliaryData,
+    "sharded": ShardedAuxiliaryData,
+}
+
+
+@pytest.mark.parametrize("case", CASES, ids=lambda c: f"n{c['n']}-s{c['seed']}")
+@pytest.mark.parametrize("aux_label", sorted(AUX_IMPLS))
+@pytest.mark.parametrize("strategy", ["serial", "parallel"])
+def test_matches_pinned_reference_output(case, aux_label, strategy):
+    dataset = orkut_like(n=case["n"], seed=case["seed"])
+    graph = dataset.graph
+    partitioning = HashPartitioner(salt=case["seed"]).partition(
+        graph, case["partitions"]
+    )
+    config = RepartitionerConfig(
+        k=case["k"],
+        max_iterations=60,
+        parallel_selection=(strategy == "parallel"),
+        selection_workers=2 if strategy == "parallel" else None,
+    )
+    aux = AUX_IMPLS[aux_label].from_graph(graph, partitioning)
+    result = LightweightRepartitioner(config).run(graph, partitioning, aux=aux)
+
+    expected = case[aux_label]
+    moves = sorted([v, s, t] for v, (s, t) in result.moves.items())
+    history = [
+        [h.iteration, h.migrations, h.edge_cut, repr(h.max_imbalance)]
+        for h in result.history
+    ]
+    assert moves == expected["moves"]
+    assert history == expected["history"]
+    assert result.converged == expected["converged"]
+    assert result.stalled == expected["stalled"]
+    assert result.iterations == expected["iterations"]
+    assert result.initial_edge_cut == expected["initial_edge_cut"]
+    assert result.final_edge_cut == expected["final_edge_cut"]
