@@ -9,6 +9,10 @@ compared with the paper side by side.
 Scale can be overridden via environment variables::
 
     HERMES_BENCH_N=4000 HERMES_BENCH_SERVERS=16 pytest benchmarks/ --benchmark-only
+
+Passing ``--telemetry-out PATH`` installs a recording telemetry hub for
+the whole benchmark session and dumps the JSONL log (metrics, spans,
+events from every cluster the benches build) when the session ends.
 """
 
 from __future__ import annotations
@@ -17,9 +21,39 @@ import os
 
 import pytest
 
+from repro import telemetry as telemetry_pkg
 from repro.experiments.common import ClusterScale, GraphScale
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--telemetry-out",
+        action="store",
+        default=None,
+        metavar="PATH",
+        help="record cluster telemetry during the benches; write JSONL here",
+    )
+
+
+@pytest.fixture(scope="session", autouse=True)
+def telemetry_sink(request):
+    """Session-wide recording hub when --telemetry-out is given."""
+    path = request.config.getoption("--telemetry-out")
+    if not path:
+        yield None
+        return
+    hub = telemetry_pkg.Telemetry(record=True)
+    telemetry_pkg.install(hub)
+    try:
+        yield hub
+    finally:
+        telemetry_pkg.install(None)
+        lines = telemetry_pkg.export_jsonl(
+            hub, path, meta={"source": "benchmarks"}
+        )
+        print(f"\n[telemetry log ({lines} lines) written to {path}]")
 
 
 def _env_int(name, default):

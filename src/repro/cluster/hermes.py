@@ -24,6 +24,7 @@ system distributes across servers:
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
 from typing import Any, Dict, List, Optional, Tuple
@@ -44,10 +45,14 @@ from repro.graph.adjacency import SocialGraph
 from repro.storage.graph_store import GraphStore
 from repro.partitioning.base import Partitioner, Partitioning
 from repro.partitioning.hashing import HashPartitioner
+from repro.telemetry import Telemetry, export_jsonl, installed, summary_text
 
 
 class HermesCluster:
     """A simulated multi-server Hermes deployment."""
+
+    #: process-wide cluster numbering, used as a telemetry label
+    _ids = itertools.count()
 
     def __init__(
         self,
@@ -57,18 +62,35 @@ class HermesCluster:
         lock_timeout: float = 1.0,
         track_weights: bool = True,
         sharded_aux: bool = False,
+        telemetry: Optional[Telemetry] = None,
     ):
         if num_servers < 1:
             raise ClusterError("need at least one server")
         self.num_servers = num_servers
         self.now = 0.0
-        self.network = SimulatedNetwork(num_servers, network)
+        # Resolution order: explicit hub, then the process-wide installed
+        # hub (the runner's --telemetry-out path), then a private hub with
+        # metrics on but recording off.  The hub is always *real* — the
+        # registry backs the legacy per-server counter attributes.
+        self.telemetry = telemetry or installed() or Telemetry()
+        self.telemetry.set_clock(lambda: self.now)
+        # Distinguishes this cluster's per-server series when several
+        # clusters share one installed hub (e.g. the Figure 9 baselines).
+        self.cluster_id = next(HermesCluster._ids)
+        self.network = SimulatedNetwork(
+            num_servers,
+            network,
+            telemetry=self.telemetry,
+            labels={"cluster": self.cluster_id},
+        )
         self.servers: List[HermesServer] = [
             HermesServer(
                 server_id,
                 num_servers,
                 clock=lambda: self.now,
                 lock_timeout=lock_timeout,
+                telemetry=self.telemetry,
+                labels={"cluster": self.cluster_id},
             )
             for server_id in range(num_servers)
         ]
@@ -80,10 +102,16 @@ class HermesCluster:
             else AuxiliaryData(num_servers)
         )
         self.repartitioner_config = repartitioner or RepartitionerConfig()
-        self.trigger = ImbalanceTrigger(self.repartitioner_config.epsilon)
+        self.trigger = ImbalanceTrigger(
+            self.repartitioner_config.epsilon, telemetry=self.telemetry
+        )
         self.track_weights = track_weights
-        self._engine = TraversalEngine(self.servers, self.catalog, self.network)
-        self._executor = MigrationExecutor(self.servers, self.catalog, self.network)
+        self._engine = TraversalEngine(
+            self.servers, self.catalog, self.network, telemetry=self.telemetry
+        )
+        self._executor = MigrationExecutor(
+            self.servers, self.catalog, self.network, telemetry=self.telemetry
+        )
         self._placer = HashPartitioner()
 
     # ==================================================================
@@ -226,10 +254,28 @@ class HermesCluster:
         decision = self.check_trigger()
         if not decision.should_repartition and not force:
             return None
+        span = self.telemetry.span("rebalance", forced=force)
         scratch = self.catalog.snapshot()
         repartitioner = LightweightRepartitioner(self.repartitioner_config)
-        result = repartitioner.run(self.graph, scratch, aux=self.aux)
+        result = repartitioner.run(
+            self.graph, scratch, aux=self.aux, telemetry=self.telemetry
+        )
         report = self._apply_moves(result.moves)
+        self.telemetry.counter(
+            "rebalances_total", "repartitioner end-to-end runs"
+        ).inc()
+        self.telemetry.event(
+            "rebalance",
+            forced=force,
+            iterations=result.iterations,
+            vertices_moved=result.vertices_moved,
+            initial_edge_cut=result.initial_edge_cut,
+            final_edge_cut=result.final_edge_cut,
+            final_imbalance=result.final_imbalance,
+            migration_cost=report.total_cost,
+        )
+        span.set_attribute("vertices_moved", result.vertices_moved)
+        span.finish(duration=report.total_cost)
         return result, report
 
     def decay_weights(self, factor: float = 0.5, floor: float = 1.0) -> None:
@@ -334,6 +380,38 @@ class HermesCluster:
 
     def partitioning(self) -> Partitioning:
         return self.catalog.snapshot()
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def start_tracing(self) -> None:
+        """Turn span/event capture on for this cluster's hub."""
+        self.telemetry.start_recording()
+
+    def export_telemetry(
+        self, path: str, meta: Optional[Dict[str, Any]] = None
+    ) -> int:
+        """Dump the full telemetry state (metrics, spans, events) as JSONL.
+
+        Per-link traffic gauges are materialized from the network stats
+        right before the snapshot so the log carries them.  Returns the
+        number of lines written.
+        """
+        self.network.export_link_metrics()
+        header: Dict[str, Any] = {
+            "system": "hermes-repro",
+            "num_servers": self.num_servers,
+            "vertices": self.graph.num_vertices,
+            "edges": self.graph.num_edges,
+            "simulated_now": self.now,
+        }
+        if meta:
+            header.update(meta)
+        return export_jsonl(self.telemetry, path, meta=header)
+
+    def telemetry_summary(self, top: int = 10) -> str:
+        """Human-readable digest of metrics, hot links, and spans."""
+        return summary_text(self.telemetry, self.network.stats, top=top)
 
     def storage_stats(self) -> List:
         return [server.store.stats() for server in self.servers]

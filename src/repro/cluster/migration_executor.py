@@ -26,11 +26,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List
 
+from typing import Optional
+
 from repro.cluster.catalog import Catalog
 from repro.cluster.network import SimulatedNetwork
 from repro.cluster.server import HermesServer
 from repro.core.migration import MigrationPlan
 from repro.exceptions import ClusterError
+from repro.telemetry import NULL_TELEMETRY, Telemetry
+from repro.telemetry.registry import DEFAULT_SIZE_BUCKETS
 
 
 @dataclass
@@ -71,10 +75,42 @@ class MigrationExecutor:
         servers: List[HermesServer],
         catalog: Catalog,
         network: SimulatedNetwork,
+        telemetry: Optional[Telemetry] = None,
     ):
         self.servers = servers
         self.catalog = catalog
         self.network = network
+        self.attach_telemetry(telemetry or NULL_TELEMETRY)
+
+    def attach_telemetry(self, telemetry: Telemetry) -> None:
+        self.telemetry = telemetry
+        self._vertices_moved = telemetry.counter(
+            "migration_vertices_moved_total", "vertices physically migrated"
+        )
+        self._rels_transferred = telemetry.counter(
+            "migration_relationships_transferred_total",
+            "relationship records shipped in copy steps",
+        )
+        self._rels_rewritten = telemetry.counter(
+            "migration_relationships_rewritten_total",
+            "relationship records converted or deleted in remove steps",
+        )
+        self._bytes = telemetry.counter(
+            "migration_bytes_total", "payload bytes shipped in copy steps"
+        )
+        self._phase_seconds = {
+            phase: telemetry.counter(
+                "migration_phase_seconds_total",
+                "simulated seconds spent per migration phase",
+                phase=phase,
+            )
+            for phase in ("copy", "barrier", "remove")
+        }
+        self._payload_sizes = telemetry.histogram(
+            "migration_payload_bytes",
+            "wire size of one vertex payload",
+            buckets=DEFAULT_SIZE_BUCKETS,
+        )
 
     # ------------------------------------------------------------------
     def execute(self, plan: MigrationPlan) -> MigrationReport:
@@ -84,13 +120,37 @@ class MigrationExecutor:
             return report
         final_home = self._final_placement(plan)
 
+        span = self.telemetry.span("migration", moves=plan.num_moves)
+        copy_span = self.telemetry.span("migration.copy")
         payloads = self._copy_step(plan, final_home, report)
+        copy_span.set_attribute("bytes", report.bytes_transferred)
+        copy_span.finish(duration=report.copy_cost)
+
+        barrier_span = self.telemetry.span("migration.barrier")
         report.barrier_cost = self._barrier(plan)
+        barrier_span.finish(duration=report.barrier_cost)
+
         # The catalog flips between the steps: queries now route to the
         # fresh replicas while the originals are being removed.
         for move in plan.moves:
             self.catalog.move(move.vertex, move.target)
+
+        remove_span = self.telemetry.span("migration.remove")
         self._remove_step(plan, final_home, payloads, report)
+        remove_span.set_attribute(
+            "relationships_rewritten", report.relationships_rewritten
+        )
+        remove_span.finish(duration=report.remove_cost)
+
+        self._vertices_moved.inc(report.vertices_moved)
+        self._rels_transferred.inc(report.relationships_transferred)
+        self._rels_rewritten.inc(report.relationships_rewritten)
+        self._bytes.inc(report.bytes_transferred)
+        self._phase_seconds["copy"].inc(report.copy_cost)
+        self._phase_seconds["barrier"].inc(report.barrier_cost)
+        self._phase_seconds["remove"].inc(report.remove_cost)
+        span.set_attribute("vertices_moved", report.vertices_moved)
+        span.finish(duration=report.total_cost)
         return report
 
     def _final_placement(self, plan: MigrationPlan) -> Dict[int, int]:
@@ -125,6 +185,7 @@ class MigrationExecutor:
             payload = source.store.export_node(move.vertex)
             payloads[move.vertex] = payload
             size = _payload_size(payload)
+            self._payload_sizes.observe(size)
             report.bytes_transferred += size
             report.copy_cost += self.network.transfer(move.source, move.target, size)
             report.vertices_moved += 1

@@ -17,14 +17,23 @@ round-trip including serialization; tens of microseconds per local record
 visit).  The *absolute* throughput numbers are not meaningful — the
 relative performance of partitioners, which is driven by the
 local/remote mix, is.
+
+Besides the legacy :class:`NetworkStats` counters (kept as the source of
+truth for aggregate messages/bytes and per-link totals), the network
+mirrors everything into an attached :class:`~repro.telemetry.Telemetry`
+hub: ``network_messages_total``/``network_bytes_total`` counters labelled
+per kind (hop/transfer) and hop/transfer latency histograms.  With the
+default null hub all of that is a handful of no-op calls.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.exceptions import ClusterError
+from repro.telemetry import NULL_TELEMETRY, Telemetry
+from repro.telemetry.registry import DEFAULT_SIZE_BUCKETS
 
 
 @dataclass(frozen=True)
@@ -43,29 +52,97 @@ class NetworkConfig:
 
 
 @dataclass
+class LinkStats:
+    """Traffic on one directed server pair."""
+
+    messages: int = 0
+    bytes: int = 0
+
+
+@dataclass
 class NetworkStats:
     """Message/byte counters kept per server pair."""
 
     messages: int = 0
     bytes_sent: int = 0
-    per_link: Dict[Tuple[int, int], int] = field(default_factory=dict)
+    per_link: Dict[Tuple[int, int], LinkStats] = field(default_factory=dict)
 
     def record(self, src: int, dst: int, size: int) -> None:
         self.messages += 1
         self.bytes_sent += size
-        key = (src, dst)
-        self.per_link[key] = self.per_link.get(key, 0) + 1
+        link = self.per_link.get((src, dst))
+        if link is None:
+            link = self.per_link[(src, dst)] = LinkStats()
+        link.messages += 1
+        link.bytes += size
+
+    def top_links(
+        self, n: int, by: str = "bytes"
+    ) -> List[Tuple[Tuple[int, int], LinkStats]]:
+        """The ``n`` busiest links, by ``bytes`` (default) or ``messages``."""
+        if by not in ("bytes", "messages"):
+            raise ValueError(f"by must be 'bytes' or 'messages', got {by!r}")
+        ranked = sorted(
+            self.per_link.items(),
+            key=lambda item: (getattr(item[1], by), item[0]),
+            reverse=True,
+        )
+        return ranked[:n]
 
 
 class SimulatedNetwork:
     """Cost accounting for inter-server communication."""
 
-    def __init__(self, num_servers: int, config: NetworkConfig = NetworkConfig()):
+    def __init__(
+        self,
+        num_servers: int,
+        config: NetworkConfig = NetworkConfig(),
+        telemetry: Optional[Telemetry] = None,
+        labels: Optional[Dict[str, object]] = None,
+    ):
         if num_servers < 1:
             raise ClusterError("need at least one server")
         self.num_servers = num_servers
         self.config = config
         self.stats = NetworkStats()
+        self._labels = dict(labels or {})
+        self.attach_telemetry(telemetry or NULL_TELEMETRY)
+
+    def attach_telemetry(self, telemetry: Telemetry) -> None:
+        """(Re)bind the metric instruments against ``telemetry``."""
+        self.telemetry = telemetry
+        extra = self._labels
+        # Per-link gauges are quadratic in servers, so they are only
+        # materialized at export time via the hub's flush hooks.
+        telemetry.on_flush(self.export_link_metrics)
+        self._hop_messages = telemetry.counter(
+            "network_messages_total", "messages sent between servers",
+            kind="hop", **extra,
+        )
+        self._transfer_messages = telemetry.counter(
+            "network_messages_total", kind="transfer", **extra
+        )
+        self._hop_bytes = telemetry.counter(
+            "network_bytes_total", "payload bytes sent between servers",
+            kind="hop", **extra,
+        )
+        self._transfer_bytes = telemetry.counter(
+            "network_bytes_total", kind="transfer", **extra
+        )
+        self._hop_latency = telemetry.histogram(
+            "network_hop_seconds", "simulated latency of one remote hop", **extra
+        )
+        self._transfer_latency = telemetry.histogram(
+            "network_transfer_seconds",
+            "simulated latency of one bulk transfer",
+            **extra,
+        )
+        self._transfer_sizes = telemetry.histogram(
+            "network_transfer_bytes",
+            "payload size of one bulk transfer",
+            buckets=DEFAULT_SIZE_BUCKETS,
+            **extra,
+        )
 
     def _check(self, server: int) -> None:
         if not 0 <= server < self.num_servers:
@@ -84,7 +161,11 @@ class SimulatedNetwork:
         if src == dst:
             return 0.0
         self.stats.record(src, dst, size)
-        return self.config.remote_hop_cost
+        cost = self.config.remote_hop_cost
+        self._hop_messages.inc()
+        self._hop_bytes.inc(size)
+        self._hop_latency.observe(cost)
+        return cost
 
     def transfer(self, src: int, dst: int, size: int) -> float:
         """Cost of a bulk record transfer (migration copy step)."""
@@ -93,7 +174,28 @@ class SimulatedNetwork:
         if src == dst:
             return 0.0
         self.stats.record(src, dst, size)
-        return self.config.transfer_base_cost + size * self.config.transfer_byte_cost
+        cost = self.config.transfer_base_cost + size * self.config.transfer_byte_cost
+        self._transfer_messages.inc()
+        self._transfer_bytes.inc(size)
+        self._transfer_latency.observe(cost)
+        self._transfer_sizes.observe(size)
+        return cost
+
+    def export_link_metrics(self) -> None:
+        """Snapshot per-link traffic into the registry as labelled gauges.
+
+        Links are a quadratic label space, so they are materialized once
+        at export time rather than on every message.
+        """
+        for (src, dst), link in self.stats.per_link.items():
+            self.telemetry.gauge(
+                "network_link_messages", "messages on one directed link",
+                src=src, dst=dst, **self._labels,
+            ).set(link.messages)
+            self.telemetry.gauge(
+                "network_link_bytes", "payload bytes on one directed link",
+                src=src, dst=dst, **self._labels,
+            ).set(link.bytes)
 
     def broadcast(self, src: int, size: int = 64) -> float:
         """Cost of a synchronization message to every other server."""

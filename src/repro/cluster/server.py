@@ -5,6 +5,14 @@ single-record reads, property writes, vertex/edge inserts — and the
 chain-walking expansion step used by the distributed traversal engine.
 Every mutation runs inside a transaction with record locks, mirroring the
 engine described in Section 4.
+
+Per-server load counters (vertices visited, record reads, transactional
+writes, simulated busy seconds) live in the telemetry registry, labelled
+by server, so they show up in every export alongside the network and
+migration metrics.  The historical ``server.visits``-style attribute API
+is preserved as thin properties over those instruments; the instrument
+objects themselves (``visits_counter`` …) are public so hot paths pay a
+single bound-method call.
 """
 
 from __future__ import annotations
@@ -13,6 +21,7 @@ from typing import Any, Dict, List, Optional
 
 from repro.exceptions import ClusterError
 from repro.storage.graph_store import GraphStore, NeighborEntry
+from repro.telemetry import Telemetry
 from repro.txn.locks import LockMode
 from repro.txn.manager import TransactionManager
 
@@ -26,16 +35,69 @@ class HermesServer:
         num_servers: int,
         clock=None,
         lock_timeout: float = 1.0,
+        telemetry: Optional[Telemetry] = None,
+        labels: Optional[Dict[str, object]] = None,
     ):
         self.server_id = server_id
         self.store = GraphStore(server_id=server_id, num_servers=num_servers)
         self.txns = TransactionManager(clock=clock, lock_timeout=lock_timeout)
+        # The legacy attribute API reads through these instruments, so the
+        # registry must be real even without an attached sink: a bare
+        # Telemetry() is exactly that (in-memory numbers, no recording).
+        if telemetry is None or telemetry.null:
+            telemetry = Telemetry(clock=clock)
+        self.telemetry = telemetry
+        label = dict(labels or {})
+        label["server"] = server_id
         #: instrumentation: how many vertices this server processed
-        self.visits = 0
-        self.reads = 0
-        self.writes = 0
+        self.visits_counter = telemetry.counter(
+            "server_visits_total", "vertices processed by this server", **label
+        )
+        self.reads_counter = telemetry.counter(
+            "server_reads_total", "single-record read requests", **label
+        )
+        self.writes_counter = telemetry.counter(
+            "server_writes_total", "transactional write requests", **label
+        )
         #: simulated CPU-seconds this server has spent serving requests
-        self.busy_seconds = 0.0
+        self.busy_counter = telemetry.counter(
+            "server_busy_seconds_total", "simulated busy seconds", **label
+        )
+
+    # ------------------------------------------------------------------
+    # Legacy counter attribute API (now thin property views)
+    # ------------------------------------------------------------------
+    @property
+    def visits(self) -> int:
+        return int(self.visits_counter.value)
+
+    @visits.setter
+    def visits(self, value: int) -> None:
+        self.visits_counter.set(value)
+
+    @property
+    def reads(self) -> int:
+        return int(self.reads_counter.value)
+
+    @reads.setter
+    def reads(self, value: int) -> None:
+        self.reads_counter.set(value)
+
+    @property
+    def writes(self) -> int:
+        return int(self.writes_counter.value)
+
+    @writes.setter
+    def writes(self, value: int) -> None:
+        self.writes_counter.set(value)
+
+    @property
+    def busy_seconds(self) -> float:
+        return self.busy_counter.value
+
+    @busy_seconds.setter
+    def busy_seconds(self, value: float) -> None:
+        self.busy_counter.set(value)
 
     # ------------------------------------------------------------------
     # Read path
@@ -44,8 +106,8 @@ class HermesServer:
         """Single-record query: the node's properties (bumps popularity)."""
         if not self.store.is_available(node_id):
             raise ClusterError(f"vertex {node_id} is not served by server {self.server_id}")
-        self.reads += 1
-        self.visits += 1
+        self.reads_counter.inc()
+        self.visits_counter.inc()
         self.store.add_node_weight(node_id, 1.0)
         return self.store.node_properties(node_id)
 
@@ -66,7 +128,7 @@ class HermesServer:
     def create_vertex(
         self, node_id: int, weight: float = 1.0, properties: Optional[Dict] = None
     ) -> None:
-        self.writes += 1
+        self.writes_counter.inc()
         with self.txns.begin() as txn:
             txn.lock(("node", node_id), LockMode.EXCLUSIVE)
             self.store.create_node(node_id, weight=weight, properties=properties)
@@ -76,7 +138,7 @@ class HermesServer:
         self, rel_id: int, src: int, dst: int, properties: Optional[Dict] = None
     ) -> None:
         """Insert an edge record; both/either endpoint may be local."""
-        self.writes += 1
+        self.writes_counter.inc()
         with self.txns.begin() as txn:
             txn.lock(("node", src), LockMode.EXCLUSIVE)
             txn.lock(("node", dst), LockMode.EXCLUSIVE)
@@ -85,14 +147,14 @@ class HermesServer:
 
     def create_ghost_edge(self, rel_id: int, src: int, dst: int) -> None:
         """Insert the ghost counterpart of a cross-partition edge."""
-        self.writes += 1
+        self.writes_counter.inc()
         with self.txns.begin() as txn:
             txn.lock(("rel", rel_id), LockMode.EXCLUSIVE)
             self.store.create_relationship(rel_id, src, dst, ghost=True)
             txn.record_undo(lambda: self.store.delete_relationship(rel_id))
 
     def set_property(self, node_id: int, key: str, value: Any) -> None:
-        self.writes += 1
+        self.writes_counter.inc()
         with self.txns.begin() as txn:
             txn.lock(("node", node_id), LockMode.EXCLUSIVE)
             previous = self.store.get_node_property(node_id, key)

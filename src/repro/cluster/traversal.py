@@ -12,16 +12,22 @@ step costs a remote hop.  2-hop traversals re-process vertices reachable
 along multiple paths — only distinct vertices enter the response, which
 is why the paper's response/processed ratio drops to ~0.39/0.28 for
 2-hop queries (Section 5.3.2).
+
+With a recording telemetry hub each query produces a ``traversal`` span
+with one ``hop`` child span per frontier depth (sized by the simulated
+cost that depth charged), plus aggregate counters and a per-query cost
+histogram; with the default null hub the same calls are no-ops.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Set, Tuple
+from typing import List, Optional, Set, Tuple
 
 from repro.cluster.catalog import Catalog
 from repro.cluster.network import SimulatedNetwork
 from repro.cluster.server import HermesServer
+from repro.telemetry import NULL_TELEMETRY, Telemetry
 
 
 @dataclass(frozen=True)
@@ -54,10 +60,27 @@ class TraversalEngine:
         servers: List[HermesServer],
         catalog: Catalog,
         network: SimulatedNetwork,
+        telemetry: Optional[Telemetry] = None,
     ):
         self.servers = servers
         self.catalog = catalog
         self.network = network
+        self.attach_telemetry(telemetry or NULL_TELEMETRY)
+
+    def attach_telemetry(self, telemetry: Telemetry) -> None:
+        self.telemetry = telemetry
+        self._traversals = telemetry.counter(
+            "traversals_total", "traversal queries executed"
+        )
+        self._processed = telemetry.counter(
+            "traversal_processed_total", "vertices processed across traversals"
+        )
+        self._remote = telemetry.counter(
+            "traversal_remote_hops_total", "traversal steps that crossed servers"
+        )
+        self._cost_hist = telemetry.histogram(
+            "traversal_cost_seconds", "simulated execution time of one traversal"
+        )
 
     def traverse(self, start: int, hops: int) -> TraversalResult:
         """Run a ``hops``-hop traversal from ``start``.
@@ -68,7 +91,13 @@ class TraversalEngine:
         """
         cost = self.network.config.client_dispatch_cost
         home = self.catalog.lookup(start)
+        remote_service = self.network.config.remote_service_cost
+        local_visit = self.network.local_visit()
 
+        span = self.telemetry.span("traversal", start=start, hops=hops)
+        # Client dispatch happens before the first hop: push the causal
+        # cursor so depth spans line up after it.
+        span.advance(cost)
         processed = 0
         remote = 0
         response: Set[int] = set()
@@ -85,6 +114,10 @@ class TraversalEngine:
             # processed once per path (the paper's 2-hop ratio effect), but
             # expanded only once (visited_for_expansion) so work stays
             # polynomial.
+            depth_span = self.telemetry.span(
+                "hop", depth=depth, frontier=len(frontier)
+            )
+            cost_before = cost
             next_frontier: List[Tuple[int, int, int]] = []
             for vertex, host, from_host in frontier:
                 if host != from_host:
@@ -92,19 +125,18 @@ class TraversalEngine:
                     remote += 1
                     # Servicing the hop consumes CPU on both endpoints --
                     # the "network IO" load that edge-cuts impose.
-                    service = self.network.config.remote_service_cost
-                    self.servers[from_host].busy_seconds += service
-                    self.servers[host].busy_seconds += service
-                    cost += service
+                    self.servers[from_host].busy_counter.inc(remote_service)
+                    self.servers[host].busy_counter.inc(remote_service)
+                    cost += remote_service
                 executing = self.servers[host]
                 if not executing.store.is_available(vertex):
                     # Unavailable (mid-migration) or missing: treated as
                     # absent from the local vertex set (Section 3.2).
                     continue
                 processed += 1
-                executing.visits += 1
-                executing.busy_seconds += self.network.local_visit()
-                cost += self.network.local_visit()
+                executing.visits_counter.inc()
+                executing.busy_counter.inc(local_visit)
+                cost += local_visit
                 response.add(vertex)
                 if depth == hops:
                     continue
@@ -114,9 +146,19 @@ class TraversalEngine:
                 for entry in executing.expand(vertex):
                     neighbor_host = self.catalog.lookup(entry.neighbor)
                     next_frontier.append((entry.neighbor, neighbor_host, host))
+            depth_span.finish(duration=cost - cost_before)
             if not next_frontier:
                 break
             frontier = next_frontier
+
+        self._traversals.inc()
+        self._processed.inc(processed)
+        self._remote.inc(remote)
+        self._cost_hist.observe(cost)
+        span.set_attribute("processed", processed)
+        span.set_attribute("remote_hops", remote)
+        span.set_attribute("response", len(response))
+        span.finish(duration=cost)
 
         return TraversalResult(
             start=start,

@@ -39,6 +39,7 @@ from repro.core.config import RepartitionerConfig
 from repro.exceptions import PartitioningError
 from repro.graph.adjacency import SocialGraph
 from repro.partitioning.base import Partitioning
+from repro.telemetry import NULL_TELEMETRY, Telemetry
 
 
 @dataclass(frozen=True)
@@ -157,6 +158,7 @@ class LightweightRepartitioner:
         partitioning: Partitioning,
         aux: Optional[AuxiliaryData] = None,
         on_iteration: Optional[Callable[[IterationStats], None]] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> RepartitionResult:
         """Run phase 1 to convergence, mutating ``partitioning`` in place.
 
@@ -171,6 +173,10 @@ class LightweightRepartitioner:
             Pre-maintained auxiliary data; built from the graph when absent.
         on_iteration:
             Optional progress callback.
+        telemetry:
+            Optional telemetry hub: per-iteration migration/edge-cut/
+            imbalance series as events + gauges and a ``repartition.phase1``
+            span tree.  Defaults to the shared null hub (no overhead).
         """
         if aux is None:
             aux = AuxiliaryData.from_graph(graph, partitioning)
@@ -178,6 +184,7 @@ class LightweightRepartitioner:
             raise PartitioningError(
                 "auxiliary data and partitioning disagree on partition count"
             )
+        telemetry = telemetry or NULL_TELEMETRY
 
         original = {v: partitioning.partition_of(v) for v in graph.vertices()}
         result = RepartitionResult(
@@ -197,10 +204,30 @@ class LightweightRepartitioner:
         k = self.config.effective_k(graph.num_vertices)
         selection = self._make_selection_strategy()
 
+        run_span = telemetry.span(
+            "repartition.phase1",
+            partitions=aux.num_partitions,
+            k=k,
+            initial_edge_cut=result.initial_edge_cut,
+        )
+        migrations_counter = telemetry.counter(
+            "repartitioner_logical_migrations_total",
+            "logical moves performed in phase 1 (repeats included)",
+        )
+        cut_gauge = telemetry.gauge(
+            "repartitioner_edge_cut", "edge-cut after the latest iteration"
+        )
+        imbalance_gauge = telemetry.gauge(
+            "repartitioner_imbalance", "max imbalance after the latest iteration"
+        )
         try:
             best_cut = result.initial_edge_cut
             best_cut_iteration = 0
+            previous_cut = result.initial_edge_cut
             for iteration in range(1, self.config.max_iterations + 1):
+                iter_span = telemetry.span(
+                    "repartition.iteration", iteration=iteration
+                )
                 migrations = 0
                 for stage in stages:
                     migrations += self._run_stage(
@@ -214,6 +241,21 @@ class LightweightRepartitioner:
                 )
                 result.history.append(stats)
                 result.iterations = iteration
+                migrations_counter.inc(migrations)
+                cut_gauge.set(stats.edge_cut)
+                imbalance_gauge.set(stats.max_imbalance)
+                telemetry.event(
+                    "repartition_iteration",
+                    iteration=iteration,
+                    migrations=migrations,
+                    edge_cut=stats.edge_cut,
+                    max_imbalance=stats.max_imbalance,
+                    gain=previous_cut - stats.edge_cut,
+                )
+                previous_cut = stats.edge_cut
+                iter_span.set_attribute("migrations", migrations)
+                iter_span.set_attribute("edge_cut", stats.edge_cut)
+                iter_span.finish()
                 if on_iteration is not None:
                     on_iteration(stats)
                 if migrations == 0:
@@ -230,6 +272,10 @@ class LightweightRepartitioner:
 
         result.final_edge_cut = aux.edge_cut()
         result.final_imbalance = aux.max_imbalance()
+        run_span.set_attribute("iterations", result.iterations)
+        run_span.set_attribute("final_edge_cut", result.final_edge_cut)
+        run_span.set_attribute("converged", result.converged)
+        run_span.finish()
         result.moves = {
             vertex: (source, partitioning.partition_of(vertex))
             for vertex, source in original.items()

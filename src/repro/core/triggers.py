@@ -5,15 +5,21 @@ when some partition's imbalance factor — its aggregate weight over the
 average partition weight — leaves the acceptable band
 ``(2 - epsilon, epsilon)``.  Each server can evaluate this locally since
 the auxiliary data includes every partition's aggregate weight.
+
+Every check is recorded into the attached telemetry hub (a counter split
+by outcome plus, when recording, a ``trigger_decision`` event carrying
+the offending partitions), so trigger behaviour is reconstructable from
+the exported event log.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 from repro.core.auxiliary import AuxiliaryData
 from repro.exceptions import PartitioningError
+from repro.telemetry import NULL_TELEMETRY, Telemetry
 
 
 @dataclass(frozen=True)
@@ -29,10 +35,22 @@ class TriggerDecision:
 class ImbalanceTrigger:
     """Fires when any partition is overloaded or underloaded."""
 
-    def __init__(self, epsilon: float = 1.1):
+    def __init__(
+        self, epsilon: float = 1.1, telemetry: Optional[Telemetry] = None
+    ):
         if not 1.0 < epsilon < 2.0:
             raise PartitioningError(f"epsilon must be in (1, 2), got {epsilon}")
         self.epsilon = epsilon
+        self.attach_telemetry(telemetry or NULL_TELEMETRY)
+
+    def attach_telemetry(self, telemetry: Telemetry) -> None:
+        self.telemetry = telemetry
+        self._fired = telemetry.counter(
+            "trigger_checks_total", "trigger evaluations", outcome="fired"
+        )
+        self._held = telemetry.counter(
+            "trigger_checks_total", outcome="held"
+        )
 
     def check(self, aux: AuxiliaryData) -> TriggerDecision:
         overloaded = [
@@ -41,9 +59,19 @@ class ImbalanceTrigger:
         underloaded = [
             p for p in range(aux.num_partitions) if aux.is_underloaded(p, self.epsilon)
         ]
-        return TriggerDecision(
+        decision = TriggerDecision(
             should_repartition=bool(overloaded or underloaded),
             overloaded=overloaded,
             underloaded=underloaded,
             max_imbalance=aux.max_imbalance(),
         )
+        (self._fired if decision.should_repartition else self._held).inc()
+        self.telemetry.event(
+            "trigger_decision",
+            should_repartition=decision.should_repartition,
+            overloaded=overloaded,
+            underloaded=underloaded,
+            max_imbalance=decision.max_imbalance,
+            epsilon=self.epsilon,
+        )
+        return decision

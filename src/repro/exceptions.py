@@ -108,3 +108,7 @@ class ServerNotFoundError(ClusterError):
 
 class WorkloadError(HermesError):
     """A workload/trace specification is invalid."""
+
+
+class TelemetryError(HermesError):
+    """Misuse of the telemetry subsystem (metric kind clash, bad buckets)."""

@@ -4,17 +4,28 @@ Usage::
 
     hermes-experiments --experiment all
     hermes-experiments --experiment fig9 --n 1200 --servers 16
+    hermes-experiments --experiment fig7 --json results.json \
+        --telemetry-out telemetry.jsonl
     python -m repro.experiments.runner --experiment table1 fig7
+
+``--json`` writes every experiment's result dataclasses as one JSON
+document next to the human-readable tables.  ``--telemetry-out``
+installs a recording telemetry hub for the duration of the run and dumps
+the full JSONL log (metrics, spans, events) afterwards — machine-readable
+provenance for the regenerated figures.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import json
 import sys
 import time
 from dataclasses import replace
-from typing import Dict, Tuple
+from typing import Any, Dict, Tuple
 
+from repro import telemetry as telemetry_pkg
 from repro.experiments import (
     ablations,
     baselines,
@@ -76,6 +87,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--servers", type=int, default=None, help="partition/server count override"
     )
     parser.add_argument("--seed", type=int, default=None, help="seed override")
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write machine-readable results (one JSON document) here",
+    )
+    parser.add_argument(
+        "--telemetry-out",
+        metavar="PATH",
+        default=None,
+        help=(
+            "record cluster-wide telemetry during the run and write the "
+            "JSONL log (metrics, spans, events) here"
+        ),
+    )
     return parser
 
 
@@ -94,6 +120,24 @@ def resolve_scales(args: argparse.Namespace):
     return graph_scale, cluster_scale
 
 
+def jsonable(value: Any) -> Any:
+    """Best-effort conversion of experiment result objects to JSON types."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            field.name: jsonable(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        return {str(key): jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonable(item) for item in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(jsonable(item) for item in value)
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     names = args.experiment
@@ -102,17 +146,51 @@ def main(argv=None) -> int:
     unknown = [name for name in names if name not in EXPERIMENTS]
     if unknown:
         print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
+        # Non-zero exit so scripted callers notice the typo.
         return 2
     graph_scale, cluster_scale = resolve_scales(args)
-    for name in names:
-        module, needs_cluster = EXPERIMENTS[name]
-        scale = cluster_scale if needs_cluster else graph_scale
-        started = time.time()
-        result = module.run(scale)
-        elapsed = time.time() - started
-        print(module.render(result))
-        print(f"[{name} completed in {elapsed:.1f}s]")
+
+    hub = None
+    if args.telemetry_out:
+        hub = telemetry_pkg.Telemetry(record=True)
+        telemetry_pkg.install(hub)
+
+    json_payload: Dict[str, Any] = {
+        "scales": {
+            "graph": jsonable(graph_scale),
+            "cluster": jsonable(cluster_scale),
+        },
+        "experiments": {},
+    }
+    try:
+        for name in names:
+            module, needs_cluster = EXPERIMENTS[name]
+            scale = cluster_scale if needs_cluster else graph_scale
+            started = time.time()
+            result = module.run(scale)
+            elapsed = time.time() - started
+            print(module.render(result))
+            print(f"[{name} completed in {elapsed:.1f}s]")
+            print()
+            json_payload["experiments"][name] = {
+                "elapsed_seconds": elapsed,
+                "result": jsonable(result),
+            }
+    finally:
+        if hub is not None:
+            telemetry_pkg.install(None)
+
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(json_payload, handle, indent=2)
+        print(f"[json results written to {args.json}]")
+    if hub is not None:
+        lines = telemetry_pkg.export_jsonl(
+            hub, args.telemetry_out, meta={"experiments": names}
+        )
+        print(f"[telemetry log ({lines} lines) written to {args.telemetry_out}]")
         print()
+        print(telemetry_pkg.summary_text(hub))
     return 0
 
 

@@ -1,0 +1,175 @@
+"""Telemetry exporters: JSONL event log, Prometheus text, summary table.
+
+The JSONL log is the machine-readable provenance format the experiment
+runner writes with ``--telemetry-out``: one JSON object per line, each
+tagged with a ``type`` of ``meta``, ``metric``, ``span`` or ``event``.
+Metric lines are a full registry snapshot at export time; span and event
+lines carry the shared causal ``seq`` so the original interleaving can be
+reconstructed with a single sort.
+
+The Prometheus dump follows the text exposition format closely enough to
+be scraped (counter/gauge samples, ``_bucket``/``_sum``/``_count``
+histogram series) — this repo never runs an HTTP endpoint, but the format
+keeps the door open and is convenient to diff.
+
+The summary is the human end: top metric families, the busiest network
+links, and the largest root spans, rendered with the same
+:class:`~repro.analysis.report.Table` the experiments use.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from repro.analysis.report import Table
+from repro.telemetry.hub import Telemetry
+from repro.telemetry.registry import MetricsRegistry
+
+
+def _format_labels(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{key}="{value}"' for key, value in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """Render the registry in the Prometheus text exposition format."""
+    lines: List[str] = []
+    for family in sorted(registry.families(), key=lambda f: f.name):
+        if family.help:
+            lines.append(f"# HELP {family.name} {family.help}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for key, instrument in sorted(family.series.items()):
+            labels = dict(key)
+            if family.kind == "histogram":
+                for bound, cumulative in instrument.cumulative_buckets():
+                    le = "+Inf" if bound == float("inf") else repr(bound)
+                    bucket_labels = dict(labels)
+                    bucket_labels["le"] = le
+                    lines.append(
+                        f"{family.name}_bucket{_format_labels(bucket_labels)}"
+                        f" {cumulative}"
+                    )
+                lines.append(
+                    f"{family.name}_sum{_format_labels(labels)} {instrument.sum!r}"
+                )
+                lines.append(
+                    f"{family.name}_count{_format_labels(labels)} {instrument.count}"
+                )
+            else:
+                value = instrument.value
+                shown = repr(value) if isinstance(value, float) else value
+                lines.append(f"{family.name}{_format_labels(labels)} {shown}")
+    return "\n".join(lines) + "\n"
+
+
+def export_jsonl(
+    telemetry: Telemetry,
+    path: str,
+    meta: Optional[Dict[str, object]] = None,
+) -> int:
+    """Write the full telemetry state as JSONL; returns the line count."""
+    telemetry.flush()
+    lines = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        header: Dict[str, object] = {"type": "meta"}
+        if meta:
+            header.update(meta)
+        handle.write(json.dumps(header) + "\n")
+        lines += 1
+        for sample in telemetry.registry.snapshot():
+            handle.write(json.dumps({"type": "metric", **sample}) + "\n")
+            lines += 1
+        for span in telemetry.tracer.spans:
+            handle.write(json.dumps({"type": "span", **span}) + "\n")
+            lines += 1
+        for event in telemetry.events:
+            handle.write(json.dumps({"type": "event", **event}) + "\n")
+            lines += 1
+    return lines
+
+
+def read_jsonl(path: str) -> List[Dict[str, object]]:
+    """Load a telemetry JSONL file back into records (tests, analysis)."""
+    records: List[Dict[str, object]] = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def metric_total(
+    records: List[Dict[str, object]], name: str, **label_filter
+) -> float:
+    """Sum a metric family from loaded JSONL records (parity checks)."""
+    total = 0.0
+    wanted = {key: str(value) for key, value in label_filter.items()}
+    for record in records:
+        if record.get("type") != "metric" or record.get("name") != name:
+            continue
+        labels = record.get("labels", {})
+        if all(labels.get(key) == value for key, value in wanted.items()):
+            total += record.get("value", 0.0)
+    return total
+
+
+def summary_text(
+    telemetry: Telemetry,
+    network_stats=None,
+    top: int = 10,
+) -> str:
+    """Human-readable digest: metric totals, hot links, largest spans."""
+    sections: List[str] = []
+
+    totals = Table("Telemetry summary - metric totals", ["metric", "series", "total"])
+    for family in sorted(telemetry.registry.families(), key=lambda f: f.name):
+        if family.kind == "histogram":
+            count = sum(s.count for s in family.series.values())
+            total = sum(s.sum for s in family.series.values())
+            totals.add_row(f"{family.name} (hist)", len(family.series),
+                           f"n={count} sum={total:.6g}")
+        else:
+            total = sum(s.value for s in family.series.values())
+            totals.add_row(family.name, len(family.series), f"{total:.6g}")
+    sections.append(totals.to_text())
+
+    if network_stats is not None and getattr(network_stats, "per_link", None):
+        links = Table(
+            f"Busiest network links (top {top} by bytes)",
+            ["src", "dst", "messages", "bytes"],
+        )
+        for (src, dst), link in network_stats.top_links(top):
+            links.add_row(src, dst, link.messages, link.bytes)
+        sections.append(links.to_text())
+
+    if telemetry.tracer.spans:
+        roots = [s for s in telemetry.tracer.spans if s["parent_id"] is None]
+        roots.sort(key=lambda s: s["duration"], reverse=True)
+        spans = Table(
+            f"Largest root spans (top {top} of {len(roots)})",
+            ["span", "start", "duration", "attrs"],
+        )
+        for span in roots[:top]:
+            attrs = ", ".join(
+                f"{key}={value}" for key, value in sorted(span["attrs"].items())
+            )
+            spans.add_row(
+                span["name"], f"{span['start']:.6f}",
+                f"{span['duration']:.6f}", attrs or "-",
+            )
+        sections.append(spans.to_text())
+
+    if telemetry.events:
+        by_kind: Dict[str, int] = {}
+        for event in telemetry.events:
+            by_kind[event["kind"]] = by_kind.get(event["kind"], 0) + 1
+        events = Table("Events", ["kind", "count"])
+        for kind in sorted(by_kind):
+            events.add_row(kind, by_kind[kind])
+        sections.append(events.to_text())
+
+    return "\n\n".join(sections)

@@ -1,0 +1,128 @@
+"""The Telemetry hub: one registry + one tracer + one event log.
+
+A hub is what instrumented components hold.  Three usage modes:
+
+* ``NULL_TELEMETRY`` — module-level default for standalone hot-path
+  objects; metrics, spans and events are all no-ops;
+* ``Telemetry()`` — metrics on (cheap in-memory numbers; this is what
+  backs the legacy ``HermesServer.visits``-style attribute API), spans
+  and events off.  :class:`~repro.cluster.hermes.HermesCluster` creates
+  one of these by default;
+* ``Telemetry(record=True)`` — everything on: spans and timestamped
+  events accumulate for export (``--telemetry-out``).
+
+A process-wide default can be installed with :func:`install` — the
+experiment runner and the benchmark harness use this to hand a recording
+hub to every cluster an experiment builds internally, without threading
+the hub through each experiment module's signature.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.telemetry.registry import MetricsRegistry, NullRegistry
+from repro.telemetry.tracing import Tracer
+
+
+class Telemetry:
+    """Aggregates the registry, the tracer, and the event log."""
+
+    def __init__(
+        self,
+        clock: Optional[Callable[[], float]] = None,
+        record: bool = False,
+        registry: Optional[MetricsRegistry] = None,
+    ):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = Tracer(clock=clock, recording=record)
+        self.events: List[Dict[str, object]] = []
+        self.recording = record
+        self._flush_hooks: List[Callable[[], None]] = []
+
+    # Convenience passthroughs so call sites read telemetry.counter(...)
+    def counter(self, name: str, help: str = "", **labels):
+        return self.registry.counter(name, help, **labels)
+
+    def gauge(self, name: str, help: str = "", **labels):
+        return self.registry.gauge(name, help, **labels)
+
+    def histogram(self, name: str, help: str = "", buckets=None, **labels):
+        return self.registry.histogram(name, help, buckets, **labels)
+
+    def span(self, name: str, **attrs):
+        return self.tracer.span(name, **attrs)
+
+    def event(self, kind: str, **fields) -> None:
+        """Record one timestamped event (trigger decisions, rebalances)."""
+        if not self.recording:
+            return
+        self.events.append({
+            "kind": kind,
+            "time": self.tracer.clock(),
+            "seq": self.tracer.next_seq(),
+            "fields": fields,
+        })
+
+    def set_clock(self, clock: Callable[[], float]) -> None:
+        """Attach a simulated clock (the most recent cluster wins)."""
+        self.tracer.clock = clock
+
+    def on_flush(self, hook: Callable[[], None]) -> None:
+        """Register a hook run before every export (e.g. components that
+        materialize expensive label spaces lazily)."""
+        self._flush_hooks.append(hook)
+
+    def flush(self) -> None:
+        for hook in self._flush_hooks:
+            hook()
+
+    def start_recording(self) -> None:
+        """Turn span/event capture on (metrics are always on)."""
+        self.recording = True
+        self.tracer.recording = True
+
+    def stop_recording(self) -> None:
+        self.recording = False
+        self.tracer.recording = False
+
+    @property
+    def null(self) -> bool:
+        return self.registry.null
+
+
+class NullTelemetry(Telemetry):
+    """The do-nothing hub; a single shared instance is the default."""
+
+    def __init__(self) -> None:
+        super().__init__(registry=NullRegistry(), record=False)
+
+    def event(self, kind: str, **fields) -> None:
+        pass
+
+    def start_recording(self) -> None:
+        pass
+
+    def on_flush(self, hook: Callable[[], None]) -> None:
+        pass
+
+
+NULL_TELEMETRY = NullTelemetry()
+
+_installed: Optional[Telemetry] = None
+
+
+def install(hub: Optional[Telemetry]) -> None:
+    """Set (or with None, clear) the process-wide default hub."""
+    global _installed
+    _installed = hub
+
+
+def installed() -> Optional[Telemetry]:
+    """The installed process-wide hub, if any."""
+    return _installed
+
+
+def get_default() -> Telemetry:
+    """The installed hub, else the shared null hub."""
+    return _installed if _installed is not None else NULL_TELEMETRY

@@ -8,11 +8,12 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.cluster.hermes import HermesCluster
-from repro.core.config import RepartitionerConfig
-from repro.core.migration import build_migration_plan
+from repro.core.migration import MigrationPlan, VertexMove, build_migration_plan
+from repro.exceptions import ClusterError, PartitioningError
 from repro.graph.adjacency import SocialGraph
 from repro.partitioning.base import Partitioning
 from repro.partitioning.hashing import HashPartitioner
+from repro.telemetry import Telemetry
 from tests.conftest import make_random_graph
 
 
@@ -146,6 +147,93 @@ class TestConcurrentMoves:
         report = migrate(cluster, {})
         assert report.vertices_moved == 0
         assert report.total_cost == 0.0
+
+
+class TestFailureAndEdgePaths:
+    def test_empty_plan_direct_through_executor(self):
+        graph = SocialGraph()
+        graph.add_vertex(0)
+        cluster = build_cluster(graph, {0: 0})
+        before = cluster.network.stats.messages
+        report = cluster._executor.execute(MigrationPlan())
+        assert report.vertices_moved == 0
+        assert report.total_cost == 0.0
+        assert report.per_target == {}
+        # No barrier broadcast, no transfers: the network saw nothing.
+        assert cluster.network.stats.messages == before
+
+    def test_noop_move_rejected_at_planning(self):
+        with pytest.raises(PartitioningError):
+            build_migration_plan({0: (1, 1)})
+
+    def test_missing_vertex_raises_cluster_error(self):
+        graph = SocialGraph()
+        graph.add_vertex(0)
+        cluster = build_cluster(graph, {0: 0})
+        plan = MigrationPlan(moves=[VertexMove(vertex=99, source=0, target=1)])
+        with pytest.raises(ClusterError, match="does not host vertex 99"):
+            cluster._executor.execute(plan)
+
+    def test_wrong_source_raises_cluster_error(self):
+        """A stale plan naming a server that no longer hosts the vertex."""
+        graph = SocialGraph()
+        graph.add_vertex(0)
+        cluster = build_cluster(graph, {0: 0})
+        plan = MigrationPlan(moves=[VertexMove(vertex=0, source=2, target=1)])
+        with pytest.raises(ClusterError):
+            cluster._executor.execute(plan)
+
+    def test_ghost_fixup_when_dst_endpoint_moves(self):
+        """Edge (0, 1) local on server 0; the *dst* endpoint moves away.
+
+        The primary record must stay with src's host and the mover's new
+        server must end up with a ghost — the remove step has to flip the
+        roles it would get wrong by copying alone.
+        """
+        graph = SocialGraph.from_edges([(0, 1)])
+        cluster = build_cluster(graph, {0: 0, 1: 0})
+        migrate(cluster, {1: (0, 2)})
+        cluster.validate()
+        rel_id = next(iter(cluster.servers[0].store.neighbor_entries(0))).rel_id
+        assert not cluster.servers[0].store.relationship(rel_id).ghost
+        assert cluster.servers[2].store.relationship(rel_id).ghost
+
+    def test_ghost_counterpart_follows_mover(self):
+        """Cross-partition edge: the ghost side moves to a third server and
+        must still be a ghost there (src stayed put)."""
+        graph = SocialGraph.from_edges([(0, 1)])
+        cluster = build_cluster(graph, {0: 0, 1: 1})
+        migrate(cluster, {1: (1, 2)})
+        cluster.validate()
+        rel_id = next(iter(cluster.servers[0].store.neighbor_entries(0))).rel_id
+        assert not cluster.servers[0].store.relationship(rel_id).ghost
+        assert cluster.servers[2].store.relationship(rel_id).ghost
+        assert not cluster.servers[1].store.has_relationship(rel_id)
+
+    def test_telemetry_counters_match_report(self):
+        hub = Telemetry()
+        graph = SocialGraph.from_edges([(0, 1), (0, 2)])
+        partitioning = Partitioning.from_mapping(
+            {0: 0, 1: 0, 2: 0}, num_partitions=3
+        )
+        cluster = HermesCluster.from_graph(
+            graph, num_servers=3, partitioning=partitioning, telemetry=hub
+        )
+        report = migrate(cluster, {0: (0, 1)})
+        registry = hub.registry
+        assert registry.total("migration_vertices_moved_total") == 1
+        assert (
+            registry.total("migration_bytes_total") == report.bytes_transferred
+        )
+        assert (
+            registry.total("migration_relationships_transferred_total")
+            == report.relationships_transferred
+        )
+        phase_sum = sum(
+            registry.value("migration_phase_seconds_total", phase=phase)
+            for phase in ("copy", "barrier", "remove")
+        )
+        assert phase_sum == pytest.approx(report.total_cost)
 
 
 class TestReporting:

@@ -4,6 +4,7 @@ import pytest
 
 from repro.cluster.network import NetworkConfig, SimulatedNetwork
 from repro.exceptions import ClusterError
+from repro.telemetry import Telemetry
 
 
 class TestCosts:
@@ -16,7 +17,8 @@ class TestCosts:
         cost = network.remote_hop(0, 1)
         assert cost == network.config.remote_hop_cost
         assert network.stats.messages == 1
-        assert network.stats.per_link[(0, 1)] == 1
+        assert network.stats.per_link[(0, 1)].messages == 1
+        assert network.stats.per_link[(0, 1)].bytes == 256
 
     def test_same_server_hop_is_free(self):
         network = SimulatedNetwork(4)
@@ -29,6 +31,8 @@ class TestCosts:
         large = network.transfer(0, 1, 100_000)
         assert large > small
         assert network.stats.bytes_sent == 100_100
+        assert network.stats.per_link[(0, 1)].bytes == 100_100
+        assert network.stats.per_link[(0, 1)].messages == 2
 
     def test_broadcast_reaches_everyone_else(self):
         network = SimulatedNetwork(4)
@@ -48,3 +52,73 @@ class TestCosts:
         network = SimulatedNetwork(2, config)
         assert network.local_visit() == 1.0
         assert network.remote_hop(0, 1) == 10.0
+
+
+class TestTopLinks:
+    def build(self):
+        network = SimulatedNetwork(4)
+        network.remote_hop(0, 1, size=100)
+        network.remote_hop(0, 1, size=100)
+        network.transfer(2, 3, size=5_000)
+        network.remote_hop(1, 0, size=50)
+        return network
+
+    def test_top_by_bytes(self):
+        network = self.build()
+        top = network.stats.top_links(2)
+        assert [link for link, _ in top] == [(2, 3), (0, 1)]
+        assert top[0][1].bytes == 5_000
+        assert top[1][1].messages == 2
+
+    def test_top_by_messages(self):
+        network = self.build()
+        top = network.stats.top_links(1, by="messages")
+        assert top[0][0] == (0, 1)
+
+    def test_top_n_larger_than_links(self):
+        network = self.build()
+        assert len(network.stats.top_links(100)) == 3
+
+    def test_bad_sort_key(self):
+        network = self.build()
+        with pytest.raises(ValueError):
+            network.stats.top_links(1, by="latency")
+
+
+class TestTelemetryMirror:
+    def test_counters_match_legacy_stats(self):
+        hub = Telemetry()
+        network = SimulatedNetwork(4, telemetry=hub)
+        network.remote_hop(0, 1, size=128)
+        network.transfer(1, 2, size=4_096)
+        network.broadcast(3, size=16)
+        assert hub.registry.total("network_messages_total") == (
+            network.stats.messages
+        )
+        assert hub.registry.total("network_bytes_total") == (
+            network.stats.bytes_sent
+        )
+        assert hub.registry.value("network_messages_total", kind="transfer") == 1
+
+    def test_hop_latency_histogram(self):
+        hub = Telemetry()
+        network = SimulatedNetwork(2, telemetry=hub)
+        for _ in range(5):
+            network.remote_hop(0, 1)
+        hist = hub.histogram("network_hop_seconds")
+        assert hist.count == 5
+        assert hist.sum == pytest.approx(5 * network.config.remote_hop_cost)
+
+    def test_link_gauge_export(self):
+        hub = Telemetry()
+        network = SimulatedNetwork(2, telemetry=hub)
+        network.remote_hop(0, 1, size=64)
+        network.export_link_metrics()
+        assert hub.registry.value("network_link_bytes", src=0, dst=1) == 64
+        assert hub.registry.value("network_link_messages", src=0, dst=1) == 1
+
+    def test_null_hub_keeps_legacy_stats(self):
+        network = SimulatedNetwork(2)
+        network.remote_hop(0, 1, size=64)
+        assert network.stats.messages == 1
+        assert network.telemetry.null

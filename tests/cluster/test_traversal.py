@@ -1,9 +1,7 @@
 """Tests for the distributed traversal engine."""
 
-import pytest
-
 from repro.cluster.catalog import Catalog
-from repro.cluster.network import NetworkConfig, SimulatedNetwork
+from repro.cluster.network import SimulatedNetwork
 from repro.cluster.server import HermesServer
 from repro.cluster.traversal import TraversalEngine
 

@@ -4,7 +4,6 @@ import pytest
 
 from repro.core.auxiliary import AuxiliaryData
 from repro.exceptions import PartitioningError, VertexNotFoundError
-from repro.partitioning.base import Partitioning
 from repro.partitioning.hashing import HashPartitioner
 from repro.partitioning.metrics import edge_cut
 from tests.conftest import make_random_graph

@@ -1,7 +1,5 @@
 """Tests for Algorithm 1 (target selection) and the gain function."""
 
-import pytest
-
 from repro.core.auxiliary import AuxiliaryData
 from repro.core.candidates import (
     STAGE_ANY_DIRECTION,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.migration import MigrationPlan, VertexMove, build_migration_plan
+from repro.core.migration import VertexMove, build_migration_plan
 from repro.exceptions import PartitioningError
 
 

@@ -8,8 +8,6 @@
   converges after a one-way merge.
 """
 
-import pytest
-
 from repro.core.config import RepartitionerConfig
 from repro.core.repartitioner import LightweightRepartitioner
 from repro.experiments.ablations import oscillation_graph

@@ -7,6 +7,8 @@ global state.
 """
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.auxiliary import AuxiliaryData
 from repro.core.config import RepartitionerConfig
@@ -155,9 +157,6 @@ class TestShardMechanics:
 # ----------------------------------------------------------------------
 # Property-based equivalence under random operation sequences
 # ----------------------------------------------------------------------
-from hypothesis import given, settings
-from hypothesis import strategies as st
-
 
 @given(
     st.lists(

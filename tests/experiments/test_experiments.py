@@ -5,6 +5,8 @@ assert the *qualitative* relationships the paper reports, not absolute
 numbers (the benchmark harness runs the full-scale versions).
 """
 
+import json
+
 import pytest
 
 from repro.experiments import ablations, fig7, fig8, fig9, fig10, fig11
@@ -15,7 +17,8 @@ from repro.experiments.common import (
     GraphScale,
     scaled_k,
 )
-from repro.experiments.runner import build_parser, main as runner_main
+from repro.experiments.runner import build_parser, jsonable, main as runner_main
+from repro.telemetry import installed, read_jsonl
 
 TINY_GRAPH = GraphScale(n=300, num_partitions=4, seed=11)
 TINY_CLUSTER = ClusterScale(
@@ -205,3 +208,42 @@ class TestRunnerCLI:
         assert runner_main(["--experiment", "table1", "--n", "150"]) == 0
         out = capsys.readouterr().out
         assert "Table 1" in out
+
+    def test_json_output(self, tmp_path, capsys):
+        path = tmp_path / "results.json"
+        code = runner_main(
+            ["--experiment", "table1", "--n", "150", "--json", str(path)]
+        )
+        assert code == 0
+        payload = json.loads(path.read_text())
+        assert payload["scales"]["graph"]["n"] == 150
+        table1_run = payload["experiments"]["table1"]
+        assert table1_run["elapsed_seconds"] >= 0
+        names = [m["name"] for m in table1_run["result"]["measured"]]
+        assert names == ["orkut", "twitter", "dblp"]
+
+    def test_telemetry_out(self, tmp_path, capsys):
+        path = tmp_path / "telemetry.jsonl"
+        code = runner_main(
+            [
+                "--experiment", "fig10",
+                "--n", "150",
+                "--servers", "3",
+                "--telemetry-out", str(path),
+            ]
+        )
+        assert code == 0
+        # The hub must be uninstalled again after the run.
+        assert installed() is None
+        records = read_jsonl(str(path))
+        assert records[0]["type"] == "meta"
+        assert records[0]["experiments"] == ["fig10"]
+        types = {record["type"] for record in records}
+        assert {"meta", "metric", "span", "event"} <= types
+        out = capsys.readouterr().out
+        assert "Telemetry summary" in out
+
+    def test_jsonable_fallback(self):
+        assert jsonable({1: {2, 3}}) == {"1": [2, 3]}
+        assert jsonable((1, "a", None)) == [1, "a", None]
+        assert jsonable(object()).startswith("<object")

@@ -1,12 +1,10 @@
 """Tests for graph statistics (Table 1 quantities)."""
 
-import math
-
 import pytest
 
 from repro.exceptions import GraphError
 from repro.graph.adjacency import SocialGraph
-from repro.graph.generators import Dataset, orkut_like
+from repro.graph.generators import orkut_like
 from repro.graph.stats import (
     average_path_length,
     clustering_coefficient,

@@ -6,7 +6,6 @@ in-memory structures that survive it.
 """
 
 import os
-import struct
 
 import pytest
 

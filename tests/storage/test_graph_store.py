@@ -1,8 +1,6 @@
 """Tests for the GraphStore facade: chains, ghosts, properties, migration
 primitives, availability and persistence."""
 
-import random
-
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -3,13 +3,12 @@
 import pytest
 
 from repro.exceptions import (
-    RecordDeletedError,
     RecordNotFoundError,
     StorageError,
 )
 from repro.storage.ids import IdAllocator
 from repro.storage.node_store import NodeCodec, NodeRecord
-from repro.storage.records import NULL_REF, DynamicStore, FixedRecordStore
+from repro.storage.records import DynamicStore, FixedRecordStore
 
 
 class TestIdAllocator:
