@@ -13,6 +13,7 @@ migration protocol with ghost-relationship bookkeeping.
 
 from repro.cluster.catalog import Catalog
 from repro.cluster.clients import ClientPool, WorkloadReport
+from repro.cluster.faults import CrashWindow, FaultInjector, FaultPlan, RetryPolicy
 from repro.cluster.hermes import HermesCluster
 from repro.cluster.migration_executor import MigrationExecutor, MigrationReport
 from repro.cluster.network import NetworkConfig, SimulatedNetwork
@@ -21,6 +22,10 @@ from repro.cluster.traversal import TraversalEngine, TraversalResult
 
 __all__ = [
     "Catalog",
+    "CrashWindow",
+    "FaultInjector",
+    "FaultPlan",
+    "RetryPolicy",
     "NetworkConfig",
     "SimulatedNetwork",
     "HermesServer",

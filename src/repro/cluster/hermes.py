@@ -30,6 +30,7 @@ import os
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.cluster.catalog import Catalog
+from repro.cluster.faults import FaultInjector, FaultPlan, RetryPolicy
 from repro.cluster.migration_executor import MigrationExecutor, MigrationReport
 from repro.cluster.network import NetworkConfig, SimulatedNetwork
 from repro.cluster.server import HermesServer
@@ -40,7 +41,7 @@ from repro.core.sharded import ShardedAuxiliaryData
 from repro.core.migration import build_migration_plan
 from repro.core.repartitioner import LightweightRepartitioner, RepartitionResult
 from repro.core.triggers import ImbalanceTrigger, TriggerDecision
-from repro.exceptions import ClusterError
+from repro.exceptions import ClusterError, MigrationAbortedError
 from repro.graph.adjacency import SocialGraph
 from repro.storage.graph_store import GraphStore
 from repro.partitioning.base import Partitioner, Partitioning
@@ -57,7 +58,7 @@ class HermesCluster:
     def __init__(
         self,
         num_servers: int,
-        network: NetworkConfig = NetworkConfig(),
+        network: Optional[NetworkConfig] = None,
         repartitioner: Optional[RepartitionerConfig] = None,
         lock_timeout: float = 1.0,
         track_weights: bool = True,
@@ -68,6 +69,7 @@ class HermesCluster:
             raise ClusterError("need at least one server")
         self.num_servers = num_servers
         self.now = 0.0
+        self.faults: Optional[FaultInjector] = None
         # Resolution order: explicit hub, then the process-wide installed
         # hub (the runner's --telemetry-out path), then a private hub with
         # metrics on but recording off.  The hub is always *real* — the
@@ -113,6 +115,45 @@ class HermesCluster:
             self.servers, self.catalog, self.network, telemetry=self.telemetry
         )
         self._placer = HashPartitioner()
+
+    # ==================================================================
+    # Fault injection
+    # ==================================================================
+    def attach_faults(
+        self,
+        plan: Optional[FaultPlan],
+        retry: Optional[RetryPolicy] = None,
+    ) -> Optional[FaultInjector]:
+        """Install a fault-injection plan (or with None, remove it).
+
+        Wires one shared :class:`~repro.cluster.faults.FaultInjector` into
+        the network and every server, and the retry policy into the
+        traversal engine and migration executor.  Returns the injector so
+        tests can inspect it.
+        """
+        if plan is None:
+            self.faults = None
+            self.network.attach_faults(None)
+            for server in self.servers:
+                server.attach_faults(None)
+            return None
+        self.faults = FaultInjector(
+            plan, clock=lambda: self.now, telemetry=self.telemetry
+        )
+        self.network.attach_faults(self.faults)
+        for server in self.servers:
+            server.attach_faults(self.faults)
+        if retry is not None:
+            self._engine.retry = retry
+            self._executor.retry = retry
+        return self.faults
+
+    def _advance(self, cost: float) -> None:
+        """Fold an operation's simulated cost into the cluster clock."""
+        self.now += cost
+        if self.faults is not None:
+            # The operation's in-flight time is now part of the clock.
+            self.faults.reset()
 
     # ==================================================================
     # Loading
@@ -177,7 +218,7 @@ class HermesCluster:
     def traverse(self, start: int, hops: int = 1) -> TraversalResult:
         """Distributed k-hop traversal; updates popularity weights."""
         result = self._engine.traverse(start, hops)
-        self.now += result.cost
+        self._advance(result.cost)
         if self.track_weights:
             for vertex in result.response:
                 self.graph.add_weight(vertex, 1.0)
@@ -190,7 +231,7 @@ class HermesCluster:
         properties = self.servers[server].read_vertex(vertex)
         self.servers[server].busy_seconds += self.network.local_visit()
         cost = self.network.config.client_dispatch_cost + self.network.local_visit()
-        self.now += cost
+        self._advance(cost)
         if self.track_weights:
             self.graph.add_weight(vertex, 1.0)
             self.aux.add_weight(vertex, 1.0)
@@ -219,7 +260,7 @@ class HermesCluster:
         self.graph.add_vertex(vertex, weight=weight)
         self.aux.add_vertex(vertex, target, weight)
         cost = self.network.config.client_dispatch_cost + self.network.local_visit()
-        self.now += cost
+        self._advance(cost)
         return cost
 
     def add_edge(
@@ -232,7 +273,7 @@ class HermesCluster:
         cost += self._create_edge_records(u, v, properties)
         self.graph.add_edge(u, v)
         self.aux.add_edge(u, v)
-        self.now += cost
+        self._advance(cost)
         return cost
 
     # ==================================================================
@@ -260,7 +301,26 @@ class HermesCluster:
         result = repartitioner.run(
             self.graph, scratch, aux=self.aux, telemetry=self.telemetry
         )
-        report = self._apply_moves(result.moves)
+        try:
+            report = self._apply_moves(result.moves)
+        except MigrationAbortedError as exc:
+            # Phase 1 already retargeted the auxiliary data; the physical
+            # migration rolled itself back, so undo the logical moves too
+            # and the cluster is exactly where it was before the attempt.
+            self._rollback_aux(result.moves)
+            self.telemetry.counter(
+                "rebalance_aborts_total",
+                "rebalance runs aborted by injected faults",
+            ).inc()
+            self.telemetry.event(
+                "rebalance_aborted",
+                forced=force,
+                vertices_moved=result.vertices_moved,
+                error=str(exc.cause),
+            )
+            span.set_attribute("aborted", True)
+            span.finish(duration=exc.report.total_cost)
+            raise
         self.telemetry.counter(
             "rebalances_total", "repartitioner end-to-end runs"
         ).inc()
@@ -298,12 +358,26 @@ class HermesCluster:
         # Keep auxiliary data in sync with the new placement.
         for vertex, (_, target) in moves.items():
             self.aux.apply_move(vertex, target, self.graph.neighbors(vertex))
-        return self._apply_moves(moves)
+        try:
+            return self._apply_moves(moves)
+        except MigrationAbortedError:
+            self._rollback_aux(moves)
+            raise
+
+    def _rollback_aux(self, moves: Dict[int, Tuple[int, int]]) -> None:
+        """Re-point the auxiliary data at the pre-move placement."""
+        for vertex, (source, _) in moves.items():
+            self.aux.apply_move(vertex, source, self.graph.neighbors(vertex))
 
     def _apply_moves(self, moves: Dict[int, Tuple[int, int]]) -> MigrationReport:
         plan = build_migration_plan(moves)
-        report = self._executor.execute(plan)
-        self.now += report.total_cost
+        try:
+            report = self._executor.execute(plan)
+        except MigrationAbortedError as exc:
+            # The wasted copy/rollback work still consumed simulated time.
+            self._advance(exc.report.total_cost)
+            raise
+        self._advance(report.total_cost)
         return report
 
     # ==================================================================

@@ -19,20 +19,38 @@ other side keeps a ghost.  The executor recomputes ghost/primary roles
 against the *post-migration* catalog so that edges between two migrating
 vertices, edges to third-party servers, and edges collapsing into a
 single server are all handled.
+
+Execution is **transactional**: every store mutation performed by the
+copy step is journalled, and a failure before the catalog flips (a crash
+window or message loss surviving all retries, a stale plan naming a
+vertex a server no longer hosts) rolls the journal back so every store,
+the catalog and the migration counters are exactly as they were before
+``execute`` was called — the paper's "failure mid-migration cannot
+corrupt the database" guarantee.  The aborted attempt surfaces as a
+:class:`~repro.exceptions.MigrationAbortedError` carrying its wasted
+simulated cost, and the same plan can be retried idempotently once the
+fault clears.  After the catalog flips, the remaining work (the remove
+step) is purely server-local and cannot fault.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Tuple
 
 from typing import Optional
 
 from repro.cluster.catalog import Catalog
+from repro.cluster.faults import RetryPolicy
 from repro.cluster.network import SimulatedNetwork
 from repro.cluster.server import HermesServer
 from repro.core.migration import MigrationPlan
-from repro.exceptions import ClusterError
+from repro.exceptions import (
+    ClusterError,
+    FaultInjectedError,
+    HermesError,
+    MigrationAbortedError,
+)
 from repro.telemetry import NULL_TELEMETRY, Telemetry
 from repro.telemetry.registry import DEFAULT_SIZE_BUCKETS
 
@@ -76,10 +94,12 @@ class MigrationExecutor:
         catalog: Catalog,
         network: SimulatedNetwork,
         telemetry: Optional[Telemetry] = None,
+        retry: Optional[RetryPolicy] = None,
     ):
         self.servers = servers
         self.catalog = catalog
         self.network = network
+        self.retry = retry or RetryPolicy()
         self.attach_telemetry(telemetry or NULL_TELEMETRY)
 
     def attach_telemetry(self, telemetry: Telemetry) -> None:
@@ -114,21 +134,51 @@ class MigrationExecutor:
 
     # ------------------------------------------------------------------
     def execute(self, plan: MigrationPlan) -> MigrationReport:
-        """Run the full two-step protocol for ``plan``."""
+        """Run the full two-step protocol for ``plan``.
+
+        Raises :class:`~repro.exceptions.MigrationAbortedError` if the
+        copy step or the barrier fails; the cluster is then rolled back
+        to its exact pre-call state and the plan may be retried.
+        """
         report = MigrationReport()
         if not plan.moves:
             return report
         final_home = self._final_placement(plan)
+        #: reverse journal of every store mutation, for rollback on abort
+        undo: List[Tuple] = []
+        payload_sizes: List[int] = []
 
         span = self.telemetry.span("migration", moves=plan.num_moves)
-        copy_span = self.telemetry.span("migration.copy")
-        payloads = self._copy_step(plan, final_home, report)
-        copy_span.set_attribute("bytes", report.bytes_transferred)
-        copy_span.finish(duration=report.copy_cost)
+        try:
+            copy_span = self.telemetry.span("migration.copy")
+            payloads = self._copy_step(
+                plan, final_home, report, undo, payload_sizes
+            )
+            copy_span.set_attribute("bytes", report.bytes_transferred)
+            copy_span.finish(duration=report.copy_cost)
 
-        barrier_span = self.telemetry.span("migration.barrier")
-        report.barrier_cost = self._barrier(plan)
-        barrier_span.finish(duration=report.barrier_cost)
+            barrier_span = self.telemetry.span("migration.barrier")
+            report.barrier_cost = self._barrier(plan)
+            barrier_span.finish(duration=report.barrier_cost)
+        except HermesError as exc:
+            if isinstance(exc, FaultInjectedError):
+                # The timeouts and backoff of the failed attempt are real
+                # simulated time even though no records moved.
+                report.copy_cost += exc.cost
+            self._rollback(undo)
+            self.telemetry.counter(
+                "migration_aborts_total", "migrations aborted and rolled back"
+            ).inc()
+            self.telemetry.event(
+                "migration_aborted",
+                moves=plan.num_moves,
+                rolled_back=report.vertices_moved,
+                reason=type(exc).__name__,
+                error=str(exc),
+            )
+            span.set_attribute("aborted", True)
+            span.finish(duration=report.copy_cost + report.barrier_cost)
+            raise MigrationAbortedError(exc, report) from exc
 
         # The catalog flips between the steps: queries now route to the
         # fresh replicas while the originals are being removed.
@@ -142,6 +192,11 @@ class MigrationExecutor:
         )
         remove_span.finish(duration=report.remove_cost)
 
+        # Telemetry is published only once the migration is past its
+        # abort points, so an aborted attempt leaves the counters and the
+        # payload histogram exactly as they were.
+        for size in payload_sizes:
+            self._payload_sizes.observe(size)
         self._vertices_moved.inc(report.vertices_moved)
         self._rels_transferred.inc(report.relationships_transferred)
         self._rels_rewritten.inc(report.relationships_rewritten)
@@ -172,8 +227,15 @@ class MigrationExecutor:
         plan: MigrationPlan,
         final_home: Dict[int, int],
         report: MigrationReport,
+        undo: List[Tuple],
+        payload_sizes: List[int],
     ) -> Dict[int, Dict[str, Any]]:
-        """Replicate every moving vertex on its target server."""
+        """Replicate every moving vertex on its target server.
+
+        Every store mutation appends its inverse to ``undo`` *after* it
+        succeeds, so a failure at any point leaves a journal that undoes
+        exactly the mutations that happened.
+        """
         payloads: Dict[int, Dict[str, Any]] = {}
         for move in plan.moves:
             source = self.servers[move.source]
@@ -185,17 +247,37 @@ class MigrationExecutor:
             payload = source.store.export_node(move.vertex)
             payloads[move.vertex] = payload
             size = _payload_size(payload)
-            self._payload_sizes.observe(size)
+            payload_sizes.append(size)
             report.bytes_transferred += size
-            report.copy_cost += self.network.transfer(move.source, move.target, size)
+            report.copy_cost += self._transfer(move.source, move.target, size)
             report.vertices_moved += 1
             report.per_target[move.target] = report.per_target.get(move.target, 0) + 1
 
             target.store.import_node(payload)
+            undo.append(("import", move.target, move.vertex))
             for rel in payload["relationships"]:
-                self._install_relationship(target, move.vertex, rel, final_home)
+                self._install_relationship(
+                    target, move.vertex, rel, final_home, undo
+                )
                 report.relationships_transferred += 1
         return payloads
+
+    def _transfer(self, src: int, dst: int, size: int) -> float:
+        """One copy-step record shipment, retried under injected faults."""
+        if self.network.fault_injector is None:
+            return self.network.transfer(src, dst, size)
+        cost, wasted = self.retry.call(
+            lambda: self.network.transfer(src, dst, size),
+            injector=self.network.fault_injector,
+            on_retry=self._on_retry,
+        )
+        return cost + wasted
+
+    def _on_retry(self, exc: FaultInjectedError, pause: float) -> None:
+        self.telemetry.counter(
+            "migration_retries_total",
+            "copy/barrier network operations retried after an injected fault",
+        ).inc()
 
     def _install_relationship(
         self,
@@ -203,6 +285,7 @@ class MigrationExecutor:
         arriving: int,
         rel: Dict[str, Any],
         final_home: Dict[int, int],
+        undo: List[Tuple],
     ) -> None:
         """Create or merge one relationship record on the target server."""
         rel_id = rel["rel_id"]
@@ -218,17 +301,28 @@ class MigrationExecutor:
             # arrived earlier in this copy step): link the new endpoint in
             # and reconcile the primary/ghost role.
             target.store.attach_endpoint(rel_id, arriving)
+            undo.append(("attach", target.server_id, rel_id, arriving))
             existing = target.store.relationship(rel_id)
             should_be_ghost = not (primary_here or both_local_eventually)
             if existing.ghost and not should_be_ghost:
                 target.store.set_ghost(rel_id, False)
+                undo.append(("ghost", target.server_id, rel_id, True, {}))
             elif not existing.ghost and should_be_ghost:
+                # Downgrading drops the property chain; capture it so a
+                # rollback can restore the record byte-for-byte.
+                old_props = target.store.relationship_properties(rel_id)
                 target.store.set_ghost(rel_id, True)
+                undo.append(("ghost", target.server_id, rel_id, False, old_props))
             if not should_be_ghost:
                 # Merge properties: the primary payload may arrive second
                 # when both endpoints migrate to the same server.
                 for key, value in rel.get("properties", {}).items():
+                    had = key in target.store.relationship_properties(rel_id)
+                    old = target.store.get_relationship_property(rel_id, key)
                     target.store.set_relationship_property(rel_id, key, value)
+                    undo.append(
+                        ("prop", target.server_id, rel_id, key, had, old)
+                    )
             return
 
         ghost = not (primary_here or both_local_eventually)
@@ -236,6 +330,41 @@ class MigrationExecutor:
         target.store.create_relationship(
             rel_id, src, dst, ghost=ghost, properties=properties or None
         )
+        undo.append(("create_rel", target.server_id, rel_id))
+
+    # ------------------------------------------------------------------
+    # Rollback (abort path)
+    # ------------------------------------------------------------------
+    def _rollback(self, undo: List[Tuple]) -> None:
+        """Undo the copy step's journalled mutations, newest first.
+
+        Reverse order matters: a vertex's relationship records are
+        detached/deleted before its imported node record is removed, and
+        property merges are unwound before ghost roles are restored.
+        """
+        for action in reversed(undo):
+            kind, server_id = action[0], action[1]
+            store = self.servers[server_id].store
+            if kind == "prop":
+                _, _, rel_id, key, had, old = action
+                if had:
+                    store.set_relationship_property(rel_id, key, old)
+                else:
+                    store.remove_relationship_property(rel_id, key)
+            elif kind == "ghost":
+                _, _, rel_id, old_ghost, old_props = action
+                store.set_ghost(rel_id, old_ghost)
+                for key, value in old_props.items():
+                    store.set_relationship_property(rel_id, key, value)
+            elif kind == "attach":
+                _, _, rel_id, node_id = action
+                store.detach_endpoint(rel_id, node_id)
+            elif kind == "create_rel":
+                store.delete_relationship(action[2])
+            elif kind == "import":
+                # By now every relationship installed for this vertex has
+                # been unwound, so its chain is empty again.
+                store.remove_node_record(action[2])
 
     # ------------------------------------------------------------------
     # Barrier
@@ -245,8 +374,19 @@ class MigrationExecutor:
         participants = {move.source for move in plan.moves}
         participants.update(move.target for move in plan.moves)
         cost = 0.0
+        injector = self.network.fault_injector
         for server in participants:
-            cost += self.network.broadcast(server, size=32)
+            if injector is None:
+                cost += self.network.broadcast(server, size=32)
+            else:
+                # A lost confirmation is re-broadcast; duplicates are
+                # harmless (the barrier is idempotent by construction).
+                confirmed, wasted = self.retry.call(
+                    lambda s=server: self.network.broadcast(s, size=32),
+                    injector=injector,
+                    on_retry=self._on_retry,
+                )
+                cost += confirmed + wasted
         return cost
 
     # ------------------------------------------------------------------

@@ -31,6 +31,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.cluster.faults import FaultInjector
 from repro.exceptions import ClusterError
 from repro.telemetry import NULL_TELEMETRY, Telemetry
 from repro.telemetry.registry import DEFAULT_SIZE_BUCKETS
@@ -49,6 +50,9 @@ class NetworkConfig:
     transfer_base_cost: float = 500e-6
     transfer_byte_cost: float = 8e-9  # ~1 Gb/s payload bandwidth
     client_dispatch_cost: float = 100e-6  # client -> cluster round trip
+    #: sender-side wait before a lost/unanswered message is declared dead
+    #: (a few RTTs, as a TCP-ish retransmission timeout would be)
+    fault_timeout_cost: float = 2e-3
 
 
 @dataclass
@@ -82,10 +86,11 @@ class NetworkStats:
         """The ``n`` busiest links, by ``bytes`` (default) or ``messages``."""
         if by not in ("bytes", "messages"):
             raise ValueError(f"by must be 'bytes' or 'messages', got {by!r}")
+        # Descending by traffic, ties in ascending link order (reverse=True
+        # on the whole tuple would flip the tie order too).
         ranked = sorted(
             self.per_link.items(),
-            key=lambda item: (getattr(item[1], by), item[0]),
-            reverse=True,
+            key=lambda item: (-getattr(item[1], by), item[0]),
         )
         return ranked[:n]
 
@@ -96,17 +101,22 @@ class SimulatedNetwork:
     def __init__(
         self,
         num_servers: int,
-        config: NetworkConfig = NetworkConfig(),
+        config: Optional[NetworkConfig] = None,
         telemetry: Optional[Telemetry] = None,
         labels: Optional[Dict[str, object]] = None,
     ):
         if num_servers < 1:
             raise ClusterError("need at least one server")
         self.num_servers = num_servers
-        self.config = config
+        self.config = config if config is not None else NetworkConfig()
         self.stats = NetworkStats()
+        self.fault_injector: Optional[FaultInjector] = None
         self._labels = dict(labels or {})
         self.attach_telemetry(telemetry or NULL_TELEMETRY)
+
+    def attach_faults(self, injector: Optional[FaultInjector]) -> None:
+        """Install (or with None, remove) the fault-injection oracle."""
+        self.fault_injector = injector
 
     def attach_telemetry(self, telemetry: Telemetry) -> None:
         """(Re)bind the metric instruments against ``telemetry``."""
@@ -155,30 +165,50 @@ class SimulatedNetwork:
         return self.config.local_visit_cost
 
     def remote_hop(self, src: int, dst: int, size: int = 256) -> float:
-        """Cost of one remote traversal step ``src -> dst``."""
+        """Cost of one remote traversal step ``src -> dst``.
+
+        With a fault injector attached this may raise a
+        :class:`~repro.exceptions.FaultInjectedError` instead — the
+        message never arrived and only the sender's timeout was spent.
+        """
         self._check(src)
         self._check(dst)
         if src == dst:
             return 0.0
+        if self.fault_injector is not None:
+            self.fault_injector.check_message(
+                src, dst, cost=self.config.fault_timeout_cost
+            )
         self.stats.record(src, dst, size)
         cost = self.config.remote_hop_cost
         self._hop_messages.inc()
         self._hop_bytes.inc(size)
         self._hop_latency.observe(cost)
+        if self.fault_injector is not None:
+            self.fault_injector.advance(cost)
         return cost
 
     def transfer(self, src: int, dst: int, size: int) -> float:
-        """Cost of a bulk record transfer (migration copy step)."""
+        """Cost of a bulk record transfer (migration copy step).
+
+        Subject to the same fault injection as :meth:`remote_hop`.
+        """
         self._check(src)
         self._check(dst)
         if src == dst:
             return 0.0
+        if self.fault_injector is not None:
+            self.fault_injector.check_message(
+                src, dst, cost=self.config.fault_timeout_cost
+            )
         self.stats.record(src, dst, size)
         cost = self.config.transfer_base_cost + size * self.config.transfer_byte_cost
         self._transfer_messages.inc()
         self._transfer_bytes.inc(size)
         self._transfer_latency.observe(cost)
         self._transfer_sizes.observe(size)
+        if self.fault_injector is not None:
+            self.fault_injector.advance(cost)
         return cost
 
     def export_link_metrics(self) -> None:

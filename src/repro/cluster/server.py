@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional
 
+from repro.cluster.faults import FaultInjector
 from repro.exceptions import ClusterError
 from repro.storage.graph_store import GraphStore, NeighborEntry
 from repro.telemetry import Telemetry
@@ -41,6 +42,7 @@ class HermesServer:
         self.server_id = server_id
         self.store = GraphStore(server_id=server_id, num_servers=num_servers)
         self.txns = TransactionManager(clock=clock, lock_timeout=lock_timeout)
+        self.faults: Optional[FaultInjector] = None
         # The legacy attribute API reads through these instruments, so the
         # registry must be real even without an attached sink: a bare
         # Telemetry() is exactly that (in-memory numbers, no recording).
@@ -100,10 +102,28 @@ class HermesServer:
         self.busy_counter.set(value)
 
     # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+    def attach_faults(self, injector: Optional[FaultInjector]) -> None:
+        """Install (or with None, remove) the fault-injection oracle.
+
+        While the injector places this server inside a crash window,
+        request dispatch raises :class:`~repro.exceptions.ServerDownError`
+        — the store itself survives the outage untouched, matching the
+        paper's assumption that a restarted server recovers its data.
+        """
+        self.faults = injector
+
+    def _check_up(self) -> None:
+        if self.faults is not None:
+            self.faults.check_server(self.server_id)
+
+    # ------------------------------------------------------------------
     # Read path
     # ------------------------------------------------------------------
     def read_vertex(self, node_id: int) -> Dict[str, Any]:
         """Single-record query: the node's properties (bumps popularity)."""
+        self._check_up()
         if not self.store.is_available(node_id):
             raise ClusterError(f"vertex {node_id} is not served by server {self.server_id}")
         self.reads_counter.inc()
@@ -118,6 +138,7 @@ class HermesServer:
         *processed* vertex, including final-hop vertices that are never
         expanded), so this method does not touch ``visits``.
         """
+        self._check_up()
         if not self.store.is_available(node_id):
             raise ClusterError(f"vertex {node_id} is not served by server {self.server_id}")
         return list(self.store.neighbor_entries(node_id))

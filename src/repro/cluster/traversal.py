@@ -17,6 +17,15 @@ With a recording telemetry hub each query produces a ``traversal`` span
 with one ``hop`` child span per frontier depth (sized by the simulated
 cost that depth charged), plus aggregate counters and a per-query cost
 histogram; with the default null hub the same calls are no-ops.
+
+Under fault injection (a :class:`~repro.cluster.faults.FaultPlan`
+attached to the network) the engine degrades gracefully instead of
+raising: a remote hop that still fails after bounded retries marks the
+destination server as a *failed partition* for the rest of the query,
+the frontier entries hosted there are skipped, and the result carries
+the servers it could not reach in ``failed_partitions`` — a partial
+response, exactly what a production client would get from a cluster
+with a crashed replica-less server.
 """
 
 from __future__ import annotations
@@ -25,8 +34,10 @@ from dataclasses import dataclass
 from typing import List, Optional, Set, Tuple
 
 from repro.cluster.catalog import Catalog
+from repro.cluster.faults import RetryPolicy
 from repro.cluster.network import SimulatedNetwork
 from repro.cluster.server import HermesServer
+from repro.exceptions import FaultInjectedError, ServerDownError
 from repro.telemetry import NULL_TELEMETRY, Telemetry
 
 
@@ -44,6 +55,13 @@ class TraversalResult:
     remote_hops: int
     #: simulated execution time of the query
     cost: float
+    #: servers that could not be reached; when non-empty the response is
+    #: partial (their vertices are missing, not absent from the graph)
+    failed_partitions: Tuple[int, ...] = ()
+
+    @property
+    def partial(self) -> bool:
+        return bool(self.failed_partitions)
 
     @property
     def response_processed_ratio(self) -> float:
@@ -61,10 +79,12 @@ class TraversalEngine:
         catalog: Catalog,
         network: SimulatedNetwork,
         telemetry: Optional[Telemetry] = None,
+        retry: Optional[RetryPolicy] = None,
     ):
         self.servers = servers
         self.catalog = catalog
         self.network = network
+        self.retry = retry or RetryPolicy()
         self.attach_telemetry(telemetry or NULL_TELEMETRY)
 
     def attach_telemetry(self, telemetry: Telemetry) -> None:
@@ -93,6 +113,14 @@ class TraversalEngine:
         home = self.catalog.lookup(start)
         remote_service = self.network.config.remote_service_cost
         local_visit = self.network.local_visit()
+        injector = self.network.fault_injector
+        #: servers this query gave up on (down or unreachable after retries)
+        failed: Set[int] = set()
+
+        if injector is not None and injector.is_down(home):
+            # The dispatch to the home server times out: the client gets
+            # an empty partial result rather than an exception.
+            return self._degraded_dispatch(start, hops, home, cost)
 
         span = self.telemetry.span("traversal", start=start, hops=hops)
         # Client dispatch happens before the first hop: push the causal
@@ -121,7 +149,16 @@ class TraversalEngine:
             next_frontier: List[Tuple[int, int, int]] = []
             for vertex, host, from_host in frontier:
                 if host != from_host:
-                    cost += self.network.remote_hop(from_host, host)
+                    if host in failed:
+                        # Already unreachable this query: don't retry on
+                        # every frontier entry, just degrade.
+                        continue
+                    try:
+                        cost += self._hop(from_host, host)
+                    except FaultInjectedError as exc:
+                        cost += exc.cost
+                        failed.add(host)
+                        continue
                     remote += 1
                     # Servicing the hop consumes CPU on both endpoints --
                     # the "network IO" load that edge-cuts impose.
@@ -143,7 +180,15 @@ class TraversalEngine:
                 if vertex in visited_for_expansion:
                     continue
                 visited_for_expansion.add(vertex)
-                for entry in executing.expand(vertex):
+                try:
+                    entries = executing.expand(vertex)
+                except ServerDownError:
+                    # The host crashed mid-query (a window opened while
+                    # this frontier was in flight): its vertices stay in
+                    # the response, its expansions are lost.
+                    failed.add(host)
+                    continue
+                for entry in entries:
                     neighbor_host = self.catalog.lookup(entry.neighbor)
                     next_frontier.append((entry.neighbor, neighbor_host, host))
             depth_span.finish(duration=cost - cost_before)
@@ -158,6 +203,12 @@ class TraversalEngine:
         span.set_attribute("processed", processed)
         span.set_attribute("remote_hops", remote)
         span.set_attribute("response", len(response))
+        if failed:
+            self.telemetry.counter(
+                "traversals_partial_total",
+                "traversals that returned partial results",
+            ).inc()
+            span.set_attribute("failed_partitions", sorted(failed))
         span.finish(duration=cost)
 
         return TraversalResult(
@@ -167,4 +218,55 @@ class TraversalEngine:
             processed=processed,
             remote_hops=remote,
             cost=cost,
+            failed_partitions=tuple(sorted(failed)),
+        )
+
+    # ------------------------------------------------------------------
+    # Fault-degradation helpers
+    # ------------------------------------------------------------------
+    def _hop(self, src: int, dst: int) -> float:
+        """One remote hop, retried under the engine's policy on faults.
+
+        Returns the total simulated cost including wasted attempts; the
+        zero-fault path is a single direct call with no extra work.
+        """
+        if self.network.fault_injector is None:
+            return self.network.remote_hop(src, dst)
+        cost, wasted = self.retry.call(
+            lambda: self.network.remote_hop(src, dst),
+            injector=self.network.fault_injector,
+            on_retry=self._on_retry,
+        )
+        return cost + wasted
+
+    def _on_retry(self, exc: FaultInjectedError, pause: float) -> None:
+        self.telemetry.counter(
+            "traversal_retries_total", "traversal hop retries after faults"
+        ).inc()
+
+    def _degraded_dispatch(
+        self, start: int, hops: int, home: int, cost: float
+    ) -> TraversalResult:
+        """Empty partial result when the home server is down at dispatch."""
+        cost += self.network.config.fault_timeout_cost
+        span = self.telemetry.span("traversal", start=start, hops=hops)
+        self._traversals.inc()
+        self.telemetry.counter(
+            "traversals_partial_total",
+            "traversals that returned partial results",
+        ).inc()
+        self._cost_hist.observe(cost)
+        span.set_attribute("processed", 0)
+        span.set_attribute("remote_hops", 0)
+        span.set_attribute("response", 0)
+        span.set_attribute("failed_partitions", [home])
+        span.finish(duration=cost)
+        return TraversalResult(
+            start=start,
+            hops=hops,
+            response=(),
+            processed=0,
+            remote_hops=0,
+            cost=cost,
+            failed_partitions=(home,),
         )

@@ -43,13 +43,17 @@ class ImbalanceTrigger:
         self.epsilon = epsilon
         self.attach_telemetry(telemetry or NULL_TELEMETRY)
 
+    _CHECKS_HELP = "trigger evaluations"
+
     def attach_telemetry(self, telemetry: Telemetry) -> None:
         self.telemetry = telemetry
+        # Both series pass the family help string: whichever is created
+        # first must not leave the family undocumented.
         self._fired = telemetry.counter(
-            "trigger_checks_total", "trigger evaluations", outcome="fired"
+            "trigger_checks_total", self._CHECKS_HELP, outcome="fired"
         )
         self._held = telemetry.counter(
-            "trigger_checks_total", outcome="held"
+            "trigger_checks_total", self._CHECKS_HELP, outcome="held"
         )
 
     def check(self, aux: AuxiliaryData) -> TriggerDecision:

@@ -98,6 +98,60 @@ class ClusterError(HermesError):
     """Base class for distributed-cluster errors."""
 
 
+class FaultInjectedError(ClusterError):
+    """Base class for failures produced by the fault-injection layer.
+
+    ``cost`` is the simulated time the failed operation wasted (timeouts
+    spent waiting, retransmissions, retry backoff); callers charge it to
+    their cost accounting even though the operation did not succeed.
+    """
+
+    def __init__(self, message: str, cost: float = 0.0):
+        super().__init__(message)
+        self.cost = cost
+
+
+class ServerDownError(FaultInjectedError):
+    """The addressed server is inside a crash window and unreachable."""
+
+    def __init__(self, server: int, cost: float = 0.0):
+        super().__init__(f"server {server} is down", cost=cost)
+        self.server = server
+
+
+class MessageLossError(FaultInjectedError):
+    """A network message was dropped; the sender timed out waiting."""
+
+    def __init__(self, src: int, dst: int, cost: float = 0.0):
+        super().__init__(f"message {src} -> {dst} was lost", cost=cost)
+        self.src = src
+        self.dst = dst
+
+
+class NetworkTimeoutError(FaultInjectedError):
+    """A message was delivered but its response timed out."""
+
+    def __init__(self, src: int, dst: int, cost: float = 0.0):
+        super().__init__(f"message {src} -> {dst} timed out", cost=cost)
+        self.src = src
+        self.dst = dst
+
+
+class MigrationAbortedError(ClusterError):
+    """A physical migration failed and was rolled back.
+
+    The cluster is byte-identical to its pre-migration state; ``report``
+    carries the cost of the aborted attempt (the simulated time is spent
+    even though no records moved) and ``cause`` the original failure.
+    The same plan can be retried once the fault clears.
+    """
+
+    def __init__(self, cause: Exception, report):
+        super().__init__(f"migration aborted and rolled back: {cause}")
+        self.cause = cause
+        self.report = report
+
+
 class CatalogError(ClusterError):
     """The vertex -> partition catalog has no entry for a vertex."""
 

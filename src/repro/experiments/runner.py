@@ -30,6 +30,7 @@ from repro.experiments import (
     ablations,
     baselines,
     common,
+    faults,
     spar,
     fig7,
     fig8,
@@ -54,6 +55,7 @@ EXPERIMENTS: Dict[str, Tuple[object, bool]] = {
     "ablations": (ablations, False),
     "baselines": (baselines, False),
     "spar": (spar, False),
+    "faults": (faults, True),
 }
 
 ORDER = [
@@ -68,6 +70,7 @@ ORDER = [
     "ablations",
     "baselines",
     "spar",
+    "faults",
 ]
 
 

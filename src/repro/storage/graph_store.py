@@ -354,6 +354,13 @@ class GraphStore:
         rel = self.relationships.read(rel_id)
         return self._collect_properties(rel.first_prop)
 
+    def remove_relationship_property(self, rel_id: int, key: str) -> bool:
+        rel = self.relationships.read(rel_id)
+        new_first, removed = self._remove_property(rel.first_prop, key)
+        if new_first != rel.first_prop:
+            self.relationships.write(rel.with_first_prop(new_first))
+        return removed
+
     # -- property chain helpers ----------------------------------------
     def _set_property(self, first_prop: int, owner: int, key: str, value: Any) -> int:
         """Update-or-insert into a property chain; returns the chain head."""

@@ -19,7 +19,8 @@ the hub through each experiment module's signature.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+import weakref
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.telemetry.registry import MetricsRegistry, NullRegistry
 from repro.telemetry.tracing import Tracer
@@ -38,7 +39,11 @@ class Telemetry:
         self.tracer = Tracer(clock=clock, recording=record)
         self.events: List[Dict[str, object]] = []
         self.recording = record
-        self._flush_hooks: List[Callable[[], None]] = []
+        # Keyed by callback identity so re-attaching a component replaces
+        # its old hook instead of accumulating one per attach; bound
+        # methods hold their owner only weakly so a dead component's hook
+        # disappears with it.
+        self._flush_hooks: Dict[object, Tuple[Optional[weakref.ref], Callable]] = {}
 
     # Convenience passthroughs so call sites read telemetry.counter(...)
     def counter(self, name: str, help: str = "", **labels):
@@ -70,12 +75,35 @@ class Telemetry:
 
     def on_flush(self, hook: Callable[[], None]) -> None:
         """Register a hook run before every export (e.g. components that
-        materialize expensive label spaces lazily)."""
-        self._flush_hooks.append(hook)
+        materialize expensive label spaces lazily).
+
+        Hooks are deduplicated by identity: re-registering the same bound
+        method (same owner, same function) replaces the earlier entry, so
+        a component that re-attaches telemetry does not stack stale hooks.
+        Bound-method owners are referenced weakly — a garbage-collected
+        component's hook is dropped rather than kept alive by the hub.
+        """
+        owner = getattr(hook, "__self__", None)
+        if owner is not None:
+            key = (id(owner), hook.__func__)
+            try:
+                ref = weakref.ref(owner, lambda _, k=key: self._flush_hooks.pop(k, None))
+            except TypeError:
+                # Owner type without weakref support: hold it strongly.
+                self._flush_hooks[key] = (None, hook)
+                return
+            self._flush_hooks[key] = (ref, hook.__func__)
+        else:
+            self._flush_hooks[hook] = (None, hook)
 
     def flush(self) -> None:
-        for hook in self._flush_hooks:
-            hook()
+        for ref, func in list(self._flush_hooks.values()):
+            if ref is None:
+                func()
+                continue
+            owner = ref()
+            if owner is not None:
+                func(owner)
 
     def start_recording(self) -> None:
         """Turn span/event capture on (metrics are always on)."""

@@ -1,0 +1,442 @@
+"""Fault injection, retry and migration rollback tests.
+
+The heart of this module is the rollback invariant: a migration that
+fails mid-copy must leave every server's stores, the catalog and the
+auxiliary data exactly as they were before the attempt, and a subsequent
+retry of the same plan must succeed (idempotence).
+"""
+
+import pytest
+
+from repro.cluster.faults import CrashWindow, FaultInjector, FaultPlan, RetryPolicy
+from repro.cluster.hermes import HermesCluster
+from repro.core.migration import build_migration_plan
+from repro.exceptions import (
+    ClusterError,
+    FaultInjectedError,
+    MessageLossError,
+    MigrationAbortedError,
+    PartitioningError,
+    ServerDownError,
+)
+from repro.graph.adjacency import SocialGraph
+from repro.partitioning.base import Partitioning
+
+
+def build_cluster(graph, placement, num_servers=3):
+    partitioning = Partitioning.from_mapping(placement, num_partitions=num_servers)
+    return HermesCluster.from_graph(
+        graph, num_servers=num_servers, partitioning=partitioning
+    )
+
+
+class FixedPartitioner:
+    """Static partitioner returning a fixed mapping (test double)."""
+
+    def __init__(self, mapping):
+        self.mapping = mapping
+
+    def partition(self, graph, num_partitions):
+        return Partitioning.from_mapping(
+            self.mapping, num_partitions=num_partitions
+        )
+
+
+def deep_snapshot(cluster):
+    """Logical state of every layer: stores, catalog, auxiliary data.
+
+    Physical record IDs of re-created property records may legitimately
+    differ after a rollback, so properties are compared as dicts while
+    node/relationship structure is compared field by field.
+    """
+    servers = []
+    for server in cluster.servers:
+        store = server.store
+        nodes = {}
+        for node_id in sorted(store.node_ids()):
+            record = store.node(node_id)
+            nodes[node_id] = {
+                "weight": record.weight,
+                "available": record.available,
+                "properties": store.node_properties(node_id)
+                if record.available
+                else None,
+                "chain": sorted(
+                    (entry.neighbor, entry.rel_id, entry.ghost)
+                    for entry in store.neighbor_entries(
+                        node_id, include_unavailable=True
+                    )
+                ),
+            }
+        rels = {}
+        for record in store.relationships.records():
+            rels[record.rel_id] = {
+                "src": record.src,
+                "dst": record.dst,
+                "ghost": record.ghost,
+                "properties": store.relationship_properties(record.rel_id),
+            }
+        servers.append({"nodes": nodes, "rels": rels})
+    catalog = {
+        vertex: cluster.catalog.lookup(vertex)
+        for vertex in cluster.graph.vertices()
+    }
+    aux = {
+        vertex: {
+            "partition": cluster.aux.partition_of(vertex),
+            "weight": cluster.aux.weight_of(vertex),
+            "counts": dict(cluster.aux.neighbor_counts(vertex)),
+        }
+        for vertex in cluster.graph.vertices()
+    }
+    return {"servers": servers, "catalog": catalog, "aux": aux}
+
+
+# ======================================================================
+# FaultPlan / CrashWindow
+# ======================================================================
+class TestFaultPlan:
+    def test_crash_window_validation(self):
+        with pytest.raises(PartitioningError):
+            CrashWindow(server=0, start=2.0, end=1.0)
+
+    def test_rate_validation(self):
+        with pytest.raises(PartitioningError):
+            FaultPlan(loss_rate=1.5)
+        with pytest.raises(PartitioningError):
+            FaultPlan(link_loss={(0, 1): -0.1})
+
+    def test_down_at(self):
+        plan = FaultPlan(crash_windows=(CrashWindow(server=1, start=1.0, end=2.0),))
+        assert not plan.down_at(1, 0.5)
+        assert plan.down_at(1, 1.0)
+        assert plan.down_at(1, 1.999)
+        assert not plan.down_at(1, 2.0)
+        assert not plan.down_at(0, 1.5)
+
+    def test_link_loss_overrides_default(self):
+        plan = FaultPlan(loss_rate=0.1, link_loss={(0, 1): 0.9})
+        assert plan.loss_for(0, 1) == 0.9
+        assert plan.loss_for(1, 0) == 0.1
+
+    def test_deterministic_fault_sequence(self):
+        plan = FaultPlan(seed=5, loss_rate=0.5)
+
+        def outcomes():
+            injector = FaultInjector(plan)
+            results = []
+            for _ in range(50):
+                try:
+                    injector.check_message(0, 1, cost=0.001)
+                    results.append("ok")
+                except FaultInjectedError as exc:
+                    results.append(type(exc).__name__)
+            return results
+
+        first, second = outcomes(), outcomes()
+        assert first == second
+        assert "MessageLossError" in first
+        assert "ok" in first
+
+
+class TestFaultInjector:
+    def test_crash_window_tracks_inflight_time(self):
+        plan = FaultPlan(crash_windows=(CrashWindow(server=0, start=1.0, end=2.0),))
+        injector = FaultInjector(plan)
+        assert not injector.is_down(0)
+        injector.advance(1.5)
+        assert injector.is_down(0)
+        injector.advance(1.0)  # past the restart
+        assert not injector.is_down(0)
+        injector.reset()
+        assert not injector.is_down(0)
+
+    def test_check_server_charges_cost(self):
+        plan = FaultPlan(crash_windows=(CrashWindow(server=0, start=0.0, end=9.0),))
+        injector = FaultInjector(plan)
+        with pytest.raises(ServerDownError) as info:
+            injector.check_server(0, cost=0.25)
+        assert info.value.cost == 0.25
+        assert injector.inflight == 0.25
+
+
+# ======================================================================
+# RetryPolicy
+# ======================================================================
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(PartitioningError):
+            RetryPolicy(max_attempts=0)
+
+    def test_backoff_is_bounded(self):
+        policy = RetryPolicy(base_backoff=0.01, multiplier=10.0, max_backoff=0.05)
+        assert policy.backoff(1) == 0.01
+        assert policy.backoff(2) == 0.05
+        assert policy.backoff(9) == 0.05
+
+    def test_succeeds_after_transient_failures(self):
+        policy = RetryPolicy(max_attempts=4, base_backoff=0.01, multiplier=2.0)
+        calls = {"n": 0}
+
+        def op():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise MessageLossError(0, 1, cost=0.1)
+            return "done"
+
+        result, wasted = policy.call(op)
+        assert result == "done"
+        assert calls["n"] == 3
+        # Two failed attempts (0.1 each) plus two backoff pauses.
+        assert wasted == pytest.approx(0.1 + 0.01 + 0.1 + 0.02)
+
+    def test_exhaustion_reraises_with_cumulative_cost(self):
+        policy = RetryPolicy(max_attempts=3, base_backoff=0.01, multiplier=2.0)
+
+        def op():
+            raise MessageLossError(0, 1, cost=0.1)
+
+        with pytest.raises(MessageLossError) as info:
+            policy.call(op)
+        # Three attempt timeouts plus the two pauses between them.
+        assert info.value.cost == pytest.approx(0.3 + 0.01 + 0.02)
+
+    def test_retry_advances_injector_and_notifies(self):
+        policy = RetryPolicy(max_attempts=2, base_backoff=0.5, max_backoff=0.5)
+        injector = FaultInjector(FaultPlan())
+        seen = []
+
+        def op():
+            if not seen:
+                raise MessageLossError(0, 1, cost=0.0)
+            return 1
+
+        result, _ = policy.call(
+            op, injector=injector, on_retry=lambda exc, pause: seen.append(pause)
+        )
+        assert result == 1
+        assert seen == [0.5]
+        assert injector.inflight == pytest.approx(0.5)
+
+    def test_non_fault_errors_propagate_immediately(self):
+        policy = RetryPolicy(max_attempts=5)
+        calls = {"n": 0}
+
+        def op():
+            calls["n"] += 1
+            raise ClusterError("not injected")
+
+        with pytest.raises(ClusterError):
+            policy.call(op)
+        assert calls["n"] == 1
+
+
+# ======================================================================
+# Network / server fault paths
+# ======================================================================
+class TestNetworkFaults:
+    def test_lossy_link_raises_and_charges_timeout(self):
+        graph = SocialGraph.from_edges([(0, 1)])
+        cluster = build_cluster(graph, {0: 0, 1: 1}, num_servers=2)
+        cluster.attach_faults(FaultPlan(link_loss={(0, 1): 1.0}))
+        messages_before = cluster.network.stats.messages
+        with pytest.raises(MessageLossError) as info:
+            cluster.network.remote_hop(0, 1)
+        # A lost message is never accounted as delivered traffic.
+        assert cluster.network.stats.messages == messages_before
+        assert info.value.cost == cluster.network.config.fault_timeout_cost
+
+    def test_downed_server_rejects_requests(self):
+        graph = SocialGraph()
+        graph.add_vertex(0)
+        cluster = build_cluster(graph, {0: 0}, num_servers=2)
+        cluster.attach_faults(
+            FaultPlan(crash_windows=(CrashWindow(server=0, start=0.0, end=1e9),))
+        )
+        with pytest.raises(ServerDownError):
+            cluster.servers[0].read_vertex(0)
+        with pytest.raises(ServerDownError):
+            cluster.servers[0].expand(0)
+
+    def test_detach_restores_zero_fault_behavior(self):
+        graph = SocialGraph.from_edges([(0, 1)])
+        cluster = build_cluster(graph, {0: 0, 1: 1}, num_servers=2)
+        cluster.attach_faults(FaultPlan(link_loss={(0, 1): 1.0}))
+        with pytest.raises(MessageLossError):
+            cluster.network.remote_hop(0, 1)
+        cluster.attach_faults(None)
+        assert cluster.network.remote_hop(0, 1) > 0
+        assert cluster.faults is None
+
+
+# ======================================================================
+# Traversal degradation
+# ======================================================================
+class TestTraversalDegradation:
+    def crashed(self, server):
+        return FaultPlan(
+            crash_windows=(CrashWindow(server=server, start=0.0, end=1e9),)
+        )
+
+    def test_partial_result_when_remote_host_down(self):
+        graph = SocialGraph.from_edges([(0, 1), (0, 2)])
+        cluster = build_cluster(graph, {0: 0, 1: 1, 2: 0}, num_servers=2)
+        cluster.attach_faults(self.crashed(1))
+        result = cluster.traverse(0, hops=1)
+        assert result.partial
+        assert result.failed_partitions == (1,)
+        # Reachable vertices are still served.
+        assert set(result.response) == {0, 2}
+        assert result.cost > 0
+
+    def test_empty_partial_result_when_home_down(self):
+        graph = SocialGraph.from_edges([(0, 1)])
+        cluster = build_cluster(graph, {0: 0, 1: 1}, num_servers=2)
+        cluster.attach_faults(self.crashed(0))
+        result = cluster.traverse(0, hops=1)
+        assert result.partial
+        assert result.failed_partitions == (0,)
+        assert result.response == ()
+        assert result.processed == 0
+
+    def test_zero_fault_traversal_unchanged(self):
+        graph = SocialGraph.from_edges([(0, 1), (1, 2)])
+        baseline = build_cluster(graph.copy(), {0: 0, 1: 1, 2: 0}, num_servers=2)
+        attached = build_cluster(graph.copy(), {0: 0, 1: 1, 2: 0}, num_servers=2)
+        attached.attach_faults(FaultPlan())  # all rates zero, no windows
+        res_a = baseline.traverse(0, hops=2)
+        res_b = attached.traverse(0, hops=2)
+        assert res_a.response == res_b.response
+        assert res_a.cost == res_b.cost
+        assert not res_b.partial
+
+    def test_lossy_hop_retries_then_succeeds(self):
+        graph = SocialGraph.from_edges([(0, 1)])
+        cluster = build_cluster(graph, {0: 0, 1: 1}, num_servers=2)
+        # Loss rate low enough that four attempts practically always win.
+        cluster.attach_faults(FaultPlan(seed=3, loss_rate=0.3))
+        results = [cluster.traverse(0, hops=1) for _ in range(20)]
+        complete = [r for r in results if not r.partial]
+        assert complete, "expected most traversals to survive retries"
+        for result in complete:
+            assert set(result.response) == {0, 1}
+
+
+# ======================================================================
+# Migration rollback invariant
+# ======================================================================
+def build_rich_cluster():
+    """Three servers, mixed local/cross edges, node + rel properties."""
+    graph = SocialGraph.from_edges([(0, 1), (0, 2), (1, 2), (2, 3)])
+    cluster = build_cluster(graph, {0: 0, 1: 1, 2: 0, 3: 2})
+    store0 = cluster.servers[0].store
+    store0.set_node_property(0, "name", "zero")
+    rel_local = next(
+        e.rel_id for e in store0.neighbor_entries(0) if e.neighbor == 2
+    )
+    store0.set_relationship_property(rel_local, "since", 2015)
+    return cluster
+
+
+class TestMigrationRollback:
+    def test_abort_error_shape(self):
+        cluster = build_rich_cluster()
+        cluster.attach_faults(FaultPlan(link_loss={(0, 1): 1.0}))
+        with pytest.raises(MigrationAbortedError) as info:
+            cluster.repartition_static(FixedPartitioner({0: 1, 1: 1, 2: 0, 3: 2}))
+        error = info.value
+        assert isinstance(error, ClusterError)
+        assert isinstance(error.cause, FaultInjectedError)
+        assert error.report.total_cost > 0
+
+    def test_rollback_restores_every_layer(self):
+        cluster = build_rich_cluster()
+        before = deep_snapshot(cluster)
+        now_before = cluster.now
+        cluster.attach_faults(FaultPlan(link_loss={(0, 1): 1.0}))
+        with pytest.raises(MigrationAbortedError):
+            cluster.repartition_static(FixedPartitioner({0: 1, 1: 1, 2: 0, 3: 2}))
+        assert deep_snapshot(cluster) == before
+        cluster.validate()
+        # The failed attempt still consumed simulated time.
+        assert cluster.now > now_before
+
+    def test_rollback_with_multi_target_plan(self):
+        """Transfers to one target succeed before another target's fail:
+        the successful imports must be rolled back too."""
+        cluster = build_rich_cluster()
+        before = deep_snapshot(cluster)
+        cluster.attach_faults(FaultPlan(link_loss={(0, 1): 1.0}))
+        with pytest.raises(MigrationAbortedError):
+            # 3 -> 0 uses a healthy link; 0 -> 1 always fails.
+            cluster.repartition_static(FixedPartitioner({0: 1, 1: 1, 2: 0, 3: 0}))
+        assert deep_snapshot(cluster) == before
+        cluster.validate()
+
+    def test_retry_after_rollback_is_idempotent(self):
+        cluster = build_rich_cluster()
+        target = FixedPartitioner({0: 1, 1: 1, 2: 0, 3: 2})
+        cluster.attach_faults(FaultPlan(link_loss={(0, 1): 1.0}))
+        with pytest.raises(MigrationAbortedError):
+            cluster.repartition_static(target)
+        # Fault cleared (link repaired): the identical plan goes through.
+        cluster.attach_faults(None)
+        report = cluster.repartition_static(target)
+        assert report.vertices_moved == 1
+        assert cluster.catalog.lookup(0) == 1
+        cluster.validate()
+        # Properties survived the abort + retry round trip.
+        assert cluster.servers[1].store.node_properties(0) == {"name": "zero"}
+
+    def test_abort_on_barrier_failure_rolls_back(self):
+        cluster = build_rich_cluster()
+        before = deep_snapshot(cluster)
+        # Copy path (0 -> 1) is healthy; the sync barrier from the source
+        # to server 2 cannot get through.
+        cluster.attach_faults(FaultPlan(link_loss={(0, 2): 1.0}))
+        with pytest.raises(MigrationAbortedError):
+            cluster.repartition_static(FixedPartitioner({0: 1, 1: 1, 2: 0, 3: 2}))
+        assert deep_snapshot(cluster) == before
+        cluster.validate()
+
+    def test_abort_increments_telemetry(self):
+        cluster = build_rich_cluster()
+        cluster.attach_faults(FaultPlan(link_loss={(0, 1): 1.0}))
+        with pytest.raises(MigrationAbortedError):
+            cluster.repartition_static(FixedPartitioner({0: 1, 1: 1, 2: 0, 3: 2}))
+        registry = cluster.telemetry.registry
+        assert registry.total("migration_aborts_total") == 1
+        assert registry.total("faults_injected_total") >= 4
+
+    def test_executor_abort_leaves_catalog_untouched(self):
+        cluster = build_rich_cluster()
+        cluster.attach_faults(FaultPlan(link_loss={(0, 1): 1.0}))
+        plan = build_migration_plan({0: (0, 1)})
+        with pytest.raises(MigrationAbortedError):
+            cluster._executor.execute(plan)
+        assert cluster.catalog.lookup(0) == 0
+        assert cluster.servers[0].store.is_available(0)
+        assert not cluster.servers[1].store.has_node(0)
+
+
+class TestRebalanceAbort:
+    def test_forced_rebalance_rolls_back_aux_on_abort(self):
+        graph = SocialGraph.from_edges(
+            [(i, j) for i in range(6) for j in range(i + 1, 6)]
+        )
+        placement = {0: 0, 1: 0, 2: 0, 3: 0, 4: 1, 5: 1}
+        cluster = build_cluster(graph, placement, num_servers=2)
+        before = deep_snapshot(cluster)
+        # Every link is dead: any physical move attempt must abort.
+        cluster.attach_faults(FaultPlan(loss_rate=1.0))
+        with pytest.raises(MigrationAbortedError):
+            cluster.rebalance(force=True)
+        assert deep_snapshot(cluster) == before
+        cluster.validate()
+        registry = cluster.telemetry.registry
+        assert registry.total("rebalance_aborts_total") == 1
+        # After repairs the same rebalance succeeds.
+        cluster.attach_faults(None)
+        outcome = cluster.rebalance(force=True)
+        assert outcome is not None
+        cluster.validate()

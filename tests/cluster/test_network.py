@@ -84,6 +84,26 @@ class TestTopLinks:
         with pytest.raises(ValueError):
             network.stats.top_links(1, by="latency")
 
+    def test_ties_break_in_ascending_link_order(self):
+        network = SimulatedNetwork(4)
+        # Insert in descending link order so insertion order cannot mask
+        # a missing tie-break; all three links carry identical traffic.
+        network.remote_hop(2, 3, size=100)
+        network.remote_hop(1, 2, size=100)
+        network.remote_hop(0, 1, size=100)
+        top = network.stats.top_links(3)
+        assert [link for link, _ in top] == [(0, 1), (1, 2), (2, 3)]
+        top = network.stats.top_links(3, by="messages")
+        assert [link for link, _ in top] == [(0, 1), (1, 2), (2, 3)]
+
+
+class TestConfigDefaults:
+    def test_each_network_gets_a_fresh_config(self):
+        first = SimulatedNetwork(2)
+        second = SimulatedNetwork(2)
+        assert first.config is not second.config
+        assert first.config == NetworkConfig()
+
 
 class TestTelemetryMirror:
     def test_counters_match_legacy_stats(self):

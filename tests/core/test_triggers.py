@@ -47,3 +47,17 @@ class TestTrigger:
             ImbalanceTrigger(1.0)
         with pytest.raises(PartitioningError):
             ImbalanceTrigger(2.0)
+
+
+class TestTriggerTelemetry:
+    def test_both_outcome_series_share_the_family_help(self):
+        from repro.telemetry import Telemetry
+
+        hub = Telemetry()
+        trigger = ImbalanceTrigger(telemetry=hub)
+        trigger.check(build_aux([10.0, 10.0]))
+        trigger.check(build_aux([100.0, 1.0]))
+        family = hub.registry._families["trigger_checks_total"]
+        assert family.help == "trigger evaluations"
+        assert hub.registry.value("trigger_checks_total", outcome="held") == 1
+        assert hub.registry.value("trigger_checks_total", outcome="fired") == 1

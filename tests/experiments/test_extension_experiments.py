@@ -65,3 +65,42 @@ class TestRunnerIncludesExtensions:
         assert "baselines" in EXPERIMENTS
         assert "spar" in EXPERIMENTS
         assert ORDER.index("baselines") > ORDER.index("ablations")
+
+
+class TestFaults:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.experiments import faults
+        from repro.experiments.common import ClusterScale
+
+        scale = ClusterScale(n=200, num_servers=4, num_clients=8, seed=11)
+        return faults.run(scale)
+
+    def test_sweep_complete(self, result):
+        from repro.experiments import faults
+
+        assert len(result.cells) == len(faults.LOSS_RATES)
+        assert [c.loss_rate for c in result.cells] == list(faults.LOSS_RATES)
+
+    def test_zero_fault_row_is_clean(self, result):
+        baseline = result.cells[0]
+        assert baseline.loss_rate == 0.0
+        assert baseline.partial_traversals == 0
+        assert baseline.coverage == 1.0
+        assert baseline.faults_injected == 0
+        assert baseline.migration_succeeded
+        assert baseline.migration_attempts == 1
+
+    def test_faults_scale_with_loss(self, result):
+        injected = [c.faults_injected for c in result.cells]
+        assert injected == sorted(injected)
+        assert injected[-1] > 0
+        for cell in result.cells:
+            assert 0.0 < cell.coverage <= 1.0
+
+    def test_render(self, result):
+        from repro.experiments import faults
+
+        text = faults.render(result)
+        assert "Fault injection" in text
+        assert "rolls back" in text

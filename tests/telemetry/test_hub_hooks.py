@@ -1,0 +1,68 @@
+"""Flush-hook registration semantics: dedup, replacement, weak owners."""
+
+import gc
+
+from repro.cluster.network import SimulatedNetwork
+from repro.telemetry import Telemetry
+
+
+class Component:
+    """Stand-in for an instrumented component with a flush hook."""
+
+    def __init__(self):
+        self.flushes = 0
+
+    def export(self):
+        self.flushes += 1
+
+
+class TestFlushHooks:
+    def test_reattach_does_not_stack_hooks(self):
+        hub = Telemetry()
+        component = Component()
+        for _ in range(5):
+            hub.on_flush(component.export)
+        hub.flush()
+        assert component.flushes == 1
+
+    def test_distinct_owners_each_run(self):
+        hub = Telemetry()
+        first, second = Component(), Component()
+        hub.on_flush(first.export)
+        hub.on_flush(second.export)
+        hub.flush()
+        assert (first.flushes, second.flushes) == (1, 1)
+
+    def test_plain_callable_deduped_by_identity(self):
+        hub = Telemetry()
+        calls = []
+
+        def hook():
+            calls.append(1)
+
+        hub.on_flush(hook)
+        hub.on_flush(hook)
+        hub.flush()
+        assert len(calls) == 1
+
+    def test_dead_owner_hook_is_dropped(self):
+        hub = Telemetry()
+        component = Component()
+        hub.on_flush(component.export)
+        del component
+        gc.collect()
+        hub.flush()  # must not resurrect or call the dead component
+        assert not hub._flush_hooks
+
+    def test_network_reattach_replaces_export_hook(self):
+        """The original leak: every attach_telemetry stacked another
+        export_link_metrics hook holding the network alive."""
+        hub = Telemetry()
+        network = SimulatedNetwork(2, telemetry=hub)
+        network.attach_telemetry(hub)
+        network.attach_telemetry(hub)
+        assert len(hub._flush_hooks) == 1
+        ref_count_before = len(hub._flush_hooks)
+        del network
+        gc.collect()
+        assert len(hub._flush_hooks) < ref_count_before
