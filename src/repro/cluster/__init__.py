@@ -11,7 +11,7 @@ and the :class:`MigrationExecutor` runs the two-step copy/remove physical
 migration protocol with ghost-relationship bookkeeping.
 """
 
-from repro.cluster.catalog import Catalog
+from repro.cluster.catalog import Catalog, LocationCache
 from repro.cluster.clients import ClientPool, WorkloadReport
 from repro.cluster.faults import CrashWindow, FaultInjector, FaultPlan, RetryPolicy
 from repro.cluster.hermes import HermesCluster
@@ -22,6 +22,7 @@ from repro.cluster.traversal import TraversalEngine, TraversalResult
 
 __all__ = [
     "Catalog",
+    "LocationCache",
     "CrashWindow",
     "FaultInjector",
     "FaultPlan",

@@ -5,14 +5,26 @@ starting point of the query, then send the traversal query to the server
 hosting the initial vertex" (Section 4).  The catalog is that lookup
 service; migration updates it between the copy and remove steps so that
 queries route to the new replica before the original disappears.
+
+:class:`LocationCache` layers per-server cached views over the catalog
+for the traversal hot path.  A migration commit updates the entries of
+the *participating* servers (they learn the new home as part of the
+copy/remove protocol); every other server keeps whatever it last saw.  A
+stale entry is harmless — the old host forwards the request to the new
+one for one extra hop, the forwarding result is cached, and the next
+lookup from that server is fresh.  This is the classic
+directory-hint design: commits stay cheap (no cluster-wide invalidation
+broadcast) and the forwarding charge is paid only by servers that
+actually touch a moved vertex.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Set
+from typing import Dict, Iterator, List, Optional, Set
 
 from repro.exceptions import CatalogError
 from repro.partitioning.base import Partitioning
+from repro.telemetry import NULL_TELEMETRY, Telemetry
 
 
 class Catalog:
@@ -66,3 +78,85 @@ class Catalog:
 
     def as_mapping(self) -> Dict[int, int]:
         return self._placement.as_mapping()
+
+
+class LocationCache:
+    """Per-server cached vertex locations layered over a :class:`Catalog`.
+
+    Each server keeps a plain ``{vertex: host}`` dict — the hot-path
+    lookup during frontier expansion is one dict probe instead of a
+    catalog round trip.  Entries are learned on miss (from the
+    authoritative catalog), corrected on a stale hit (after the traversal
+    engine pays the forwarding hop), and updated eagerly only on the
+    servers that participate in a migration commit.
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        num_servers: int,
+        telemetry: Optional[Telemetry] = None,
+    ):
+        self.catalog = catalog
+        self.num_servers = num_servers
+        self._entries: List[Dict[int, int]] = [{} for _ in range(num_servers)]
+        self.attach_telemetry(telemetry or NULL_TELEMETRY)
+
+    def attach_telemetry(self, telemetry: Telemetry) -> None:
+        self.telemetry = telemetry
+        self._hits = telemetry.counter(
+            "location_cache_hits_total", "vertex locations served from cache"
+        )
+        self._misses = telemetry.counter(
+            "location_cache_misses_total", "vertex locations fetched from the catalog"
+        )
+        self._stale = telemetry.counter(
+            "location_cache_stale_hits_total",
+            "cached locations that pointed at a pre-migration host",
+        )
+        self._invalidations = telemetry.counter(
+            "location_cache_invalidations_total",
+            "cache entries refreshed by migration commits",
+        )
+
+    def lookup_from(self, server: int, vertex: int) -> int:
+        """Where does ``server`` believe ``vertex`` lives?
+
+        A hit returns the cached (possibly stale) host; a miss consults
+        the authoritative catalog and caches the answer.
+        """
+        entries = self._entries[server]
+        cached = entries.get(vertex)
+        if cached is not None:
+            self._hits.inc()
+            return cached
+        self._misses.inc()
+        host = self.catalog.lookup(vertex)
+        entries[vertex] = host
+        return host
+
+    def learn(self, server: int, vertex: int, host: int) -> None:
+        """Record the location ``server`` just resolved via forwarding."""
+        self._stale.inc()
+        self._entries[server][vertex] = host
+
+    def on_moved(self, vertex: int, source: int, target: int) -> None:
+        """A migration commit re-homed ``vertex``: the participating
+        servers learn the new location synchronously; everyone else keeps
+        a stale entry that resolves via forwarding on next use."""
+        self._entries[source][vertex] = target
+        self._entries[target][vertex] = target
+        self._invalidations.inc()
+
+    def on_removed(self, vertex: int) -> None:
+        """Drop ``vertex`` from every per-server view (vertex deleted)."""
+        for entries in self._entries:
+            entries.pop(vertex, None)
+
+    def clear(self) -> None:
+        for entries in self._entries:
+            entries.clear()
+
+    def entries_on(self, server: int) -> Dict[int, int]:
+        """Snapshot of one server's cached view (tests/introspection)."""
+        return dict(self._entries[server])

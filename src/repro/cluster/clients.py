@@ -111,15 +111,27 @@ class ClientPool:
         for operation in trace:
             if max_operations is not None and report.operations >= max_operations:
                 break
-            if duration is not None and report.wall_time >= duration:
-                break
+            if duration is not None:
+                # Only the binding maximum matters for the stop check, so
+                # skip rebuilding the per-server map on the hot path; the
+                # full map is refreshed at rebalance boundaries and exit.
+                report.max_server_busy = max(
+                    (
+                        server.busy_seconds - busy_before[server.server_id]
+                        for server in self.cluster.servers
+                    ),
+                    default=0.0,
+                )
+                if report.wall_time >= duration:
+                    break
             self._execute(operation, report)
-            update_server_busy()
             if (
                 rebalance_every is not None
                 and report.operations % rebalance_every == 0
             ):
+                update_server_busy()
                 self.cluster.rebalance()
+        update_server_busy()
         return report
 
     def _execute(self, operation: Operation, report: WorkloadReport) -> None:

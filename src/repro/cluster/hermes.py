@@ -29,7 +29,7 @@ import json
 import os
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.cluster.catalog import Catalog
+from repro.cluster.catalog import Catalog, LocationCache
 from repro.cluster.faults import FaultInjector, FaultPlan, RetryPolicy
 from repro.cluster.migration_executor import MigrationExecutor, MigrationReport
 from repro.cluster.network import NetworkConfig, SimulatedNetwork
@@ -97,6 +97,9 @@ class HermesCluster:
             for server_id in range(num_servers)
         ]
         self.catalog = Catalog(num_servers)
+        self.location_cache = LocationCache(
+            self.catalog, num_servers, telemetry=self.telemetry
+        )
         self.graph = SocialGraph()
         self.aux = (
             ShardedAuxiliaryData(num_servers)
@@ -109,10 +112,18 @@ class HermesCluster:
         )
         self.track_weights = track_weights
         self._engine = TraversalEngine(
-            self.servers, self.catalog, self.network, telemetry=self.telemetry
+            self.servers,
+            self.catalog,
+            self.network,
+            telemetry=self.telemetry,
+            location_cache=self.location_cache,
         )
         self._executor = MigrationExecutor(
-            self.servers, self.catalog, self.network, telemetry=self.telemetry
+            self.servers,
+            self.catalog,
+            self.network,
+            telemetry=self.telemetry,
+            location_cache=self.location_cache,
         )
         self._placer = HashPartitioner()
 
@@ -226,8 +237,25 @@ class HermesCluster:
         return result
 
     def read_vertex(self, vertex: int) -> Tuple[Dict[str, Any], float]:
-        """Single-record query; returns (properties, simulated cost)."""
+        """Single-record query; returns (properties, simulated cost).
+
+        If the hosting server is inside a crash window the dispatch times
+        out and the client gets a degraded (empty) result — the same
+        contract a traversal honors when its home server is down, instead
+        of reads silently succeeding against a crashed server.
+        """
         server = self.catalog.lookup(vertex)
+        if self.faults is not None and self.faults.is_down(server):
+            cost = (
+                self.network.config.client_dispatch_cost
+                + self.network.config.fault_timeout_cost
+            )
+            self.telemetry.counter(
+                "reads_degraded_total",
+                "single-record reads that timed out against a crashed server",
+            ).inc()
+            self._advance(cost)
+            return {}, cost
         properties = self.servers[server].read_vertex(vertex)
         self.servers[server].busy_seconds += self.network.local_visit()
         cost = self.network.config.client_dispatch_cost + self.network.local_visit()

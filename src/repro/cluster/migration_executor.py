@@ -40,7 +40,7 @@ from typing import Any, Dict, List, Tuple
 
 from typing import Optional
 
-from repro.cluster.catalog import Catalog
+from repro.cluster.catalog import Catalog, LocationCache
 from repro.cluster.faults import RetryPolicy
 from repro.cluster.network import SimulatedNetwork
 from repro.cluster.server import HermesServer
@@ -95,11 +95,13 @@ class MigrationExecutor:
         network: SimulatedNetwork,
         telemetry: Optional[Telemetry] = None,
         retry: Optional[RetryPolicy] = None,
+        location_cache: Optional[LocationCache] = None,
     ):
         self.servers = servers
         self.catalog = catalog
         self.network = network
         self.retry = retry or RetryPolicy()
+        self.location_cache = location_cache
         self.attach_telemetry(telemetry or NULL_TELEMETRY)
 
     def attach_telemetry(self, telemetry: Telemetry) -> None:
@@ -181,9 +183,14 @@ class MigrationExecutor:
             raise MigrationAbortedError(exc, report) from exc
 
         # The catalog flips between the steps: queries now route to the
-        # fresh replicas while the originals are being removed.
+        # fresh replicas while the originals are being removed.  The
+        # migration participants update their location caches as part of
+        # the commit; non-participants keep stale entries that resolve
+        # via a forwarding hop on next use.
         for move in plan.moves:
             self.catalog.move(move.vertex, move.target)
+            if self.location_cache is not None:
+                self.location_cache.on_moved(move.vertex, move.source, move.target)
 
         remove_span = self.telemetry.span("migration.remove")
         self._remove_step(plan, final_home, payloads, report)

@@ -32,9 +32,12 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.cluster.faults import FaultInjector
-from repro.exceptions import ClusterError
+from repro.exceptions import ClusterError, FaultInjectedError
 from repro.telemetry import NULL_TELEMETRY, Telemetry
 from repro.telemetry.registry import DEFAULT_SIZE_BUCKETS
+
+#: histogram buckets for frontier entries per batched hop message
+BATCH_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0)
 
 
 @dataclass(frozen=True)
@@ -53,6 +56,19 @@ class NetworkConfig:
     #: sender-side wait before a lost/unanswered message is declared dead
     #: (a few RTTs, as a TCP-ish retransmission timeout would be)
     fault_timeout_cost: float = 2e-3
+    #: Aggregate all traversal frontier work bound for one server into a
+    #: single request per hop (one round trip per (src, dst) link per
+    #: depth) instead of one message per frontier entry.  Disable for the
+    #: pre-batching legacy cost model, which the reference fixtures pin
+    #: byte for byte.
+    batch_remote_hops: bool = True
+    #: marginal cost of one extra frontier entry riding an already-paid
+    #: round trip (serialization of one vertex id + one response row)
+    batch_entry_cost: float = 25e-6
+    #: wire framing of one batched request (header, routing, checksums)
+    batch_base_bytes: int = 128
+    #: payload bytes per frontier entry in a batched request/response
+    batch_entry_bytes: int = 64
 
 
 @dataclass
@@ -153,6 +169,12 @@ class SimulatedNetwork:
             buckets=DEFAULT_SIZE_BUCKETS,
             **extra,
         )
+        self._batch_sizes = telemetry.histogram(
+            "network_batch_entries",
+            "frontier entries aggregated into one batched hop",
+            buckets=BATCH_SIZE_BUCKETS,
+            **extra,
+        )
 
     def _check(self, server: int) -> None:
         if not 0 <= server < self.num_servers:
@@ -184,6 +206,35 @@ class SimulatedNetwork:
         self._hop_messages.inc()
         self._hop_bytes.inc(size)
         self._hop_latency.observe(cost)
+        if self.fault_injector is not None:
+            self.fault_injector.advance(cost)
+        return cost
+
+    def batched_hop(self, src: int, dst: int, count: int) -> float:
+        """Cost of one aggregated traversal message carrying ``count``
+        frontier entries ``src -> dst``.
+
+        The round trip is paid once per message — ``remote_hop_cost``
+        plus a per-entry marginal cost — and the payload grows with the
+        batch size.  Fault injection applies once per message, not once
+        per entry: a lost batch times out exactly like a lost single hop
+        and the whole batch is retried together.
+        """
+        self._check(src)
+        self._check(dst)
+        if src == dst or count <= 0:
+            return 0.0
+        if self.fault_injector is not None:
+            self.fault_injector.check_message(
+                src, dst, cost=self.config.fault_timeout_cost
+            )
+        size = self.config.batch_base_bytes + count * self.config.batch_entry_bytes
+        self.stats.record(src, dst, size)
+        cost = self.config.remote_hop_cost + count * self.config.batch_entry_cost
+        self._hop_messages.inc()
+        self._hop_bytes.inc(size)
+        self._hop_latency.observe(cost)
+        self._batch_sizes.observe(count)
         if self.fault_injector is not None:
             self.fault_injector.advance(cost)
         return cost
@@ -228,10 +279,28 @@ class SimulatedNetwork:
             ).set(link.bytes)
 
     def broadcast(self, src: int, size: int = 64) -> float:
-        """Cost of a synchronization message to every other server."""
+        """Cost of a synchronization message to every other server.
+
+        Under fault injection every destination is attempted: a per-link
+        fault charges its timeout and the loop moves on, so one dead link
+        cannot abandon the remaining destinations or drop the cost already
+        charged.  If any destination failed, the first fault is re-raised
+        with ``cost`` set to the *whole* broadcast's simulated time —
+        retrying callers re-broadcast to everyone (idempotent).
+        """
         self._check(src)
         cost = 0.0
+        first_fault: Optional[FaultInjectedError] = None
         for dst in range(self.num_servers):
-            if dst != src:
+            if dst == src:
+                continue
+            try:
                 cost += self.remote_hop(src, dst, size)
+            except FaultInjectedError as exc:
+                cost += exc.cost
+                if first_fault is None:
+                    first_fault = exc
+        if first_fault is not None:
+            first_fault.cost = cost
+            raise first_fault
         return cost

@@ -8,10 +8,23 @@ server, remote traversals are executed using the links between servers."
 The engine expands the traversal frontier hop by hop.  Every expanded
 vertex is a *processed* visit (the paper's throughput unit); expanding a
 vertex hosted on a different server than the one currently executing the
-step costs a remote hop.  2-hop traversals re-process vertices reachable
-along multiple paths — only distinct vertices enter the response, which
-is why the paper's response/processed ratio drops to ~0.39/0.28 for
-2-hop queries (Section 5.3.2).
+step costs a remote traversal.  2-hop traversals re-process vertices
+reachable along multiple paths — only distinct vertices enter the
+response, which is why the paper's response/processed ratio drops to
+~0.39/0.28 for 2-hop queries (Section 5.3.2).
+
+Remote traversal work is **batched**: at each depth the frontier entries
+bound for one server are aggregated into a single request per
+``(src, dst)`` link — one ``remote_hop_cost`` round trip plus a small
+per-entry marginal cost, the way a production driver amortizes cut edges
+(and the traversal-locality lever TAPER and the Neo4j partitioning
+evaluations optimize for).  Vertex locations come from a per-server
+:class:`~repro.cluster.catalog.LocationCache` instead of a catalog call
+per step; a stale entry (the vertex migrated and this server was not a
+migration participant) resolves via a forwarding hop charged to the
+query, after which the cache entry is corrected.  Setting
+``NetworkConfig.batch_remote_hops=False`` restores the legacy
+one-message-per-entry cost model byte for byte.
 
 With a recording telemetry hub each query produces a ``traversal`` span
 with one ``hop`` child span per frontier depth (sized by the simulated
@@ -20,12 +33,14 @@ histogram; with the default null hub the same calls are no-ops.
 
 Under fault injection (a :class:`~repro.cluster.faults.FaultPlan`
 attached to the network) the engine degrades gracefully instead of
-raising: a remote hop that still fails after bounded retries marks the
-destination server as a *failed partition* for the rest of the query,
-the frontier entries hosted there are skipped, and the result carries
-the servers it could not reach in ``failed_partitions`` — a partial
-response, exactly what a production client would get from a cluster
-with a crashed replica-less server.
+raising: a remote message that still fails after bounded retries marks
+the destination server as a *failed partition* for the rest of the
+query, every frontier entry hosted there — remote *and* same-host — is
+skipped, and the result carries the servers it could not reach in
+``failed_partitions`` — a partial response, exactly what a production
+client would get from a cluster with a crashed replica-less server.
+In batched mode retries and timeouts apply once per aggregated message,
+not once per frontier entry.
 """
 
 from __future__ import annotations
@@ -33,11 +48,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Set, Tuple
 
-from repro.cluster.catalog import Catalog
+from repro.cluster.catalog import Catalog, LocationCache
 from repro.cluster.faults import RetryPolicy
 from repro.cluster.network import SimulatedNetwork
 from repro.cluster.server import HermesServer
-from repro.exceptions import FaultInjectedError, ServerDownError
+from repro.exceptions import CatalogError, FaultInjectedError, ServerDownError
 from repro.telemetry import NULL_TELEMETRY, Telemetry
 
 
@@ -51,7 +66,8 @@ class TraversalResult:
     response: Tuple[int, ...]
     #: total vertices processed, counting repeats along multiple paths
     processed: int
-    #: traversal steps that crossed servers
+    #: traversal steps that crossed servers (frontier entries, not
+    #: messages — batching changes the message count, not this)
     remote_hops: int
     #: simulated execution time of the query
     cost: float
@@ -70,6 +86,34 @@ class TraversalResult:
         return len(self.response) / self.processed
 
 
+class _QueryState:
+    """Mutable accounting shared by the per-depth execution paths."""
+
+    __slots__ = (
+        "cost",
+        "processed",
+        "remote",
+        "response",
+        "failed",
+        "visited",
+        "hops",
+        "local_visit",
+        "cached",
+    )
+
+    def __init__(self, cost: float, hops: int, local_visit: float, cached: bool):
+        self.cost = cost
+        self.processed = 0
+        self.remote = 0
+        self.response: Set[int] = set()
+        #: servers this query gave up on (down or unreachable after retries)
+        self.failed: Set[int] = set()
+        self.visited: Set[int] = set()
+        self.hops = hops
+        self.local_visit = local_visit
+        self.cached = cached
+
+
 class TraversalEngine:
     """Executes k-hop traversals over the servers through the catalog."""
 
@@ -80,12 +124,18 @@ class TraversalEngine:
         network: SimulatedNetwork,
         telemetry: Optional[Telemetry] = None,
         retry: Optional[RetryPolicy] = None,
+        location_cache: Optional[LocationCache] = None,
     ):
         self.servers = servers
         self.catalog = catalog
         self.network = network
         self.retry = retry or RetryPolicy()
         self.attach_telemetry(telemetry or NULL_TELEMETRY)
+        # Standalone engines get a private cache; a cluster passes the
+        # shared instance the migration executor invalidates through.
+        self.location_cache = location_cache or LocationCache(
+            catalog, len(servers), telemetry=self.telemetry
+        )
 
     def attach_telemetry(self, telemetry: Telemetry) -> None:
         self.telemetry = telemetry
@@ -107,119 +157,246 @@ class TraversalEngine:
 
         The query is dispatched to the server hosting ``start``; each
         frontier vertex is expanded on its hosting server, and stepping to
-        a vertex hosted elsewhere is charged as a remote traversal.
+        a vertex hosted elsewhere is charged as a remote traversal (one
+        aggregated message per destination server per depth in batched
+        mode, one message per frontier entry in legacy mode).
         """
         cost = self.network.config.client_dispatch_cost
         home = self.catalog.lookup(start)
-        remote_service = self.network.config.remote_service_cost
-        local_visit = self.network.local_visit()
         injector = self.network.fault_injector
-        #: servers this query gave up on (down or unreachable after retries)
-        failed: Set[int] = set()
 
         if injector is not None and injector.is_down(home):
             # The dispatch to the home server times out: the client gets
             # an empty partial result rather than an exception.
             return self._degraded_dispatch(start, hops, home, cost)
 
+        batched = self.network.config.batch_remote_hops
+        state = _QueryState(
+            cost, hops, self.network.local_visit(), cached=batched
+        )
         span = self.telemetry.span("traversal", start=start, hops=hops)
         # Client dispatch happens before the first hop: push the causal
         # cursor so depth spans line up after it.
         span.advance(cost)
-        processed = 0
-        remote = 0
-        response: Set[int] = set()
 
         # Frontier entries are (vertex, host, discovered_from_host): when
         # the traversal follows an edge whose endpoints live on different
         # servers, that step is a remote traversal — the per-cut-edge cost
         # that makes edge-cut the dominant performance factor (Section 1).
         frontier: List[Tuple[int, int, int]] = [(start, home, home)]
-        visited_for_expansion: Set[int] = set()
 
         for depth in range(hops + 1):
-            # Keep multiplicity: a vertex reachable along several paths is
-            # processed once per path (the paper's 2-hop ratio effect), but
-            # expanded only once (visited_for_expansion) so work stays
-            # polynomial.
             depth_span = self.telemetry.span(
                 "hop", depth=depth, frontier=len(frontier)
             )
-            cost_before = cost
-            next_frontier: List[Tuple[int, int, int]] = []
-            for vertex, host, from_host in frontier:
-                if host != from_host:
-                    if host in failed:
-                        # Already unreachable this query: don't retry on
-                        # every frontier entry, just degrade.
-                        continue
-                    try:
-                        cost += self._hop(from_host, host)
-                    except FaultInjectedError as exc:
-                        cost += exc.cost
-                        failed.add(host)
-                        continue
-                    remote += 1
-                    # Servicing the hop consumes CPU on both endpoints --
-                    # the "network IO" load that edge-cuts impose.
-                    self.servers[from_host].busy_counter.inc(remote_service)
-                    self.servers[host].busy_counter.inc(remote_service)
-                    cost += remote_service
-                executing = self.servers[host]
-                if not executing.store.is_available(vertex):
-                    # Unavailable (mid-migration) or missing: treated as
-                    # absent from the local vertex set (Section 3.2).
-                    continue
-                processed += 1
-                executing.visits_counter.inc()
-                executing.busy_counter.inc(local_visit)
-                cost += local_visit
-                response.add(vertex)
-                if depth == hops:
-                    continue
-                if vertex in visited_for_expansion:
-                    continue
-                visited_for_expansion.add(vertex)
-                try:
-                    entries = executing.expand(vertex)
-                except ServerDownError:
-                    # The host crashed mid-query (a window opened while
-                    # this frontier was in flight): its vertices stay in
-                    # the response, its expansions are lost.
-                    failed.add(host)
-                    continue
-                for entry in entries:
-                    neighbor_host = self.catalog.lookup(entry.neighbor)
-                    next_frontier.append((entry.neighbor, neighbor_host, host))
-            depth_span.finish(duration=cost - cost_before)
+            cost_before = state.cost
+            if batched:
+                next_frontier = self._run_depth_batched(frontier, depth, state)
+            else:
+                next_frontier = self._run_depth_legacy(frontier, depth, state)
+            depth_span.finish(duration=state.cost - cost_before)
             if not next_frontier:
                 break
             frontier = next_frontier
 
         self._traversals.inc()
-        self._processed.inc(processed)
-        self._remote.inc(remote)
-        self._cost_hist.observe(cost)
-        span.set_attribute("processed", processed)
-        span.set_attribute("remote_hops", remote)
-        span.set_attribute("response", len(response))
-        if failed:
+        self._processed.inc(state.processed)
+        self._remote.inc(state.remote)
+        self._cost_hist.observe(state.cost)
+        span.set_attribute("processed", state.processed)
+        span.set_attribute("remote_hops", state.remote)
+        span.set_attribute("response", len(state.response))
+        if state.failed:
             self.telemetry.counter(
                 "traversals_partial_total",
                 "traversals that returned partial results",
             ).inc()
-            span.set_attribute("failed_partitions", sorted(failed))
-        span.finish(duration=cost)
+            span.set_attribute("failed_partitions", sorted(state.failed))
+        span.finish(duration=state.cost)
 
         return TraversalResult(
             start=start,
             hops=hops,
-            response=tuple(sorted(response)),
-            processed=processed,
-            remote_hops=remote,
-            cost=cost,
-            failed_partitions=tuple(sorted(failed)),
+            response=tuple(sorted(state.response)),
+            processed=state.processed,
+            remote_hops=state.remote,
+            cost=state.cost,
+            failed_partitions=tuple(sorted(state.failed)),
         )
+
+    # ------------------------------------------------------------------
+    # Per-depth execution
+    # ------------------------------------------------------------------
+    def _run_depth_legacy(
+        self,
+        frontier: List[Tuple[int, int, int]],
+        depth: int,
+        state: _QueryState,
+    ) -> List[Tuple[int, int, int]]:
+        """One message per remote frontier entry (the pre-batching model)."""
+        remote_service = self.network.config.remote_service_cost
+        next_frontier: List[Tuple[int, int, int]] = []
+        for vertex, host, from_host in frontier:
+            if host in state.failed:
+                # Already unreachable this query: don't retry on every
+                # frontier entry — and don't keep landing same-host
+                # entries on a crashed server either — just degrade.
+                continue
+            if host != from_host:
+                try:
+                    state.cost += self._hop(from_host, host)
+                except FaultInjectedError as exc:
+                    state.cost += exc.cost
+                    state.failed.add(host)
+                    continue
+                state.remote += 1
+                # Servicing the hop consumes CPU on both endpoints --
+                # the "network IO" load that edge-cuts impose.
+                self.servers[from_host].busy_counter.inc(remote_service)
+                self.servers[host].busy_counter.inc(remote_service)
+                state.cost += remote_service
+            self._process_entry(vertex, host, depth, state, next_frontier)
+        return next_frontier
+
+    def _run_depth_batched(
+        self,
+        frontier: List[Tuple[int, int, int]],
+        depth: int,
+        state: _QueryState,
+    ) -> List[Tuple[int, int, int]]:
+        """One aggregated message per (src, dst) link, then entry work.
+
+        The whole depth's frontier is grouped by link first, each link
+        pays one round trip (plus per-entry marginals), and only then is
+        the per-vertex work executed — matching how a real driver ships
+        the frontier ahead of processing the responses.
+        """
+        remote_service = self.network.config.remote_service_cost
+        # Aggregate remote entries per directed link, first-seen order.
+        groups: dict = {}
+        for vertex, host, from_host in frontier:
+            if host != from_host and host not in state.failed:
+                key = (from_host, host)
+                groups[key] = groups.get(key, 0) + 1
+        for (src, dst), count in groups.items():
+            if dst in state.failed:
+                # A message from another source already gave up on dst.
+                continue
+            try:
+                state.cost += self._batched_hop(src, dst, count)
+            except FaultInjectedError as exc:
+                state.cost += exc.cost
+                state.failed.add(dst)
+                continue
+            state.remote += count
+            # Each aggregated message costs one RPC dispatch on both
+            # endpoints — the batching win on server CPU, not just wire.
+            self.servers[src].busy_counter.inc(remote_service)
+            self.servers[dst].busy_counter.inc(remote_service)
+            state.cost += remote_service
+
+        next_frontier: List[Tuple[int, int, int]] = []
+        for vertex, host, from_host in frontier:
+            if host in state.failed:
+                continue
+            if not self._process_entry(vertex, host, depth, state, next_frontier):
+                # The cached location may be stale (vertex migrated since
+                # this server last looked it up): forward and retry once.
+                resolved = self._forward_stale(vertex, host, from_host, state)
+                if resolved is not None:
+                    self._process_entry(
+                        vertex, resolved, depth, state, next_frontier
+                    )
+        return next_frontier
+
+    def _process_entry(
+        self,
+        vertex: int,
+        host: int,
+        depth: int,
+        state: _QueryState,
+        next_frontier: List[Tuple[int, int, int]],
+    ) -> bool:
+        """Visit ``vertex`` on ``host``; returns False if unavailable.
+
+        Unavailable (mid-migration), missing (stale location hint) or
+        absent vertices are treated as not in the local vertex set
+        (Section 3.2) — the caller decides whether that can be a stale
+        cache entry worth forwarding.
+        """
+        executing = self.servers[host]
+        if not executing.store.is_available(vertex):
+            return False
+        state.processed += 1
+        executing.visits_counter.inc()
+        executing.busy_counter.inc(state.local_visit)
+        state.cost += state.local_visit
+        state.response.add(vertex)
+        if depth == state.hops:
+            return True
+        # Keep multiplicity: a vertex reachable along several paths is
+        # processed once per path (the paper's 2-hop ratio effect), but
+        # expanded only once so work stays polynomial.
+        if vertex in state.visited:
+            return True
+        state.visited.add(vertex)
+        try:
+            entries = executing.expand(vertex)
+        except ServerDownError:
+            # The host crashed mid-query (a window opened while this
+            # frontier was in flight): its vertices stay in the
+            # response, its expansions are lost.
+            state.failed.add(host)
+            return True
+        if state.cached:
+            cache = self.location_cache
+            for entry in entries:
+                next_frontier.append(
+                    (entry.neighbor, cache.lookup_from(host, entry.neighbor), host)
+                )
+        else:
+            for entry in entries:
+                next_frontier.append(
+                    (entry.neighbor, self.catalog.lookup(entry.neighbor), host)
+                )
+        return True
+
+    def _forward_stale(
+        self,
+        vertex: int,
+        host: int,
+        from_host: int,
+        state: _QueryState,
+    ) -> Optional[int]:
+        """Resolve a possibly-stale location hint via a forwarding hop.
+
+        Returns the vertex's actual host after charging the old host's
+        forward, or None when the vertex is genuinely unavailable (not in
+        the catalog, mid-migration on its real host, or its real host is
+        unreachable this query).  The querying server's cache entry is
+        corrected so it pays the forward only once.
+        """
+        if not state.cached:
+            return None
+        try:
+            actual = self.catalog.lookup(vertex)
+        except CatalogError:
+            return None
+        if actual == host or actual in state.failed:
+            return None
+        try:
+            state.cost += self._hop(host, actual)
+        except FaultInjectedError as exc:
+            state.cost += exc.cost
+            state.failed.add(actual)
+            return None
+        state.remote += 1
+        remote_service = self.network.config.remote_service_cost
+        self.servers[host].busy_counter.inc(remote_service)
+        self.servers[actual].busy_counter.inc(remote_service)
+        state.cost += remote_service
+        self.location_cache.learn(from_host, vertex, actual)
+        return actual
 
     # ------------------------------------------------------------------
     # Fault-degradation helpers
@@ -234,6 +411,17 @@ class TraversalEngine:
             return self.network.remote_hop(src, dst)
         cost, wasted = self.retry.call(
             lambda: self.network.remote_hop(src, dst),
+            injector=self.network.fault_injector,
+            on_retry=self._on_retry,
+        )
+        return cost + wasted
+
+    def _batched_hop(self, src: int, dst: int, count: int) -> float:
+        """One aggregated message, retried as a unit under faults."""
+        if self.network.fault_injector is None:
+            return self.network.batched_hop(src, dst, count)
+        cost, wasted = self.retry.call(
+            lambda: self.network.batched_hop(src, dst, count),
             injector=self.network.fault_injector,
             on_retry=self._on_retry,
         )

@@ -1,0 +1,162 @@
+"""Batched remote traversal: cost of aggregated vs per-entry messaging.
+
+The paper's throughput mechanism is the local/remote traversal mix: every
+cut edge turns a local step into a remote message round (Sections 1, 4).
+A production driver amortizes that by shipping all frontier work bound
+for one server as a single request per hop.  This experiment quantifies
+the amortization on our simulator: the same fixed trace of 2-hop
+traversals is replayed against identical clusters with batching enabled
+(one aggregated message per ``(src, dst)`` link per depth, plus the
+location cache) and disabled (the legacy one-message-per-entry model),
+under both a random hash placement (high edge-cut, many remote steps)
+and the Metis-style initial placement (low edge-cut).
+
+Reported per (placement, mode): total simulated cost, message and byte
+counts, and the batched mode's cost reduction.  The responses of the two
+modes must be identical — batching changes cost accounting, never
+results — and the experiment asserts that on every query.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.analysis.report import Table
+from repro.cluster.hermes import HermesCluster
+from repro.cluster.network import NetworkConfig
+from repro.experiments.common import (
+    ClusterScale,
+    build_datasets,
+    hermes_config,
+    metis_partitioner,
+)
+from repro.graph.generators import Dataset
+from repro.partitioning.hashing import HashPartitioner
+
+TRAVERSAL_QUERIES = 60
+HOPS = 2
+
+
+@dataclass(frozen=True)
+class BatchingCell:
+    """One (placement, batching-mode) datapoint."""
+
+    placement: str
+    batched: bool
+    traversals: int
+    total_cost: float
+    messages: int
+    bytes_sent: int
+    remote_hops: int
+    response_vertices: int
+
+
+@dataclass(frozen=True)
+class BatchingResult:
+    dataset: str
+    cells: Tuple[BatchingCell, ...]
+
+    def pair(self, placement: str) -> Tuple[BatchingCell, BatchingCell]:
+        """(legacy, batched) cells for one placement."""
+        legacy = next(
+            c for c in self.cells if c.placement == placement and not c.batched
+        )
+        batched = next(
+            c for c in self.cells if c.placement == placement and c.batched
+        )
+        return legacy, batched
+
+
+def run(scale: ClusterScale = ClusterScale()) -> BatchingResult:
+    dataset = build_datasets(scale.n, scale.seed)[0]
+    cells: List[BatchingCell] = []
+    for placement in ("hash", "metis"):
+        legacy = _run_mode(dataset, placement, False, scale)
+        batched = _run_mode(dataset, placement, True, scale)
+        if legacy.response_vertices != batched.response_vertices:
+            raise AssertionError(
+                "batched and legacy traversals disagree on responses for "
+                f"{placement}: {batched.response_vertices} != "
+                f"{legacy.response_vertices}"
+            )
+        cells.extend((legacy, batched))
+    return BatchingResult(dataset=dataset.name, cells=tuple(cells))
+
+
+def _partitioner(placement: str, seed: int):
+    if placement == "hash":
+        return HashPartitioner(salt=seed)
+    return metis_partitioner(seed)
+
+
+def _run_mode(
+    dataset: Dataset, placement: str, batched: bool, scale: ClusterScale
+) -> BatchingCell:
+    cluster = HermesCluster.from_graph(
+        dataset.graph.copy(),
+        num_servers=scale.num_servers,
+        partitioner=_partitioner(placement, scale.seed),
+        network=NetworkConfig(batch_remote_hops=batched),
+        repartitioner=hermes_config(
+            dataset.graph.num_vertices, epsilon=scale.epsilon
+        ),
+    )
+    rng = random.Random(scale.seed + 1)
+    vertices = sorted(cluster.graph.vertices())
+    total_cost = 0.0
+    remote = 0
+    responses = 0
+    for _ in range(TRAVERSAL_QUERIES):
+        result = cluster.traverse(rng.choice(vertices), hops=HOPS)
+        total_cost += result.cost
+        remote += result.remote_hops
+        responses += len(result.response)
+    return BatchingCell(
+        placement=placement,
+        batched=batched,
+        traversals=TRAVERSAL_QUERIES,
+        total_cost=total_cost,
+        messages=cluster.network.stats.messages,
+        bytes_sent=cluster.network.stats.bytes_sent,
+        remote_hops=remote,
+        response_vertices=responses,
+    )
+
+
+def render(result: BatchingResult) -> str:
+    table = Table(
+        f"Batched remote traversal - aggregated vs per-entry messages "
+        f"({result.dataset}, {HOPS}-hop)",
+        ["placement", "mode", "cost (s)", "messages", "bytes", "reduction"],
+    )
+    for placement in ("hash", "metis"):
+        legacy, batched = result.pair(placement)
+        for cell in (legacy, batched):
+            reduction = (
+                f"{1 - cell.total_cost / legacy.total_cost:.1%}"
+                if cell.batched and legacy.total_cost
+                else "-"
+            )
+            table.add_row(
+                cell.placement,
+                "batched" if cell.batched else "legacy",
+                f"{cell.total_cost:.4f}",
+                str(cell.messages),
+                str(cell.bytes_sent),
+                reduction,
+            )
+    table.add_footnote(
+        "same trace, identical responses; one aggregated message per "
+        "(src, dst) link per hop vs one message per frontier entry"
+    )
+    return table.to_text()
+
+
+def main() -> None:
+    print(render(run()))
+
+
+if __name__ == "__main__":
+    main()

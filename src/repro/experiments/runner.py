@@ -29,6 +29,7 @@ from repro import telemetry as telemetry_pkg
 from repro.experiments import (
     ablations,
     baselines,
+    batching,
     common,
     faults,
     spar,
@@ -56,6 +57,7 @@ EXPERIMENTS: Dict[str, Tuple[object, bool]] = {
     "baselines": (baselines, False),
     "spar": (spar, False),
     "faults": (faults, True),
+    "batching": (batching, True),
 }
 
 ORDER = [
@@ -71,6 +73,7 @@ ORDER = [
     "baselines",
     "spar",
     "faults",
+    "batching",
 ]
 
 

@@ -1,0 +1,312 @@
+"""Batched remote traversal, the location cache, and the PR's fault fixes.
+
+Three concerns share this module because they share machinery:
+
+* the batched RPC cost model (``SimulatedNetwork.batched_hop`` plus the
+  per-depth aggregation in the traversal engine) must change *costs*,
+  never *results* — parity with the legacy per-entry model is the core
+  invariant;
+* the per-server location cache must stay correct across migrations:
+  participants are updated at commit, everyone else resolves stale hints
+  via one forwarding charge;
+* regression tests for the fault-path bugs fixed alongside: same-host
+  frontier entries landing on a crashed server, reads ignoring crash
+  windows, and broadcasts abandoning destinations mid-loop.
+"""
+
+import pytest
+
+from repro.cluster.catalog import LocationCache
+from repro.cluster.faults import CrashWindow, FaultInjector, FaultPlan
+from repro.cluster.hermes import HermesCluster
+from repro.cluster.network import NetworkConfig, SimulatedNetwork
+from repro.core.migration import build_migration_plan
+from repro.exceptions import FaultInjectedError
+from repro.graph.adjacency import SocialGraph
+from repro.partitioning.base import Partitioning
+from repro.partitioning.hashing import HashPartitioner
+from repro.telemetry import Telemetry
+from tests.conftest import make_random_graph
+
+
+def build_cluster(graph, placement, num_servers=3, **kwargs):
+    partitioning = Partitioning.from_mapping(placement, num_partitions=num_servers)
+    return HermesCluster.from_graph(
+        graph, num_servers=num_servers, partitioning=partitioning, **kwargs
+    )
+
+
+def migrate(cluster, moves):
+    plan = build_migration_plan(moves)
+    for vertex, (_, target) in moves.items():
+        cluster.aux.apply_move(vertex, target, cluster.graph.neighbors(vertex))
+    return cluster._executor.execute(plan)
+
+
+# ======================================================================
+# batched_hop cost model
+# ======================================================================
+class TestBatchedHop:
+    def test_charges_one_round_trip_plus_marginals(self):
+        net = SimulatedNetwork(3)
+        cost = net.batched_hop(0, 1, count=5)
+        expected = net.config.remote_hop_cost + 5 * net.config.batch_entry_cost
+        assert cost == pytest.approx(expected)
+        assert net.stats.messages == 1
+        assert net.stats.bytes_sent == (
+            net.config.batch_base_bytes + 5 * net.config.batch_entry_bytes
+        )
+
+    def test_local_or_empty_batches_are_free(self):
+        net = SimulatedNetwork(3)
+        assert net.batched_hop(1, 1, count=4) == 0.0
+        assert net.batched_hop(0, 1, count=0) == 0.0
+        assert net.stats.messages == 0
+
+    def test_cheaper_than_per_entry_hops_beyond_one(self):
+        net = SimulatedNetwork(2)
+        batched = net.batched_hop(0, 1, count=8)
+        per_entry = 8 * net.config.remote_hop_cost
+        assert batched < per_entry
+
+    def test_faults_apply_once_per_message(self):
+        net = SimulatedNetwork(2)
+        injector = FaultInjector(FaultPlan(link_loss={(0, 1): 1.0}))
+        net.attach_faults(injector)
+        with pytest.raises(FaultInjectedError) as excinfo:
+            net.batched_hop(0, 1, count=10)
+        # One timeout for the whole batch, not one per entry.
+        assert excinfo.value.cost == pytest.approx(net.config.fault_timeout_cost)
+
+
+# ======================================================================
+# batched vs legacy parity (zero faults)
+# ======================================================================
+class TestBatchedLegacyParity:
+    @pytest.fixture()
+    def clusters(self):
+        graph = make_random_graph(num_vertices=120, num_edges=500, seed=11)
+        placement = HashPartitioner(salt=11).partition(graph, 4)
+        batched = HermesCluster.from_graph(
+            graph.copy(), num_servers=4, partitioning=placement,
+            network=NetworkConfig(batch_remote_hops=True),
+        )
+        legacy = HermesCluster.from_graph(
+            graph.copy(), num_servers=4, partitioning=placement,
+            network=NetworkConfig(batch_remote_hops=False),
+        )
+        return batched, legacy
+
+    def test_identical_results_lower_cost(self, clusters):
+        batched, legacy = clusters
+        batched_cost = 0.0
+        legacy_cost = 0.0
+        for start in sorted(batched.graph.vertices())[:30]:
+            a = batched.traverse(start, hops=2)
+            b = legacy.traverse(start, hops=2)
+            assert a.response == b.response
+            assert a.processed == b.processed
+            assert a.remote_hops == b.remote_hops
+            assert not a.partial and not b.partial
+            batched_cost += a.cost
+            legacy_cost += b.cost
+        assert batched_cost < legacy_cost
+
+    def test_fewer_messages_same_remote_hops(self, clusters):
+        batched, legacy = clusters
+        for start in sorted(batched.graph.vertices())[:30]:
+            batched.traverse(start, hops=2)
+            legacy.traverse(start, hops=2)
+        assert batched.network.stats.messages < legacy.network.stats.messages
+
+    def test_legacy_mode_matches_pre_batching_cost_model(self):
+        """With batching off, a 1-hop remote step costs exactly the
+        dispatch + hop + service + two visits of the historic model."""
+        graph = SocialGraph.from_edges([(0, 1)])
+        cluster = build_cluster(
+            graph, {0: 0, 1: 1}, num_servers=2,
+            network=NetworkConfig(batch_remote_hops=False),
+        )
+        result = cluster.traverse(0, hops=1)
+        cfg = cluster.network.config
+        expected = (
+            cfg.client_dispatch_cost
+            + 2 * cfg.local_visit_cost
+            + cfg.remote_hop_cost
+            + cfg.remote_service_cost
+        )
+        assert result.cost == pytest.approx(expected)
+
+
+# ======================================================================
+# Location cache
+# ======================================================================
+class TestLocationCache:
+    def make(self, placement, num_servers=3):
+        cluster = build_cluster(
+            SocialGraph.from_edges([(0, 1), (1, 2)]), placement, num_servers
+        )
+        # A real hub so the counters are inspectable (the default is the
+        # no-op NULL_TELEMETRY).
+        return cluster, LocationCache(
+            cluster.catalog, num_servers, telemetry=Telemetry()
+        )
+
+    def test_miss_then_hit(self):
+        cluster, cache = self.make({0: 0, 1: 1, 2: 2})
+        assert cache.lookup_from(0, 1) == 1
+        assert cache.entries_on(0) == {1: 1}
+        # Second lookup is served from the per-server dict.
+        assert cache.lookup_from(0, 1) == 1
+        assert cache._hits.value == 1
+        assert cache._misses.value == 1
+
+    def test_on_moved_updates_participants_only(self):
+        cluster, cache = self.make({0: 0, 1: 1, 2: 2})
+        for server in range(3):
+            cache.lookup_from(server, 1)
+        cache.on_moved(1, source=1, target=2)
+        assert cache.entries_on(1)[1] == 2
+        assert cache.entries_on(2)[1] == 2
+        # The non-participant keeps its stale view until it forwards.
+        assert cache.entries_on(0)[1] == 1
+
+    def test_learn_corrects_stale_entry(self):
+        cluster, cache = self.make({0: 0, 1: 1, 2: 2})
+        cache.lookup_from(0, 1)
+        cache.learn(0, 1, 2)
+        assert cache.entries_on(0)[1] == 2
+        assert cache._stale.value == 1
+
+    def test_on_removed_drops_every_view(self):
+        cluster, cache = self.make({0: 0, 1: 1, 2: 2})
+        cache.lookup_from(0, 1)
+        cache.lookup_from(2, 1)
+        cache.on_removed(1)
+        assert 1 not in cache.entries_on(0)
+        assert 1 not in cache.entries_on(2)
+
+
+class TestCacheAfterMigration:
+    def test_migration_updates_participants(self):
+        graph = SocialGraph.from_edges([(0, 1), (2, 0)])
+        cluster = build_cluster(graph, {0: 0, 1: 1, 2: 2})
+        # Warm every server's view of vertex 0.
+        for server in range(3):
+            cluster.location_cache.lookup_from(server, 0)
+        migrate(cluster, {0: (0, 1)})
+        assert cluster.location_cache.entries_on(0)[0] == 1
+        assert cluster.location_cache.entries_on(1)[0] == 1
+        # Server 2 was not a participant: stale on purpose.
+        assert cluster.location_cache.entries_on(2)[0] == 0
+
+    def test_stale_hint_forwards_then_self_corrects(self):
+        graph = SocialGraph.from_edges([(0, 1), (2, 0)])
+        cluster = build_cluster(graph, {0: 0, 1: 1, 2: 2})
+        # Warm server 2's cache with vertex 0's pre-migration home.
+        first = cluster.traverse(2, hops=1)
+        assert set(first.response) == {2, 0}
+        migrate(cluster, {0: (0, 1)})
+        stale_before = cluster.location_cache._stale.value
+        forwarded = cluster.traverse(2, hops=1)
+        # The stale hint resolves via a forwarding hop: same response.
+        assert set(forwarded.response) == {2, 0}
+        assert not forwarded.partial
+        assert cluster.location_cache._stale.value == stale_before + 1
+        # The corrected entry makes the next query cheaper (no forward).
+        repeat = cluster.traverse(2, hops=1)
+        assert set(repeat.response) == {2, 0}
+        assert repeat.cost < forwarded.cost
+        assert cluster.location_cache._stale.value == stale_before + 1
+
+    def test_traversals_correct_after_forced_rebalance(self):
+        graph = make_random_graph(num_vertices=80, num_edges=300, seed=5)
+        placement = HashPartitioner(salt=5).partition(graph, 4)
+        cluster = HermesCluster.from_graph(
+            graph.copy(), num_servers=4, partitioning=placement
+        )
+        before = {
+            start: cluster.traverse(start, hops=1).response
+            for start in sorted(cluster.graph.vertices())[:20]
+        }
+        cluster.rebalance(force=True)
+        for start, response in before.items():
+            assert cluster.traverse(start, hops=1).response == response
+
+
+# ======================================================================
+# Fault-path regressions
+# ======================================================================
+class TestFaultRegressions:
+    @pytest.mark.parametrize("batched", [True, False])
+    def test_same_host_entries_skip_crashed_server(self, batched):
+        """A server that crashes mid-query must stop serving *local*
+        frontier entries too, not only remote ones.
+
+        Server 1 hosts the start vertex and crashes 0.4 ms in — after the
+        depth-1 hop to server 0 has advanced the simulated clock past the
+        window start.  In legacy mode the depth-2 entry for v9 is served,
+        expanding it raises ServerDownError, and the same-host entry for
+        v8 queued right behind it must be dropped: before the fix it was
+        visited on the crashed server and v8 leaked into the response.
+        In batched mode the crash surfaces one depth earlier (the
+        aggregated message advances the clock before any entry runs), so
+        the response is smaller still — and nothing on server 1 is served
+        after the failure in either mode.
+        """
+        graph = SocialGraph.from_edges(
+            [(1, 3), (0, 1), (3, 9), (3, 8), (0, 5)]
+        )
+        cluster = build_cluster(
+            graph, {0: 0, 1: 1, 3: 1, 5: 1, 8: 1, 9: 1}, num_servers=2,
+            network=NetworkConfig(batch_remote_hops=batched),
+        )
+        cluster.attach_faults(
+            FaultPlan(
+                crash_windows=(CrashWindow(server=1, start=0.4e-3, end=1e9),)
+            )
+        )
+        result = cluster.traverse(1, hops=3)
+        assert result.partial
+        assert result.failed_partitions == (1,)
+        # v8's same-host entry is queued behind the expansion that hits
+        # the crash: before the fix it was served anyway.
+        assert 8 not in result.response
+        if batched:
+            assert set(result.response) == {0, 1, 3}
+        else:
+            assert set(result.response) == {0, 1, 3, 9}
+
+    def test_read_vertex_degraded_when_host_down(self):
+        graph = SocialGraph.from_edges([(0, 1)])
+        cluster = build_cluster(graph, {0: 0, 1: 1}, num_servers=2)
+        cluster.attach_faults(
+            FaultPlan(crash_windows=(CrashWindow(server=1, start=0.0, end=1e9),))
+        )
+        properties, cost = cluster.read_vertex(1)
+        assert properties == {}
+        cfg = cluster.network.config
+        assert cost == pytest.approx(
+            cfg.client_dispatch_cost + cfg.fault_timeout_cost
+        )
+        # The healthy server still serves reads normally.
+        _, healthy_cost = cluster.read_vertex(0)
+        assert healthy_cost < cost
+
+    def test_broadcast_charges_every_destination(self):
+        net = SimulatedNetwork(4)
+        net.attach_faults(FaultInjector(FaultPlan(link_loss={(0, 1): 1.0})))
+        with pytest.raises(FaultInjectedError) as excinfo:
+            net.broadcast(0)
+        # The dead link times out but servers 2 and 3 are still reached
+        # and the re-raised fault carries the whole broadcast's cost.
+        assert net.stats.messages == 2
+        assert excinfo.value.cost == pytest.approx(
+            net.config.fault_timeout_cost + 2 * net.config.remote_hop_cost
+        )
+
+    def test_broadcast_zero_fault_cost_unchanged(self):
+        net = SimulatedNetwork(4)
+        cost = net.broadcast(0)
+        assert cost == pytest.approx(3 * net.config.remote_hop_cost)
+        assert net.stats.messages == 3
