@@ -20,7 +20,7 @@ actually touch a moved vertex.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Set
+from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.exceptions import CatalogError
 from repro.partitioning.base import Partitioning
@@ -160,3 +160,13 @@ class LocationCache:
     def entries_on(self, server: int) -> Dict[int, int]:
         """Snapshot of one server's cached view (tests/introspection)."""
         return dict(self._entries[server])
+
+    def all_entries(self) -> Iterator[Tuple[int, int, int]]:
+        """Every cached ``(server, vertex, believed_host)`` triple.
+
+        Introspection hook for the simtest auditor: each entry must be
+        either correct or resolvable via one forwarding hop.
+        """
+        for server, entries in enumerate(self._entries):
+            for vertex, host in entries.items():
+                yield server, vertex, host

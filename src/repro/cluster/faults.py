@@ -101,6 +101,42 @@ class FaultPlan:
     def loss_for(self, src: int, dst: int) -> float:
         return self.link_loss.get((src, dst), self.loss_rate)
 
+    def to_dict(self) -> Dict[str, object]:
+        """Pure-JSON representation, for simtest replay artifacts."""
+        return {
+            "seed": self.seed,
+            "loss_rate": self.loss_rate,
+            "timeout_rate": self.timeout_rate,
+            "crash_windows": [
+                {"server": w.server, "start": w.start, "end": w.end}
+                for w in self.crash_windows
+            ],
+            "link_loss": [
+                [src, dst, rate] for (src, dst), rate in sorted(self.link_loss.items())
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FaultPlan":
+        """Inverse of :meth:`to_dict` (tuple keys survive the round trip)."""
+        return cls(
+            seed=int(data.get("seed", 0)),
+            loss_rate=float(data.get("loss_rate", 0.0)),
+            timeout_rate=float(data.get("timeout_rate", 0.0)),
+            crash_windows=tuple(
+                CrashWindow(
+                    server=int(w["server"]),
+                    start=float(w["start"]),
+                    end=float(w["end"]),
+                )
+                for w in data.get("crash_windows", [])
+            ),
+            link_loss={
+                (int(src), int(dst)): float(rate)
+                for src, dst, rate in data.get("link_loss", [])
+            },
+        )
+
 
 class FaultInjector:
     """Runtime fault oracle shared by the network, servers and retriers.

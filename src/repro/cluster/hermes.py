@@ -41,7 +41,12 @@ from repro.core.sharded import ShardedAuxiliaryData
 from repro.core.migration import build_migration_plan
 from repro.core.repartitioner import LightweightRepartitioner, RepartitionResult
 from repro.core.triggers import ImbalanceTrigger, TriggerDecision
-from repro.exceptions import ClusterError, MigrationAbortedError
+from repro.exceptions import (
+    ClusterError,
+    FaultInjectedError,
+    MigrationAbortedError,
+    ServerDownError,
+)
 from repro.graph.adjacency import SocialGraph
 from repro.storage.graph_store import GraphStore
 from repro.partitioning.base import Partitioner, Partitioning
@@ -210,16 +215,31 @@ class HermesCluster:
     def _create_edge_records(
         self, u: int, v: int, properties: Optional[Dict[str, Any]]
     ) -> float:
-        """Primary record on the src (u) host, ghost on the dst host."""
+        """Primary record on the src (u) host, ghost on the dst host.
+
+        Under fault injection the write is transactional: a crashed
+        primary host rejects the whole insert up front, and a ghost
+        shipment that fails deletes the already-created primary record
+        before re-raising — a half-written edge must never survive.
+        """
         host_u = self.catalog.lookup(u)
         host_v = self.catalog.lookup(v)
+        if self.faults is not None:
+            self.faults.check_server(
+                host_u, cost=self.network.config.fault_timeout_cost
+            )
         rel_id = self.servers[host_u].store.allocate_rel_id()
         cost = self.network.local_visit()
         self.servers[host_u].store.create_relationship(
             rel_id, u, v, properties=properties
         )
         if host_v != host_u:
-            cost += self.network.remote_hop(host_u, host_v)
+            try:
+                cost += self.network.remote_hop(host_u, host_v)
+            except FaultInjectedError as exc:
+                self.servers[host_u].store.delete_relationship(rel_id)
+                exc.cost += cost
+                raise
             self.servers[host_v].store.create_relationship(rel_id, u, v, ghost=True)
         return cost
 
@@ -283,6 +303,16 @@ class HermesCluster:
             if server is not None
             else self._placer.place(vertex, self.num_servers)
         )
+        if self.faults is not None and self.faults.is_down(target):
+            # The insert times out against the crashed placement target;
+            # no layer has been touched, so the failure is clean.
+            cost = (
+                self.network.config.client_dispatch_cost
+                + self.network.config.fault_timeout_cost
+            )
+            self._count_degraded_write()
+            self._advance(cost)
+            raise ServerDownError(target, cost=cost)
         self.servers[target].create_vertex(vertex, weight=weight, properties=properties)
         self.catalog.register(vertex, target)
         self.graph.add_vertex(vertex, weight=weight)
@@ -294,15 +324,33 @@ class HermesCluster:
     def add_edge(
         self, u: int, v: int, properties: Optional[Dict[str, Any]] = None
     ) -> float:
-        """Connect two users (updates stores, mirror and auxiliary data)."""
+        """Connect two users (updates stores, mirror and auxiliary data).
+
+        With faults attached the write can fail (crashed host, lost ghost
+        shipment); the store mutation is rolled back before the error
+        propagates, so the mirror, auxiliary data and stores stay in
+        agreement — the wasted timeout is still simulated time.
+        """
         if self.graph.has_edge(u, v):
             raise ClusterError(f"edge ({u}, {v}) already exists")
         cost = self.network.config.client_dispatch_cost
-        cost += self._create_edge_records(u, v, properties)
+        try:
+            cost += self._create_edge_records(u, v, properties)
+        except FaultInjectedError as exc:
+            cost += exc.cost
+            self._count_degraded_write()
+            self._advance(cost)
+            raise
         self.graph.add_edge(u, v)
         self.aux.add_edge(u, v)
         self._advance(cost)
         return cost
+
+    def _count_degraded_write(self) -> None:
+        self.telemetry.counter(
+            "writes_degraded_total",
+            "write operations that failed against an injected fault",
+        ).inc()
 
     # ==================================================================
     # Repartitioning
@@ -482,6 +530,15 @@ class HermesCluster:
 
     def partitioning(self) -> Partitioning:
         return self.catalog.snapshot()
+
+    def membership(self) -> List[Tuple[frozenset, frozenset]]:
+        """Per-server ``(available, unavailable)`` store membership.
+
+        The storage-side view of vertex placement, enumerated straight
+        from the node stores — the simtest auditor diffs this against the
+        catalog to catch placement drift.
+        """
+        return [server.store.membership() for server in self.servers]
 
     # ------------------------------------------------------------------
     # Telemetry

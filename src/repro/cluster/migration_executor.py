@@ -102,7 +102,17 @@ class MigrationExecutor:
         self.network = network
         self.retry = retry or RetryPolicy()
         self.location_cache = location_cache
+        #: the undo journal of the migration currently inside ``execute``.
+        #: None whenever no migration is in flight — both a committed and
+        #: an aborted attempt must leave it None (the simtest auditor's
+        #: journal-emptiness invariant between schedule steps).
+        self.active_journal: Optional[List[Tuple]] = None
         self.attach_telemetry(telemetry or NULL_TELEMETRY)
+
+    @property
+    def journal_open(self) -> bool:
+        """Is a copy-step undo journal currently live?"""
+        return self.active_journal is not None
 
     def attach_telemetry(self, telemetry: Telemetry) -> None:
         self.telemetry = telemetry
@@ -148,6 +158,7 @@ class MigrationExecutor:
         final_home = self._final_placement(plan)
         #: reverse journal of every store mutation, for rollback on abort
         undo: List[Tuple] = []
+        self.active_journal = undo
         payload_sizes: List[int] = []
 
         span = self.telemetry.span("migration", moves=plan.num_moves)
@@ -168,6 +179,7 @@ class MigrationExecutor:
                 # simulated time even though no records moved.
                 report.copy_cost += exc.cost
             self._rollback(undo)
+            self.active_journal = None
             self.telemetry.counter(
                 "migration_aborts_total", "migrations aborted and rolled back"
             ).inc()
@@ -191,6 +203,8 @@ class MigrationExecutor:
             self.catalog.move(move.vertex, move.target)
             if self.location_cache is not None:
                 self.location_cache.on_moved(move.vertex, move.source, move.target)
+        # Past the commit point: the journal will never be replayed.
+        self.active_journal = None
 
         remove_span = self.telemetry.span("migration.remove")
         self._remove_step(plan, final_home, payloads, report)

@@ -81,11 +81,24 @@ class LinkStats:
 
 @dataclass
 class NetworkStats:
-    """Message/byte counters kept per server pair."""
+    """Message/byte counters kept per server pair.
+
+    Send-side (``record``) and receive-side (``deliver``) accounting are
+    deliberately separate code paths: the network charges the sender when
+    it puts a message on the wire and the receiver when the message
+    arrives.  In a correct simulation every delivered message is counted
+    exactly once on each side — the conservation invariant
+    (bytes-sent == bytes-received per link) that the simtest auditor
+    checks between schedule steps.  A message dropped by fault injection
+    is counted on neither side.
+    """
 
     messages: int = 0
     bytes_sent: int = 0
+    messages_received: int = 0
+    bytes_received: int = 0
     per_link: Dict[Tuple[int, int], LinkStats] = field(default_factory=dict)
+    received_per_link: Dict[Tuple[int, int], LinkStats] = field(default_factory=dict)
 
     def record(self, src: int, dst: int, size: int) -> None:
         self.messages += 1
@@ -93,6 +106,16 @@ class NetworkStats:
         link = self.per_link.get((src, dst))
         if link is None:
             link = self.per_link[(src, dst)] = LinkStats()
+        link.messages += 1
+        link.bytes += size
+
+    def deliver(self, src: int, dst: int, size: int) -> None:
+        """Receive-side counterpart of :meth:`record`."""
+        self.messages_received += 1
+        self.bytes_received += size
+        link = self.received_per_link.get((src, dst))
+        if link is None:
+            link = self.received_per_link[(src, dst)] = LinkStats()
         link.messages += 1
         link.bytes += size
 
@@ -206,6 +229,7 @@ class SimulatedNetwork:
         self._hop_messages.inc()
         self._hop_bytes.inc(size)
         self._hop_latency.observe(cost)
+        self.stats.deliver(src, dst, size)
         if self.fault_injector is not None:
             self.fault_injector.advance(cost)
         return cost
@@ -235,6 +259,7 @@ class SimulatedNetwork:
         self._hop_bytes.inc(size)
         self._hop_latency.observe(cost)
         self._batch_sizes.observe(count)
+        self.stats.deliver(src, dst, size)
         if self.fault_injector is not None:
             self.fault_injector.advance(cost)
         return cost
@@ -258,6 +283,7 @@ class SimulatedNetwork:
         self._transfer_bytes.inc(size)
         self._transfer_latency.observe(cost)
         self._transfer_sizes.observe(size)
+        self.stats.deliver(src, dst, size)
         if self.fault_injector is not None:
             self.fault_injector.advance(cost)
         return cost

@@ -164,5 +164,21 @@ class WorkloadError(HermesError):
     """A workload/trace specification is invalid."""
 
 
+class InvariantViolationError(HermesError):
+    """The simtest auditor found cluster state violating an invariant.
+
+    ``violations`` is the full list of
+    :class:`~repro.simtest.invariants.InvariantViolation` records the
+    audit produced (the message shows the first one).
+    """
+
+    def __init__(self, violations):
+        first = violations[0] if violations else None
+        super().__init__(
+            f"{len(violations)} invariant violation(s): {first}"
+        )
+        self.violations = list(violations)
+
+
 class TelemetryError(HermesError):
     """Misuse of the telemetry subsystem (metric kind clash, bad buckets)."""

@@ -1,0 +1,61 @@
+"""repro.simtest — deterministic simulation testing for the cluster.
+
+FoundationDB-style simulation testing scaled to this simulator: seeded
+:class:`ScenarioGenerator` schedules of mixed reads/writes, fault
+episodes and concurrent rebalances run by a :class:`ScenarioRunner`
+against a real :class:`~repro.cluster.HermesCluster`, with an
+:class:`InvariantAuditor` sweeping every cluster-wide invariant between
+steps.  Failing schedules shrink to a few steps
+(:func:`shrink_schedule`) and persist as one-command replay artifacts
+(:func:`write_artifact` / ``python -m repro.simtest.replay``).
+"""
+
+from repro.simtest.invariants import (
+    INVARIANT_NAMES,
+    InvariantAuditor,
+    InvariantViolation,
+)
+from repro.simtest.runner import CORRUPT_MODES, ScenarioOutcome, ScenarioRunner
+from repro.simtest.scenario import (
+    ScenarioGenerator,
+    ScenarioSpec,
+    Schedule,
+    Step,
+    build_cluster,
+    build_graph,
+    schedule_from_dicts,
+    schedule_to_dicts,
+)
+from repro.simtest.shrink import (
+    ARTIFACT_FORMAT,
+    artifact_dict,
+    load_artifact,
+    replay_artifact,
+    reproduces,
+    shrink_schedule,
+    write_artifact,
+)
+
+__all__ = [
+    "ARTIFACT_FORMAT",
+    "CORRUPT_MODES",
+    "INVARIANT_NAMES",
+    "InvariantAuditor",
+    "InvariantViolation",
+    "ScenarioGenerator",
+    "ScenarioOutcome",
+    "ScenarioRunner",
+    "ScenarioSpec",
+    "Schedule",
+    "Step",
+    "artifact_dict",
+    "build_cluster",
+    "build_graph",
+    "load_artifact",
+    "replay_artifact",
+    "reproduces",
+    "schedule_from_dicts",
+    "schedule_to_dicts",
+    "shrink_schedule",
+    "write_artifact",
+]

@@ -1,0 +1,325 @@
+"""Cluster-wide invariant auditor for the simulation harness.
+
+Between schedule steps the cluster must sit in a *quiescent* state — no
+migration in flight, no half-created edge, no leaked journal — so a
+strong set of global invariants must hold regardless of which operations
+succeeded, degraded or aborted along the way.  The auditor walks every
+layer (stores, catalog, location caches, auxiliary data, telemetry,
+migration executor) and reports each broken invariant by name.
+
+The invariant catalog (names match :class:`InvariantViolation.invariant`
+and TESTING.md):
+
+``catalog-store-membership``
+    Every catalogued vertex is an *available* node on exactly its home
+    store; every available store node is catalogued to that server; no
+    store holds an unavailable node between steps (the migration remove
+    step completes inside a single schedule step).
+``one-primary-per-edge``
+    Each relationship ID appears on exactly the endpoint-host set, with
+    exactly one non-ghost (primary) copy, hosted on the *source*
+    endpoint's server; record endpoints correspond to a real edge of the
+    logical graph, and no edge is represented by two distinct rel IDs.
+``vertex-edge-conservation``
+    Vertices and edges are conserved across migrations, rollbacks and
+    degraded writes: the available-node total, the catalog and the
+    auxiliary data all agree with the mirror graph, and the number of
+    distinct primary records equals the mirror edge count.
+``aux-agreement``
+    Auxiliary placement equals the catalog everywhere, and the
+    per-partition weight totals sum to the per-vertex weights.
+``location-cache-coherence``
+    Every cached location entry points at a live catalogued vertex and a
+    valid server, so a stale hint is always resolvable via at most one
+    forward to the authoritative catalog.
+``telemetry-conservation``
+    Per-link bytes/messages sent equal bytes/messages received, and the
+    registry's independent network counters match the legacy stats.
+``undo-journal-closed``
+    The migration executor's undo journal is closed (fully rolled back
+    or past the commit point) — nothing to replay between steps.
+``mirror-consistency``
+    The cluster's own :meth:`~repro.cluster.hermes.HermesCluster.validate`
+    deep check (adjacency chains, ghost conventions, aux counters).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.exceptions import ClusterError, InvariantViolationError
+from repro.telemetry.conservation import (
+    network_conservation_violations,
+    registry_conservation_violations,
+)
+
+#: every invariant name the auditor can emit, in audit order
+INVARIANT_NAMES = (
+    "catalog-store-membership",
+    "one-primary-per-edge",
+    "vertex-edge-conservation",
+    "aux-agreement",
+    "location-cache-coherence",
+    "telemetry-conservation",
+    "undo-journal-closed",
+    "mirror-consistency",
+)
+
+
+@dataclass(frozen=True)
+class InvariantViolation:
+    """One broken invariant: which one, and a human-readable detail."""
+
+    invariant: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.invariant}] {self.detail}"
+
+    def to_dict(self) -> Dict[str, str]:
+        return {"invariant": self.invariant, "detail": self.detail}
+
+
+class InvariantAuditor:
+    """Checks every cluster-wide invariant against a quiescent cluster."""
+
+    def audit(self, cluster) -> List[InvariantViolation]:
+        """All violations present right now (empty when healthy)."""
+        violations: List[InvariantViolation] = []
+        violations += self._check_membership(cluster)
+        violations += self._check_primaries(cluster)
+        violations += self._check_conservation(cluster)
+        violations += self._check_aux(cluster)
+        violations += self._check_location_cache(cluster)
+        violations += self._check_telemetry(cluster)
+        violations += self._check_journal(cluster)
+        violations += self._check_mirror(cluster)
+        return violations
+
+    def check(self, cluster) -> None:
+        """Audit and raise :class:`InvariantViolationError` on failure."""
+        violations = self.audit(cluster)
+        if violations:
+            raise InvariantViolationError(violations)
+
+    # ------------------------------------------------------------------
+    def _check_membership(self, cluster) -> List[InvariantViolation]:
+        out: List[InvariantViolation] = []
+        catalogued = cluster.catalog.as_mapping()
+        seen = set()
+        for server, (available, unavailable) in enumerate(cluster.membership()):
+            if unavailable:
+                out.append(
+                    InvariantViolation(
+                        "catalog-store-membership",
+                        f"server {server} holds unavailable nodes between "
+                        f"steps: {sorted(unavailable)[:5]}",
+                    )
+                )
+            for vertex in available:
+                home = catalogued.get(vertex)
+                if home != server:
+                    out.append(
+                        InvariantViolation(
+                            "catalog-store-membership",
+                            f"vertex {vertex} stored on server {server} but "
+                            f"catalogued to {home}",
+                        )
+                    )
+                seen.add(vertex)
+        for vertex, home in catalogued.items():
+            if vertex not in seen:
+                out.append(
+                    InvariantViolation(
+                        "catalog-store-membership",
+                        f"vertex {vertex} catalogued to server {home} but "
+                        f"available on no store",
+                    )
+                )
+        return out
+
+    def _check_primaries(self, cluster) -> List[InvariantViolation]:
+        out: List[InvariantViolation] = []
+        copies: Dict[int, List[Tuple[int, object]]] = {}
+        for server in range(cluster.num_servers):
+            for record in cluster.servers[server].store.relationships.records():
+                copies.setdefault(record.rel_id, []).append((server, record))
+        edge_rels: Dict[Tuple[int, int], int] = {}
+        for rel_id, holders in sorted(copies.items()):
+            record = holders[0][1]
+            endpoints = {record.src, record.dst}
+            if any(
+                {rec.src, rec.dst} != endpoints for _, rec in holders[1:]
+            ):
+                out.append(
+                    InvariantViolation(
+                        "one-primary-per-edge",
+                        f"rel {rel_id} has divergent endpoints across servers",
+                    )
+                )
+                continue
+            edge = (min(endpoints), max(endpoints))
+            if not cluster.graph.has_edge(*edge):
+                out.append(
+                    InvariantViolation(
+                        "one-primary-per-edge",
+                        f"rel {rel_id} connects {edge} which is not a logical edge",
+                    )
+                )
+            if edge in edge_rels and edge_rels[edge] != rel_id:
+                out.append(
+                    InvariantViolation(
+                        "one-primary-per-edge",
+                        f"edge {edge} stored under two rel IDs "
+                        f"({edge_rels[edge]} and {rel_id})",
+                    )
+                )
+            edge_rels.setdefault(edge, rel_id)
+            try:
+                hosts = {cluster.catalog.lookup(v) for v in endpoints}
+                src_host = cluster.catalog.lookup(record.src)
+            except ClusterError as exc:
+                out.append(
+                    InvariantViolation(
+                        "one-primary-per-edge",
+                        f"rel {rel_id} references uncatalogued vertex: {exc}",
+                    )
+                )
+                continue
+            holder_hosts = {server for server, _ in holders}
+            if holder_hosts != hosts:
+                out.append(
+                    InvariantViolation(
+                        "one-primary-per-edge",
+                        f"rel {rel_id} stored on servers {sorted(holder_hosts)}"
+                        f" but endpoints live on {sorted(hosts)}",
+                    )
+                )
+            primaries = [server for server, rec in holders if not rec.ghost]
+            if len(primaries) != 1:
+                out.append(
+                    InvariantViolation(
+                        "one-primary-per-edge",
+                        f"rel {rel_id} has {len(primaries)} primary copies "
+                        f"(on servers {primaries})",
+                    )
+                )
+            elif primaries[0] != src_host:
+                out.append(
+                    InvariantViolation(
+                        "one-primary-per-edge",
+                        f"rel {rel_id} primary on server {primaries[0]} but "
+                        f"src vertex {record.src} lives on {src_host}",
+                    )
+                )
+        return out
+
+    def _check_conservation(self, cluster) -> List[InvariantViolation]:
+        out: List[InvariantViolation] = []
+        available_total = sum(
+            len(available) for available, _ in cluster.membership()
+        )
+        graph_vertices = cluster.graph.num_vertices
+        catalog_vertices = len(cluster.catalog.as_mapping())
+        aux_vertices = cluster.aux.num_vertices
+        if not (
+            available_total == graph_vertices == catalog_vertices == aux_vertices
+        ):
+            out.append(
+                InvariantViolation(
+                    "vertex-edge-conservation",
+                    f"vertex counts diverge: stores={available_total} "
+                    f"graph={graph_vertices} catalog={catalog_vertices} "
+                    f"aux={aux_vertices}",
+                )
+            )
+        primary_rels = set()
+        for server in range(cluster.num_servers):
+            for record in cluster.servers[server].store.relationships.records():
+                if not record.ghost:
+                    primary_rels.add(record.rel_id)
+        if len(primary_rels) != cluster.graph.num_edges:
+            out.append(
+                InvariantViolation(
+                    "vertex-edge-conservation",
+                    f"{len(primary_rels)} primary relationship records for "
+                    f"{cluster.graph.num_edges} logical edges",
+                )
+            )
+        return out
+
+    def _check_aux(self, cluster) -> List[InvariantViolation]:
+        out: List[InvariantViolation] = []
+        for vertex in cluster.graph.vertices():
+            home = cluster.catalog.lookup(vertex)
+            if cluster.aux.partition_of(vertex) != home:
+                out.append(
+                    InvariantViolation(
+                        "aux-agreement",
+                        f"aux places vertex {vertex} on "
+                        f"{cluster.aux.partition_of(vertex)}, catalog on {home}",
+                    )
+                )
+        total = sum(cluster.aux.partition_weights)
+        per_vertex = sum(
+            cluster.aux.weight_of(vertex) for vertex in cluster.aux.vertices()
+        )
+        if not math.isclose(total, per_vertex, rel_tol=1e-9, abs_tol=1e-6):
+            out.append(
+                InvariantViolation(
+                    "aux-agreement",
+                    f"partition weight total {total} != per-vertex sum {per_vertex}",
+                )
+            )
+        return out
+
+    def _check_location_cache(self, cluster) -> List[InvariantViolation]:
+        out: List[InvariantViolation] = []
+        for server, vertex, host in cluster.location_cache.all_entries():
+            if vertex not in cluster.catalog:
+                out.append(
+                    InvariantViolation(
+                        "location-cache-coherence",
+                        f"server {server} caches vertex {vertex} which is "
+                        f"not in the catalog (unresolvable hint)",
+                    )
+                )
+            elif not 0 <= host < cluster.num_servers:
+                out.append(
+                    InvariantViolation(
+                        "location-cache-coherence",
+                        f"server {server} caches vertex {vertex} on "
+                        f"invalid server {host}",
+                    )
+                )
+        return out
+
+    def _check_telemetry(self, cluster) -> List[InvariantViolation]:
+        problems = network_conservation_violations(cluster.network.stats)
+        problems += registry_conservation_violations(
+            cluster.telemetry, cluster.network
+        )
+        return [
+            InvariantViolation("telemetry-conservation", detail)
+            for detail in problems
+        ]
+
+    def _check_journal(self, cluster) -> List[InvariantViolation]:
+        if cluster._executor.journal_open:
+            return [
+                InvariantViolation(
+                    "undo-journal-closed",
+                    "migration executor's undo journal is open between steps "
+                    f"({len(cluster._executor.active_journal)} entries)",
+                )
+            ]
+        return []
+
+    def _check_mirror(self, cluster) -> List[InvariantViolation]:
+        try:
+            cluster.validate()
+        except ClusterError as exc:
+            return [InvariantViolation("mirror-consistency", str(exc))]
+        return []

@@ -1,0 +1,59 @@
+"""One-command replay of a shrunk failing schedule.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.simtest.replay artifact.json
+
+Exit code 0 means the artifact's invariant violation reproduced; 1 means
+the schedule ran clean (the bug is fixed, or the artifact is stale).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.simtest.scenario import schedule_from_dicts
+from repro.simtest.shrink import load_artifact, replay_artifact
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.simtest.replay",
+        description="Replay a simtest failure artifact and report whether "
+        "the invariant violation still reproduces.",
+    )
+    parser.add_argument("artifact", help="path to a replay artifact JSON file")
+    parser.add_argument(
+        "--show-schedule",
+        action="store_true",
+        help="print each schedule step before running",
+    )
+    options = parser.parse_args(argv)
+
+    data = load_artifact(options.artifact)
+    schedule = schedule_from_dicts(data["schedule"])
+    print(f"replaying {options.artifact}: seed {data['spec']['seed']}, "
+          f"{len(schedule)} step(s)")
+    if options.show_schedule:
+        for index, step in enumerate(schedule):
+            print(f"  {index:3d}  {step.kind}  {step.args}")
+    recorded = data.get("violation")
+    if recorded:
+        print(
+            f"recorded violation: [{recorded['invariant']}] "
+            f"{recorded['detail']} (step {recorded['step']})"
+        )
+
+    outcome = replay_artifact(options.artifact)
+    print(outcome.summary())
+    if outcome.ok:
+        print("violation did NOT reproduce")
+        return 1
+    print("violation reproduced")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

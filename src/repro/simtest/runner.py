@@ -1,0 +1,176 @@
+"""Scenario runner: applies a schedule to a cluster, auditing as it goes.
+
+The runner is the deterministic heart of the harness: given a
+:class:`~repro.simtest.scenario.ScenarioSpec` and a schedule it always
+produces the same sequence of cluster states, so the shrinker and the
+replay tool can re-execute any prefix/subset of a failing schedule and
+trust that a reproduced violation is the *same* violation.
+
+Each step is applied through :meth:`ScenarioRunner._apply`, which maps
+the cluster's expected failure modes to step statuses instead of letting
+them abort the run:
+
+* ``aborted`` — a rebalance hit an injected fault and rolled back;
+* ``degraded`` — a read/write timed out against a crash window or lost
+  message (the cluster stayed consistent, the operation did not happen);
+* ``skipped`` — the step was invalidated by an earlier degraded write
+  (e.g. an ``add_edge`` whose endpoint vertex never got inserted);
+* ``ok`` — the operation completed.
+
+After every step (or every ``audit_every`` steps) the
+:class:`~repro.simtest.invariants.InvariantAuditor` sweeps the cluster;
+the first violating step ends the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cluster.faults import FaultPlan
+from repro.exceptions import (
+    FaultInjectedError,
+    HermesError,
+    MigrationAbortedError,
+)
+from repro.simtest.invariants import InvariantAuditor, InvariantViolation
+from repro.simtest.scenario import Schedule, ScenarioSpec, Step, build_cluster
+
+
+@dataclass
+class ScenarioOutcome:
+    """What happened when a schedule ran against its spec's cluster."""
+
+    spec: ScenarioSpec
+    statuses: List[str] = field(default_factory=list)
+    violations: List[InvariantViolation] = field(default_factory=list)
+    violation_step: Optional[int] = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    @property
+    def status_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for status in self.statuses:
+            counts[status] = counts.get(status, 0) + 1
+        return counts
+
+    def summary(self) -> str:
+        counts = ", ".join(
+            f"{kind}={count}" for kind, count in sorted(self.status_counts.items())
+        )
+        if self.ok:
+            return f"seed {self.spec.seed}: OK ({counts})"
+        return (
+            f"seed {self.spec.seed}: {len(self.violations)} violation(s) at "
+            f"step {self.violation_step} ({counts}); first: {self.violations[0]}"
+        )
+
+
+class ScenarioRunner:
+    """Deterministically executes schedules with interleaved audits."""
+
+    def __init__(
+        self,
+        auditor: Optional[InvariantAuditor] = None,
+        audit_every: int = 1,
+    ):
+        self.auditor = auditor or InvariantAuditor()
+        self.audit_every = max(1, audit_every)
+
+    def run(self, spec: ScenarioSpec, schedule: Schedule) -> ScenarioOutcome:
+        cluster = build_cluster(spec)
+        outcome = ScenarioOutcome(spec=spec)
+        for index, step in enumerate(schedule):
+            outcome.statuses.append(self._apply(cluster, step))
+            if (index + 1) % self.audit_every == 0 or index == len(schedule) - 1:
+                violations = self.auditor.audit(cluster)
+                if violations:
+                    outcome.violations = violations
+                    outcome.violation_step = index
+                    break
+        return outcome
+
+    # ------------------------------------------------------------------
+    def _apply(self, cluster, step: Step) -> str:
+        try:
+            self._dispatch(cluster, step)
+        except MigrationAbortedError:
+            return "aborted"
+        except FaultInjectedError:
+            return "degraded"
+        except HermesError:
+            # e.g. an add_edge whose endpoint was lost to a degraded
+            # add_vertex earlier, or a read of a never-inserted vertex.
+            return "skipped"
+        return "ok"
+
+    def _dispatch(self, cluster, step: Step) -> None:
+        kind, args = step.kind, step.args
+        if kind == "traverse":
+            cluster.traverse(int(args["start"]), hops=int(args["hops"]))
+        elif kind == "read":
+            cluster.read_vertex(int(args["vertex"]))
+        elif kind == "add_edge":
+            cluster.add_edge(int(args["u"]), int(args["v"]))
+        elif kind == "add_vertex":
+            cluster.add_vertex(int(args["vertex"]))
+        elif kind == "rebalance":
+            cluster.rebalance(force=bool(args.get("force", False)))
+        elif kind == "decay":
+            cluster.decay_weights(float(args.get("factor", 0.5)))
+        elif kind == "attach_faults":
+            cluster.attach_faults(FaultPlan.from_dict(args["plan"]))
+        elif kind == "clear_faults":
+            cluster.attach_faults(None)
+        elif kind == "corrupt":
+            # Test-only hook: deliberately break an invariant so the
+            # auditor/shrinker/replay loop can be exercised end to end.
+            # Never emitted by ScenarioGenerator.
+            _corrupt(cluster, str(args.get("mode", "catalog_drift")))
+        else:
+            raise ValueError(f"unknown step kind {kind!r}")
+
+
+def _corrupt(cluster, mode: str) -> None:
+    """Deliberately violate one invariant (test-only)."""
+    if mode == "catalog_drift":
+        vertex = next(iter(cluster.graph.vertices()))
+        home = cluster.catalog.lookup(vertex)
+        cluster.catalog.move(vertex, (home + 1) % cluster.num_servers)
+    elif mode == "ghost_flip":
+        for server in range(cluster.num_servers):
+            store = cluster.servers[server].store
+            for record in store.relationships.records():
+                if record.ghost:
+                    store.set_ghost(record.rel_id, False)
+                    return
+        raise ValueError("no ghost record to flip")
+    elif mode == "drop_record":
+        for server in range(cluster.num_servers):
+            store = cluster.servers[server].store
+            for record in store.relationships.records():
+                store.delete_relationship(record.rel_id)
+                return
+        raise ValueError("no relationship record to drop")
+    elif mode == "cache_poison":
+        cluster.location_cache.learn(0, 10**9, 0)
+    elif mode == "journal_leak":
+        cluster._executor.active_journal = [("import", 0, 0)]
+    elif mode == "stats_skew":
+        cluster.network.stats.bytes_sent += 64
+    else:
+        raise ValueError(f"unknown corruption mode {mode!r}")
+
+
+#: corruption modes understood by the test-only ``corrupt`` step
+CORRUPT_MODES = (
+    "catalog_drift",
+    "ghost_flip",
+    "drop_record",
+    "cache_poison",
+    "journal_leak",
+    "stats_skew",
+)

@@ -1,0 +1,263 @@
+"""Seeded scenario generation for deterministic simulation testing.
+
+A *scenario* is pure data: a :class:`ScenarioSpec` describing how to
+build a cluster (graph size, server count, placement salt, repartitioner
+knobs) plus a :class:`Step` schedule of operations to run against it —
+mixed read/write workload, weight decay, forced and trigger-driven
+``rebalance()`` calls, and fault-plan attach/clear episodes with
+crash/loss/timeout windows.  Both halves serialize to JSON, which is
+what makes a failing run replayable from an artifact file: the same
+``seed`` always regenerates the same spec and schedule, and the same
+spec + schedule always reproduce the same cluster states
+(FoundationDB-style deterministic simulation, scaled to this simulator).
+
+The generator never emits ``corrupt`` steps — those are the test-only
+hook the acceptance tests use to prove the auditor catches violations —
+but the runner understands them so corrupted schedules shrink and replay
+exactly like organic ones.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.cluster.hermes import HermesCluster
+from repro.cluster.network import NetworkConfig
+from repro.core.config import RepartitionerConfig
+from repro.graph.adjacency import SocialGraph
+from repro.partitioning.hashing import HashPartitioner
+
+#: step kinds the generator draws from (weights roughly mirror a social
+#: read-heavy workload with ongoing growth and periodic maintenance)
+READ_KINDS = ("traverse", "read")
+WRITE_KINDS = ("add_edge", "add_vertex")
+MAINTENANCE_KINDS = ("rebalance", "decay")
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Everything needed to rebuild a scenario's cluster, as pure data."""
+
+    seed: int
+    num_servers: int = 3
+    num_vertices: int = 40
+    num_edges: int = 100
+    placement_salt: int = 0
+    batch_remote_hops: bool = True
+    epsilon: float = 1.2
+    k: int = 2
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "seed": self.seed,
+            "num_servers": self.num_servers,
+            "num_vertices": self.num_vertices,
+            "num_edges": self.num_edges,
+            "placement_salt": self.placement_salt,
+            "batch_remote_hops": self.batch_remote_hops,
+            "epsilon": self.epsilon,
+            "k": self.k,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ScenarioSpec":
+        return cls(
+            seed=int(data["seed"]),
+            num_servers=int(data["num_servers"]),
+            num_vertices=int(data["num_vertices"]),
+            num_edges=int(data["num_edges"]),
+            placement_salt=int(data["placement_salt"]),
+            batch_remote_hops=bool(data["batch_remote_hops"]),
+            epsilon=float(data["epsilon"]),
+            k=int(data["k"]),
+        )
+
+
+@dataclass(frozen=True)
+class Step:
+    """One schedule entry: an operation kind plus its JSON-able args."""
+
+    kind: str
+    args: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"kind": self.kind, "args": dict(self.args)}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Step":
+        return cls(kind=str(data["kind"]), args=dict(data.get("args", {})))
+
+
+Schedule = List[Step]
+
+
+def build_graph(spec: ScenarioSpec) -> SocialGraph:
+    """The spec's deterministic Erdos-Renyi-ish social graph."""
+    rng = random.Random(spec.seed)
+    graph = SocialGraph()
+    for vertex in range(spec.num_vertices):
+        graph.add_vertex(vertex, weight=1.0)
+    attempts = 0
+    while graph.num_edges < spec.num_edges and attempts < 50 * spec.num_edges:
+        attempts += 1
+        u = rng.randrange(spec.num_vertices)
+        v = rng.randrange(spec.num_vertices)
+        if u != v and not graph.has_edge(u, v):
+            graph.add_edge(u, v)
+    return graph
+
+
+def build_cluster(spec: ScenarioSpec) -> HermesCluster:
+    """A loaded cluster in the spec's exact initial state."""
+    graph = build_graph(spec)
+    placement = HashPartitioner(salt=spec.placement_salt).partition(
+        graph, spec.num_servers
+    )
+    return HermesCluster.from_graph(
+        graph,
+        num_servers=spec.num_servers,
+        partitioning=placement,
+        network=NetworkConfig(batch_remote_hops=spec.batch_remote_hops),
+        repartitioner=RepartitionerConfig(epsilon=spec.epsilon, k=spec.k),
+    )
+
+
+class ScenarioGenerator:
+    """Composes random schedules of workload, faults and rebalances.
+
+    One generator instance produces one ``(spec, schedule)`` pair,
+    entirely determined by ``seed`` — re-instantiating with the same seed
+    regenerates byte-identical output.
+    """
+
+    def __init__(self, seed: int, num_steps: Optional[int] = None):
+        self.seed = seed
+        self._num_steps = num_steps
+
+    def generate(self) -> Tuple[ScenarioSpec, Schedule]:
+        rng = random.Random(("hermes-simtest", self.seed).__repr__())
+        num_vertices = rng.randint(28, 56)
+        spec = ScenarioSpec(
+            seed=self.seed,
+            num_servers=rng.randint(2, 4),
+            num_vertices=num_vertices,
+            num_edges=int(num_vertices * rng.uniform(1.8, 3.0)),
+            placement_salt=rng.randrange(10_000),
+            batch_remote_hops=rng.random() < 0.7,
+            epsilon=round(rng.uniform(1.05, 1.4), 3),
+            k=2,
+        )
+        schedule = self._schedule(spec, rng)
+        return spec, schedule
+
+    # ------------------------------------------------------------------
+    def _schedule(self, spec: ScenarioSpec, rng: random.Random) -> Schedule:
+        # The generator tracks its own model of the evolving vertex/edge
+        # population so every emitted step is valid *if* all prior writes
+        # succeed; the runner skips steps invalidated by degraded writes.
+        graph = build_graph(spec)
+        vertices = sorted(graph.vertices())
+        edges = {tuple(sorted(edge)) for edge in graph.edges()}
+        next_vertex = spec.num_vertices
+        faults_active = False
+        clear_in = 0  # steps until the pending clear_faults fires
+
+        num_steps = self._num_steps or rng.randint(32, 52)
+        schedule: Schedule = []
+        while len(schedule) < num_steps:
+            if faults_active and clear_in <= 0:
+                schedule.append(Step("clear_faults"))
+                faults_active = False
+                continue
+            if faults_active:
+                clear_in -= 1
+            draw = rng.random()
+            if draw < 0.40:
+                schedule.append(
+                    Step(
+                        "traverse",
+                        {
+                            "start": rng.choice(vertices),
+                            "hops": rng.choice([1, 1, 2, 2, 3]),
+                        },
+                    )
+                )
+            elif draw < 0.52:
+                schedule.append(Step("read", {"vertex": rng.choice(vertices)}))
+            elif draw < 0.64:
+                step = self._add_edge_step(rng, vertices, edges)
+                if step is not None:
+                    schedule.append(step)
+            elif draw < 0.70:
+                schedule.append(
+                    Step("add_vertex", {"vertex": next_vertex})
+                )
+                vertices.append(next_vertex)
+                next_vertex += 1
+            elif draw < 0.82:
+                schedule.append(
+                    Step("rebalance", {"force": rng.random() < 0.7})
+                )
+            elif draw < 0.88:
+                schedule.append(
+                    Step("decay", {"factor": round(rng.uniform(0.3, 0.8), 3)})
+                )
+            elif not faults_active:
+                schedule.append(
+                    Step("attach_faults", {"plan": self._fault_plan(spec, rng)})
+                )
+                faults_active = True
+                clear_in = rng.randint(3, 8)
+        return schedule
+
+    def _add_edge_step(
+        self,
+        rng: random.Random,
+        vertices: List[int],
+        edges: set,
+    ) -> Optional[Step]:
+        for _ in range(20):
+            u, v = rng.choice(vertices), rng.choice(vertices)
+            key = (min(u, v), max(u, v))
+            if u != v and key not in edges:
+                edges.add(key)
+                return Step("add_edge", {"u": u, "v": v})
+        return None
+
+    def _fault_plan(
+        self, spec: ScenarioSpec, rng: random.Random
+    ) -> Dict[str, object]:
+        """A random fault episode, already in FaultPlan.to_dict form.
+
+        Crash windows sit in absolute simulated time on the same scale
+        the workload's costs accumulate on (sub-millisecond operations,
+        tens of milliseconds per schedule), so windows genuinely cross
+        in-flight operations some of the time.
+        """
+        windows = []
+        for _ in range(rng.randint(0, 2)):
+            start = rng.uniform(0.0, 0.03)
+            windows.append(
+                {
+                    "server": rng.randrange(spec.num_servers),
+                    "start": start,
+                    "end": start + rng.uniform(0.002, 0.02),
+                }
+            )
+        return {
+            "seed": rng.randrange(10_000),
+            "loss_rate": round(rng.uniform(0.0, 0.35), 3),
+            "timeout_rate": round(rng.uniform(0.0, 0.1), 3),
+            "crash_windows": windows,
+            "link_loss": [],
+        }
+
+
+def schedule_to_dicts(schedule: Schedule) -> List[Dict[str, object]]:
+    return [step.to_dict() for step in schedule]
+
+
+def schedule_from_dicts(data: List[Dict[str, object]]) -> Schedule:
+    return [Step.from_dict(entry) for entry in data]

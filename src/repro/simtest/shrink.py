@@ -1,0 +1,137 @@
+"""Failing-schedule shrinker and replay artifacts.
+
+When a scenario trips an invariant, a 40-step schedule is a miserable
+starting point for debugging.  :func:`shrink_schedule` runs ddmin-style
+delta debugging over the step sequence: repeatedly re-execute subsets of
+the schedule (runs are deterministic, so reproduction is exact) and keep
+the smallest subset that still violates.  The result — typically a
+handful of steps — is written as a *replay artifact*: a JSON file with
+the spec, the trimmed schedule and the violation, reproducible with one
+command::
+
+    PYTHONPATH=src python -m repro.simtest.replay artifact.json
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from repro.simtest.runner import ScenarioOutcome, ScenarioRunner
+from repro.simtest.scenario import (
+    Schedule,
+    ScenarioSpec,
+    schedule_from_dicts,
+    schedule_to_dicts,
+)
+
+ARTIFACT_FORMAT = "hermes-simtest-replay-v1"
+
+
+def reproduces(
+    spec: ScenarioSpec,
+    schedule: Schedule,
+    invariant: Optional[str] = None,
+) -> bool:
+    """Does this schedule still trip an invariant (optionally a given one)?"""
+    outcome = ScenarioRunner().run(spec, schedule)
+    if outcome.ok:
+        return False
+    if invariant is None:
+        return True
+    return any(v.invariant == invariant for v in outcome.violations)
+
+
+def shrink_schedule(
+    spec: ScenarioSpec,
+    schedule: Schedule,
+    invariant: Optional[str] = None,
+    max_runs: int = 400,
+) -> Schedule:
+    """Minimize a failing schedule with ddmin delta debugging.
+
+    Returns the smallest step subsequence found that still reproduces a
+    violation (of ``invariant``, when given — pinning the invariant stops
+    the shrinker from wandering to a *different* failure in a subset).
+    ``max_runs`` bounds the number of re-executions; the best-so-far
+    schedule is returned if the budget runs out.
+    """
+    if not reproduces(spec, schedule, invariant):
+        raise ValueError("schedule does not reproduce a violation; nothing to shrink")
+    current = list(schedule)
+    runs = 0
+    granularity = 2
+    while len(current) >= 2 and runs < max_runs:
+        chunk = max(1, len(current) // granularity)
+        shrunk = False
+        start = 0
+        while start < len(current) and runs < max_runs:
+            candidate = current[:start] + current[start + chunk:]
+            runs += 1
+            if candidate and reproduces(spec, candidate, invariant):
+                current = candidate
+                # Restart coarse: removing a chunk often unlocks others.
+                granularity = max(2, granularity - 1)
+                shrunk = True
+                start = 0
+            else:
+                start += chunk
+        if not shrunk:
+            if chunk == 1:
+                break
+            granularity = min(len(current), granularity * 2)
+    return current
+
+
+# ----------------------------------------------------------------------
+# Replay artifacts
+# ----------------------------------------------------------------------
+def artifact_dict(
+    spec: ScenarioSpec,
+    schedule: Schedule,
+    outcome: Optional[ScenarioOutcome] = None,
+) -> Dict[str, object]:
+    data: Dict[str, object] = {
+        "format": ARTIFACT_FORMAT,
+        "spec": spec.to_dict(),
+        "schedule": schedule_to_dicts(schedule),
+    }
+    if outcome is not None and not outcome.ok:
+        data["violation"] = {
+            "invariant": outcome.violations[0].invariant,
+            "detail": outcome.violations[0].detail,
+            "step": outcome.violation_step,
+        }
+    return data
+
+
+def write_artifact(
+    path: str,
+    spec: ScenarioSpec,
+    schedule: Schedule,
+    outcome: Optional[ScenarioOutcome] = None,
+) -> None:
+    """Persist a replayable failing scenario as JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(artifact_dict(spec, schedule, outcome), handle, indent=2)
+        handle.write("\n")
+
+
+def load_artifact(path: str) -> Dict[str, object]:
+    """Parse and validate a replay artifact file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    if data.get("format") != ARTIFACT_FORMAT:
+        raise ValueError(
+            f"{path}: not a simtest replay artifact "
+            f"(format={data.get('format')!r})"
+        )
+    return data
+
+
+def replay_artifact(path: str) -> ScenarioOutcome:
+    """Re-execute an artifact's schedule against its spec's cluster."""
+    data = load_artifact(path)
+    spec = ScenarioSpec.from_dict(data["spec"])
+    schedule: List = schedule_from_dicts(data["schedule"])
+    return ScenarioRunner().run(spec, schedule)

@@ -24,7 +24,7 @@ from __future__ import annotations
 import json
 import os
 from dataclasses import dataclass
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+from typing import Any, Dict, FrozenSet, Iterator, List, Optional, Tuple
 
 from repro.exceptions import StorageError, VertexUnavailableError
 from repro.storage.ids import IdAllocator
@@ -133,6 +133,23 @@ class GraphStore:
 
     def node_ids(self) -> Iterator[int]:
         return self.nodes.ids()
+
+    def membership(self) -> Tuple[FrozenSet[int], FrozenSet[int]]:
+        """``(available, unavailable)`` node-id sets hosted by this store.
+
+        The store-membership enumeration the simtest auditor compares
+        against the catalog: available nodes are the ones this server
+        *serves*; unavailable ones are mid-migration remove-step state
+        and must not appear anywhere as a serving replica.
+        """
+        available = set()
+        unavailable = set()
+        for node_id in self.nodes.ids():
+            if self.nodes.read(node_id).available:
+                available.add(node_id)
+            else:
+                unavailable.add(node_id)
+        return frozenset(available), frozenset(unavailable)
 
     @property
     def num_nodes(self) -> int:

@@ -21,26 +21,17 @@ from repro.cluster.faults import CrashWindow, FaultInjector, FaultPlan
 from repro.cluster.hermes import HermesCluster
 from repro.cluster.network import NetworkConfig, SimulatedNetwork
 from repro.core.migration import build_migration_plan
-from repro.exceptions import FaultInjectedError
+from repro.exceptions import FaultInjectedError, MigrationAbortedError
 from repro.graph.adjacency import SocialGraph
-from repro.partitioning.base import Partitioning
 from repro.partitioning.hashing import HashPartitioner
 from repro.telemetry import Telemetry
-from tests.conftest import make_random_graph
-
-
-def build_cluster(graph, placement, num_servers=3, **kwargs):
-    partitioning = Partitioning.from_mapping(placement, num_partitions=num_servers)
-    return HermesCluster.from_graph(
-        graph, num_servers=num_servers, partitioning=partitioning, **kwargs
-    )
-
-
-def migrate(cluster, moves):
-    plan = build_migration_plan(moves)
-    for vertex, (_, target) in moves.items():
-        cluster.aux.apply_move(vertex, target, cluster.graph.neighbors(vertex))
-    return cluster._executor.execute(plan)
+from tests.conftest import (
+    build_placed_cluster as build_cluster,
+    crash_plan,
+    link_down_plan,
+    make_random_graph,
+    migrate_moves as migrate,
+)
 
 
 # ======================================================================
@@ -71,7 +62,7 @@ class TestBatchedHop:
 
     def test_faults_apply_once_per_message(self):
         net = SimulatedNetwork(2)
-        injector = FaultInjector(FaultPlan(link_loss={(0, 1): 1.0}))
+        injector = FaultInjector(link_down_plan())
         net.attach_faults(injector)
         with pytest.raises(FaultInjectedError) as excinfo:
             net.batched_hop(0, 1, count=10)
@@ -219,6 +210,29 @@ class TestCacheAfterMigration:
         assert repeat.cost < forwarded.cost
         assert cluster.location_cache._stale.value == stale_before + 1
 
+    def test_abort_mid_copy_leaves_cache_resolvable(self):
+        """A migration aborted mid-copy must not leak post-move hints.
+
+        The executor only touches the location cache after the commit
+        barrier, so after a rollback every participant's cached entry for
+        the vertex must still resolve to its (unchanged) home server.
+        """
+        graph = SocialGraph.from_edges([(0, 1), (2, 0)])
+        cluster = build_cluster(graph, {0: 0, 1: 1, 2: 2})
+        for server in range(3):
+            cluster.location_cache.lookup_from(server, 0)
+        cluster.attach_faults(link_down_plan(0, 1))
+        cluster.aux.apply_move(0, 1, cluster.graph.neighbors(0))
+        with pytest.raises(MigrationAbortedError):
+            cluster._executor.execute(build_migration_plan({0: (0, 1)}))
+        cluster.aux.apply_move(0, 0, cluster.graph.neighbors(0))
+        cluster.attach_faults(None)
+        # Every participant resolves the vertex to its true (old) home.
+        for server in range(3):
+            assert cluster.location_cache.lookup_from(server, 0) == 0
+        assert cluster.catalog.lookup(0) == 0
+        cluster.validate()
+
     def test_traversals_correct_after_forced_rebalance(self):
         graph = make_random_graph(num_vertices=80, num_edges=300, seed=5)
         placement = HashPartitioner(salt=5).partition(graph, 4)
@@ -281,7 +295,7 @@ class TestFaultRegressions:
         graph = SocialGraph.from_edges([(0, 1)])
         cluster = build_cluster(graph, {0: 0, 1: 1}, num_servers=2)
         cluster.attach_faults(
-            FaultPlan(crash_windows=(CrashWindow(server=1, start=0.0, end=1e9),))
+            crash_plan(1)
         )
         properties, cost = cluster.read_vertex(1)
         assert properties == {}
@@ -295,7 +309,7 @@ class TestFaultRegressions:
 
     def test_broadcast_charges_every_destination(self):
         net = SimulatedNetwork(4)
-        net.attach_faults(FaultInjector(FaultPlan(link_loss={(0, 1): 1.0})))
+        net.attach_faults(FaultInjector(link_down_plan()))
         with pytest.raises(FaultInjectedError) as excinfo:
             net.broadcast(0)
         # The dead link times out but servers 2 and 3 are still reached

@@ -1,0 +1,122 @@
+"""Property-based tests (hypothesis) on whole-cluster invariants.
+
+Two properties the simulation harness leans on, checked here in
+isolation over hypothesis-driven random inputs:
+
+* **batched/legacy parity** — the batched remote-traversal RPCs are a
+  pure cost optimization: on any graph/placement (fault-free) they must
+  visit exactly the same vertex sets and report the same failed
+  partitions as the legacy per-entry protocol;
+* **rollback atomicity** — wherever an injected fault lands inside
+  ``migrate()``, the abort path must restore byte-identical store,
+  catalog and auxiliary state, and the same plan must succeed verbatim
+  once the fault clears.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.hermes import HermesCluster
+from repro.cluster.network import NetworkConfig
+from repro.core.migration import build_migration_plan
+from repro.exceptions import MigrationAbortedError
+from repro.graph.adjacency import SocialGraph
+from repro.partitioning.base import Partitioning
+from tests.conftest import deep_snapshot, link_down_plan
+
+
+@st.composite
+def placed_graph(draw):
+    """A random small graph plus a random total placement."""
+    num_vertices = draw(st.integers(min_value=4, max_value=20))
+    num_servers = draw(st.integers(min_value=2, max_value=4))
+    seed = draw(st.integers(min_value=0, max_value=10**6))
+    rng = random.Random(seed)
+    graph = SocialGraph()
+    for vertex in range(num_vertices):
+        graph.add_vertex(vertex, weight=rng.choice([1.0, 1.0, 2.0]))
+    for u in range(num_vertices):
+        for v in range(u + 1, num_vertices):
+            if rng.random() < 0.3:
+                graph.add_edge(u, v)
+    placement = Partitioning(num_servers)
+    for vertex in range(num_vertices):
+        placement.assign(vertex, rng.randrange(num_servers))
+    return graph, placement, num_servers, seed
+
+
+@given(placed_graph())
+@settings(max_examples=40, deadline=None)
+def test_batched_and_legacy_traversals_agree(data):
+    graph, placement, num_servers, seed = data
+    batched = HermesCluster.from_graph(
+        graph.copy(),
+        num_servers=num_servers,
+        partitioning=placement,
+        network=NetworkConfig(batch_remote_hops=True),
+    )
+    legacy = HermesCluster.from_graph(
+        graph.copy(),
+        num_servers=num_servers,
+        partitioning=placement,
+        network=NetworkConfig(batch_remote_hops=False),
+    )
+    rng = random.Random(seed)
+    starts = [rng.randrange(graph.num_vertices) for _ in range(6)]
+    for start in starts:
+        hops = rng.choice([1, 2, 3])
+        a = batched.traverse(start, hops=hops)
+        b = legacy.traverse(start, hops=hops)
+        assert set(a.response) == set(b.response)
+        assert a.failed_partitions == b.failed_partitions
+        assert a.processed == b.processed
+
+
+@given(placed_graph())
+@settings(max_examples=30, deadline=None)
+def test_aborted_migration_restores_state_exactly(data):
+    graph, placement, num_servers, seed = data
+    cluster = HermesCluster.from_graph(
+        graph.copy(), num_servers=num_servers, partitioning=placement
+    )
+    rng = random.Random(seed)
+    # A random multi-vertex plan with at least one genuine move.
+    moves = {}
+    for vertex in sorted(graph.vertices()):
+        if rng.random() < 0.4:
+            source = cluster.catalog.lookup(vertex)
+            target = rng.randrange(num_servers)
+            if source != target:
+                moves[vertex] = (source, target)
+    if not moves:
+        vertex = sorted(graph.vertices())[0]
+        source = cluster.catalog.lookup(vertex)
+        moves[vertex] = (source, (source + 1) % num_servers)
+
+    before = deep_snapshot(cluster)
+    # Fail a random copy direction used by the plan: any transfer along
+    # the downed link aborts the migration at a random interior point.
+    source, target = rng.choice(sorted(moves.values()))
+    cluster.attach_faults(link_down_plan(source, target))
+    for vertex, (_, move_target) in moves.items():
+        cluster.aux.apply_move(vertex, move_target, cluster.graph.neighbors(vertex))
+    with pytest.raises(MigrationAbortedError):
+        cluster._executor.execute(build_migration_plan(moves))
+    for vertex, (move_source, _) in moves.items():
+        cluster.aux.apply_move(vertex, move_source, cluster.graph.neighbors(vertex))
+    cluster.attach_faults(None)
+
+    assert deep_snapshot(cluster) == before
+    cluster.validate()
+
+    # The identical plan succeeds once the fault clears (idempotence).
+    for vertex, (_, move_target) in moves.items():
+        cluster.aux.apply_move(vertex, move_target, cluster.graph.neighbors(vertex))
+    report = cluster._executor.execute(build_migration_plan(moves))
+    assert report.vertices_moved == len(moves)
+    for vertex, (_, move_target) in moves.items():
+        assert cluster.catalog.lookup(vertex) == move_target
+    cluster.validate()

@@ -9,7 +9,6 @@ retry of the same plan must succeed (idempotence).
 import pytest
 
 from repro.cluster.faults import CrashWindow, FaultInjector, FaultPlan, RetryPolicy
-from repro.cluster.hermes import HermesCluster
 from repro.core.migration import build_migration_plan
 from repro.exceptions import (
     ClusterError,
@@ -20,76 +19,13 @@ from repro.exceptions import (
     ServerDownError,
 )
 from repro.graph.adjacency import SocialGraph
-from repro.partitioning.base import Partitioning
-
-
-def build_cluster(graph, placement, num_servers=3):
-    partitioning = Partitioning.from_mapping(placement, num_partitions=num_servers)
-    return HermesCluster.from_graph(
-        graph, num_servers=num_servers, partitioning=partitioning
-    )
-
-
-class FixedPartitioner:
-    """Static partitioner returning a fixed mapping (test double)."""
-
-    def __init__(self, mapping):
-        self.mapping = mapping
-
-    def partition(self, graph, num_partitions):
-        return Partitioning.from_mapping(
-            self.mapping, num_partitions=num_partitions
-        )
-
-
-def deep_snapshot(cluster):
-    """Logical state of every layer: stores, catalog, auxiliary data.
-
-    Physical record IDs of re-created property records may legitimately
-    differ after a rollback, so properties are compared as dicts while
-    node/relationship structure is compared field by field.
-    """
-    servers = []
-    for server in cluster.servers:
-        store = server.store
-        nodes = {}
-        for node_id in sorted(store.node_ids()):
-            record = store.node(node_id)
-            nodes[node_id] = {
-                "weight": record.weight,
-                "available": record.available,
-                "properties": store.node_properties(node_id)
-                if record.available
-                else None,
-                "chain": sorted(
-                    (entry.neighbor, entry.rel_id, entry.ghost)
-                    for entry in store.neighbor_entries(
-                        node_id, include_unavailable=True
-                    )
-                ),
-            }
-        rels = {}
-        for record in store.relationships.records():
-            rels[record.rel_id] = {
-                "src": record.src,
-                "dst": record.dst,
-                "ghost": record.ghost,
-                "properties": store.relationship_properties(record.rel_id),
-            }
-        servers.append({"nodes": nodes, "rels": rels})
-    catalog = {
-        vertex: cluster.catalog.lookup(vertex)
-        for vertex in cluster.graph.vertices()
-    }
-    aux = {
-        vertex: {
-            "partition": cluster.aux.partition_of(vertex),
-            "weight": cluster.aux.weight_of(vertex),
-            "counts": dict(cluster.aux.neighbor_counts(vertex)),
-        }
-        for vertex in cluster.graph.vertices()
-    }
-    return {"servers": servers, "catalog": catalog, "aux": aux}
+from tests.conftest import (
+    FixedPartitioner,
+    build_placed_cluster as build_cluster,
+    crash_plan,
+    deep_snapshot,
+    link_down_plan,
+)
 
 
 # ======================================================================
@@ -238,7 +174,7 @@ class TestNetworkFaults:
     def test_lossy_link_raises_and_charges_timeout(self):
         graph = SocialGraph.from_edges([(0, 1)])
         cluster = build_cluster(graph, {0: 0, 1: 1}, num_servers=2)
-        cluster.attach_faults(FaultPlan(link_loss={(0, 1): 1.0}))
+        cluster.attach_faults(link_down_plan())
         messages_before = cluster.network.stats.messages
         with pytest.raises(MessageLossError) as info:
             cluster.network.remote_hop(0, 1)
@@ -251,7 +187,7 @@ class TestNetworkFaults:
         graph.add_vertex(0)
         cluster = build_cluster(graph, {0: 0}, num_servers=2)
         cluster.attach_faults(
-            FaultPlan(crash_windows=(CrashWindow(server=0, start=0.0, end=1e9),))
+            crash_plan(0)
         )
         with pytest.raises(ServerDownError):
             cluster.servers[0].read_vertex(0)
@@ -261,7 +197,7 @@ class TestNetworkFaults:
     def test_detach_restores_zero_fault_behavior(self):
         graph = SocialGraph.from_edges([(0, 1)])
         cluster = build_cluster(graph, {0: 0, 1: 1}, num_servers=2)
-        cluster.attach_faults(FaultPlan(link_loss={(0, 1): 1.0}))
+        cluster.attach_faults(link_down_plan())
         with pytest.raises(MessageLossError):
             cluster.network.remote_hop(0, 1)
         cluster.attach_faults(None)
@@ -341,7 +277,7 @@ def build_rich_cluster():
 class TestMigrationRollback:
     def test_abort_error_shape(self):
         cluster = build_rich_cluster()
-        cluster.attach_faults(FaultPlan(link_loss={(0, 1): 1.0}))
+        cluster.attach_faults(link_down_plan())
         with pytest.raises(MigrationAbortedError) as info:
             cluster.repartition_static(FixedPartitioner({0: 1, 1: 1, 2: 0, 3: 2}))
         error = info.value
@@ -353,7 +289,7 @@ class TestMigrationRollback:
         cluster = build_rich_cluster()
         before = deep_snapshot(cluster)
         now_before = cluster.now
-        cluster.attach_faults(FaultPlan(link_loss={(0, 1): 1.0}))
+        cluster.attach_faults(link_down_plan())
         with pytest.raises(MigrationAbortedError):
             cluster.repartition_static(FixedPartitioner({0: 1, 1: 1, 2: 0, 3: 2}))
         assert deep_snapshot(cluster) == before
@@ -366,7 +302,7 @@ class TestMigrationRollback:
         the successful imports must be rolled back too."""
         cluster = build_rich_cluster()
         before = deep_snapshot(cluster)
-        cluster.attach_faults(FaultPlan(link_loss={(0, 1): 1.0}))
+        cluster.attach_faults(link_down_plan())
         with pytest.raises(MigrationAbortedError):
             # 3 -> 0 uses a healthy link; 0 -> 1 always fails.
             cluster.repartition_static(FixedPartitioner({0: 1, 1: 1, 2: 0, 3: 0}))
@@ -376,7 +312,7 @@ class TestMigrationRollback:
     def test_retry_after_rollback_is_idempotent(self):
         cluster = build_rich_cluster()
         target = FixedPartitioner({0: 1, 1: 1, 2: 0, 3: 2})
-        cluster.attach_faults(FaultPlan(link_loss={(0, 1): 1.0}))
+        cluster.attach_faults(link_down_plan())
         with pytest.raises(MigrationAbortedError):
             cluster.repartition_static(target)
         # Fault cleared (link repaired): the identical plan goes through.
@@ -401,7 +337,7 @@ class TestMigrationRollback:
 
     def test_abort_increments_telemetry(self):
         cluster = build_rich_cluster()
-        cluster.attach_faults(FaultPlan(link_loss={(0, 1): 1.0}))
+        cluster.attach_faults(link_down_plan())
         with pytest.raises(MigrationAbortedError):
             cluster.repartition_static(FixedPartitioner({0: 1, 1: 1, 2: 0, 3: 2}))
         registry = cluster.telemetry.registry
@@ -410,7 +346,7 @@ class TestMigrationRollback:
 
     def test_executor_abort_leaves_catalog_untouched(self):
         cluster = build_rich_cluster()
-        cluster.attach_faults(FaultPlan(link_loss={(0, 1): 1.0}))
+        cluster.attach_faults(link_down_plan())
         plan = build_migration_plan({0: (0, 1)})
         with pytest.raises(MigrationAbortedError):
             cluster._executor.execute(plan)

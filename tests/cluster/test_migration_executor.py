@@ -14,22 +14,11 @@ from repro.graph.adjacency import SocialGraph
 from repro.partitioning.base import Partitioning
 from repro.partitioning.hashing import HashPartitioner
 from repro.telemetry import Telemetry
-from tests.conftest import make_random_graph
-
-
-def build_cluster(graph, placement, num_servers=3):
-    partitioning = Partitioning.from_mapping(placement, num_partitions=num_servers)
-    return HermesCluster.from_graph(
-        graph, num_servers=num_servers, partitioning=partitioning
-    )
-
-
-def migrate(cluster, moves):
-    plan = build_migration_plan(moves)
-    # Keep aux in sync (phase 1 normally does this).
-    for vertex, (_, target) in moves.items():
-        cluster.aux.apply_move(vertex, target, cluster.graph.neighbors(vertex))
-    return cluster._executor.execute(plan)
+from tests.conftest import (
+    build_placed_cluster as build_cluster,
+    make_random_graph,
+    migrate_moves as migrate,
+)
 
 
 class TestSingleMoves:

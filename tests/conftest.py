@@ -1,4 +1,12 @@
-"""Shared fixtures: small deterministic graphs, partitionings, clusters."""
+"""Shared fixtures and scenario builders.
+
+Beyond the small deterministic graph/cluster fixtures, this module hosts
+the scenario builders the cluster test modules used to duplicate:
+explicitly-placed clusters (:func:`build_placed_cluster`), direct
+migrations (:func:`migrate_moves`), deep multi-layer state snapshots
+(:func:`deep_snapshot`), canned fault plans (:func:`link_down_plan`,
+:func:`crash_plan`) and the :class:`FixedPartitioner` test double.
+"""
 
 from __future__ import annotations
 
@@ -6,8 +14,10 @@ import random
 
 import pytest
 
+from repro.cluster.faults import CrashWindow, FaultPlan
 from repro.cluster.hermes import HermesCluster
 from repro.core.config import RepartitionerConfig
+from repro.core.migration import build_migration_plan
 from repro.graph.adjacency import SocialGraph
 from repro.partitioning.base import Partitioning
 from repro.partitioning.hashing import HashPartitioner
@@ -33,6 +43,98 @@ def make_random_graph(
         if u != v and not graph.has_edge(u, v):
             graph.add_edge(u, v)
     return graph
+
+
+def build_placed_cluster(graph, placement, num_servers=3, **kwargs):
+    """Cluster loaded with an explicit ``{vertex: server}`` placement."""
+    partitioning = Partitioning.from_mapping(placement, num_partitions=num_servers)
+    return HermesCluster.from_graph(
+        graph, num_servers=num_servers, partitioning=partitioning, **kwargs
+    )
+
+
+def migrate_moves(cluster, moves):
+    """Run a physical migration directly (keeping aux in sync first,
+    the way repartitioning phase 1 normally would)."""
+    plan = build_migration_plan(moves)
+    for vertex, (_, target) in moves.items():
+        cluster.aux.apply_move(vertex, target, cluster.graph.neighbors(vertex))
+    return cluster._executor.execute(plan)
+
+
+class FixedPartitioner:
+    """Static partitioner returning a fixed mapping (test double)."""
+
+    def __init__(self, mapping):
+        self.mapping = mapping
+
+    def partition(self, graph, num_partitions):
+        return Partitioning.from_mapping(
+            self.mapping, num_partitions=num_partitions
+        )
+
+
+def link_down_plan(src=0, dst=1):
+    """A fault plan dropping every message on one directed link."""
+    return FaultPlan(link_loss={(src, dst): 1.0})
+
+
+def crash_plan(server, start=0.0, end=1e9, **kwargs):
+    """A fault plan with one crash window (default: down forever)."""
+    return FaultPlan(
+        crash_windows=(CrashWindow(server=server, start=start, end=end),),
+        **kwargs,
+    )
+
+
+def deep_snapshot(cluster):
+    """Logical state of every layer: stores, catalog, auxiliary data.
+
+    Physical record IDs of re-created property records may legitimately
+    differ after a rollback, so properties are compared as dicts while
+    node/relationship structure is compared field by field.
+    """
+    servers = []
+    for server in cluster.servers:
+        store = server.store
+        nodes = {}
+        for node_id in sorted(store.node_ids()):
+            record = store.node(node_id)
+            nodes[node_id] = {
+                "weight": record.weight,
+                "available": record.available,
+                "properties": store.node_properties(node_id)
+                if record.available
+                else None,
+                "chain": sorted(
+                    (entry.neighbor, entry.rel_id, entry.ghost)
+                    for entry in store.neighbor_entries(
+                        node_id, include_unavailable=True
+                    )
+                ),
+            }
+        rels = {}
+        for record in store.relationships.records():
+            rels[record.rel_id] = {
+                "src": record.src,
+                "dst": record.dst,
+                "ghost": record.ghost,
+                "properties": store.relationship_properties(record.rel_id),
+            }
+        servers.append({"nodes": nodes, "rels": rels})
+    catalog = {
+        vertex: cluster.catalog.lookup(vertex)
+        for vertex in cluster.graph.vertices()
+    }
+    aux = {
+        vertex: {
+            "partition": cluster.aux.partition_of(vertex),
+            "weight": cluster.aux.weight_of(vertex),
+            "counts": dict(cluster.aux.neighbor_counts(vertex)),
+        }
+        for vertex in cluster.graph.vertices()
+    }
+    return {"servers": servers, "catalog": catalog, "aux": aux}
 
 
 @pytest.fixture

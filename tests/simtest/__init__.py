@@ -1,0 +1,1 @@
+"""Deterministic simulation harness tests."""
