@@ -11,8 +11,14 @@ any scale.
 
 from __future__ import annotations
 
+import gc
+import sys
+import tracemalloc
+from typing import Any, Callable, Tuple
+
 from repro.core.auxiliary import AuxiliaryData
 from repro.graph.adjacency import SocialGraph
+from repro.graph.compact import CompactGraph
 
 #: bytes per stored integer counter / weight entry (CPython object ~28B,
 #: but a packed implementation needs 8; we charge the packed size because
@@ -43,3 +49,73 @@ def multilevel_memory_bytes(
     finest = (graph.num_vertices + 4 * graph.num_edges) * _ENTRY_BYTES
     series_factor = 1.0 / (1.0 - coarsening_ratio)
     return int(finest * series_factor)
+
+
+# ----------------------------------------------------------------------
+# Measured (not estimated) footprints, for the BENCH_scale comparison
+# ----------------------------------------------------------------------
+def measure_memory(fn: Callable[[], Any]) -> Tuple[Any, int, int]:
+    """Run ``fn`` under tracemalloc; return ``(result, retained, peak)``.
+
+    ``retained`` is the bytes still allocated when ``fn`` returns (the
+    steady-state size of whatever it built), ``peak`` the high-water mark
+    while it ran (the build working set).  tracemalloc hooks CPython's
+    allocator *and* numpy's array allocator, so dict-of-sets and CSR
+    builds are measured on the same scale.  Nesting is not supported.
+    """
+    gc.collect()
+    tracemalloc.start()
+    try:
+        result = fn()
+        gc.collect()
+        retained, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return result, retained, peak
+
+
+def peak_rss_bytes() -> int:
+    """Process-lifetime peak resident set (VmHWM), 0 where unavailable.
+
+    A whole-process high-water mark: right for "did the n=1M run fit",
+    not for comparing two builds in one process (use
+    :func:`measure_memory` for that).
+    """
+    try:
+        with open("/proc/self/status", "r", encoding="ascii") as handle:
+            for line in handle:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1]) * 1024
+    except OSError:
+        pass
+    try:
+        import resource
+
+        usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        # Linux reports KiB, macOS bytes.
+        return usage * 1024 if sys.platform != "darwin" else usage
+    except Exception:
+        return 0
+
+
+def compact_graph_bytes(graph: CompactGraph) -> int:
+    """Exact bytes of a CSR graph's arrays (index + neighbors + weights)."""
+    return graph.memory_bytes()
+
+
+def social_graph_bytes(graph: SocialGraph) -> int:
+    """Measured bytes of the dict-of-sets representation.
+
+    Sums ``sys.getsizeof`` over the adjacency dict, every neighbor set
+    and the weight dict, plus one boxed-int charge per set entry (CPython
+    interns only small ints; distinct vertex IDs above 256 are distinct
+    objects, and each set slot holds a pointer to one).
+    """
+    int_bytes = sys.getsizeof(1 << 20)
+    adjacency = graph._adjacency
+    weights = graph._weights
+    total = sys.getsizeof(adjacency) + sys.getsizeof(weights)
+    for neighbors in adjacency.values():
+        total += sys.getsizeof(neighbors) + len(neighbors) * int_bytes
+    total += len(weights) * sys.getsizeof(1.0)
+    return total

@@ -36,7 +36,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, Iterator, List, Set, Tuple
 
 from repro.exceptions import PartitioningError, VertexNotFoundError
-from repro.graph.adjacency import SocialGraph
+from repro.graph.compact import GraphRead
 from repro.partitioning.base import Partitioning
 
 
@@ -97,17 +97,20 @@ class AuxiliaryData:
     # ------------------------------------------------------------------
     @classmethod
     def from_graph(
-        cls, graph: SocialGraph, partitioning: Partitioning
+        cls, graph: GraphRead, partitioning: Partitioning
     ) -> "AuxiliaryData":
         """Bootstrap auxiliary data from a full graph + assignment.
 
         In the real system this state accretes from request execution; the
-        simulator builds it in one pass when a cluster is loaded.
+        simulator builds it in one pass when a cluster is loaded.  Any
+        read-protocol substrate works: counter accumulation is
+        commutative and candidate selection resolves partition ties by ID,
+        so dict-of-sets and CSR inputs yield identical phase-1 outputs.
         """
         aux = cls(partitioning.num_partitions)
         for vertex in graph.vertices():
             aux.add_vertex(
-                vertex, partitioning.partition_of(vertex), graph.weight(vertex)
+                vertex, partitioning.partition_of(vertex), graph.weight_of(vertex)
             )
         for u, v in graph.edges():
             aux.add_edge(u, v)

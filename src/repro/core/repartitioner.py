@@ -37,7 +37,7 @@ from repro.core.candidates import (
 )
 from repro.core.config import RepartitionerConfig
 from repro.exceptions import PartitioningError
-from repro.graph.adjacency import SocialGraph
+from repro.graph.compact import GraphRead
 from repro.partitioning.base import Partitioning
 from repro.telemetry import NULL_TELEMETRY, Telemetry
 
@@ -154,7 +154,7 @@ class LightweightRepartitioner:
     # ------------------------------------------------------------------
     def run(
         self,
-        graph: SocialGraph,
+        graph: GraphRead,
         partitioning: Partitioning,
         aux: Optional[AuxiliaryData] = None,
         on_iteration: Optional[Callable[[IterationStats], None]] = None,
@@ -301,7 +301,7 @@ class LightweightRepartitioner:
     # ------------------------------------------------------------------
     def _run_stage(
         self,
-        graph: SocialGraph,
+        graph: GraphRead,
         partitioning: Partitioning,
         aux: AuxiliaryData,
         stage: int,

@@ -37,7 +37,7 @@ from typing import Dict, Iterable, Iterator, KeysView, List, Set, Tuple
 
 from repro.core.auxiliary import AuxiliaryData, check_decay_factor, decayed_weight
 from repro.exceptions import PartitioningError, VertexNotFoundError
-from repro.graph.adjacency import SocialGraph
+from repro.graph.compact import GraphRead
 from repro.partitioning.base import Partitioning
 
 
@@ -180,12 +180,12 @@ class ShardedAuxiliaryData:
     # ------------------------------------------------------------------
     @classmethod
     def from_graph(
-        cls, graph: SocialGraph, partitioning: Partitioning
+        cls, graph: GraphRead, partitioning: Partitioning
     ) -> "ShardedAuxiliaryData":
         aux = cls(partitioning.num_partitions)
         for vertex in graph.vertices():
             aux.add_vertex(
-                vertex, partitioning.partition_of(vertex), graph.weight(vertex)
+                vertex, partitioning.partition_of(vertex), graph.weight_of(vertex)
             )
         for u, v in graph.edges():
             aux.add_edge(u, v)

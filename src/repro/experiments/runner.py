@@ -39,6 +39,7 @@ from repro.experiments import (
     fig10,
     fig11,
     memory,
+    scale as scale_experiment,
     table1,
     table2,
 )
@@ -58,6 +59,7 @@ EXPERIMENTS: Dict[str, Tuple[object, bool]] = {
     "spar": (spar, False),
     "faults": (faults, True),
     "batching": (batching, True),
+    "scale": (scale_experiment, False),
 }
 
 ORDER = [
@@ -74,6 +76,7 @@ ORDER = [
     "spar",
     "faults",
     "batching",
+    "scale",
 ]
 
 

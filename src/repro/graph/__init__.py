@@ -1,9 +1,12 @@
-"""In-memory graph substrate: social graphs, generators, I/O and statistics."""
+"""In-memory graph substrates: dict-of-sets and CSR, generators, I/O, stats."""
 
 from repro.graph.adjacency import SocialGraph
+from repro.graph.compact import CompactGraph, GraphBuilder, GraphRead
 from repro.graph.generators import (
     Dataset,
     community_graph,
+    compact_powerlaw_graph,
+    powerlaw_edge_stream,
     dataset_names,
     dblp_like,
     make_dataset,
@@ -13,7 +16,11 @@ from repro.graph.generators import (
     twitter_like,
     zipf_vertex_weights,
 )
-from repro.graph.io import load_snap_edge_list, save_edge_list
+from repro.graph.io import (
+    load_compact_edge_list,
+    load_snap_edge_list,
+    save_edge_list,
+)
 from repro.graph.stats import (
     GraphStatistics,
     average_path_length,
@@ -25,7 +32,13 @@ from repro.graph.stats import (
 
 __all__ = [
     "SocialGraph",
+    "CompactGraph",
+    "GraphBuilder",
+    "GraphRead",
     "Dataset",
+    "compact_powerlaw_graph",
+    "powerlaw_edge_stream",
+    "load_compact_edge_list",
     "orkut_like",
     "twitter_like",
     "dblp_like",

@@ -75,8 +75,7 @@ class SocialGraph:
                 graph.add_vertex(u, weight=default_weight)
             if v not in graph:
                 graph.add_vertex(v, weight=default_weight)
-            if not graph.has_edge(u, v):
-                graph.add_edge(u, v)
+            graph.add_edge_if_absent(u, v)
         return graph
 
     def copy(self) -> "SocialGraph":
@@ -136,6 +135,9 @@ class SocialGraph:
         except KeyError:
             raise VertexNotFoundError(vertex) from None
 
+    #: read-protocol alias (see :class:`repro.graph.compact.GraphRead`)
+    weight_of = weight
+
     def set_weight(self, vertex: int, weight: float) -> None:
         if vertex not in self._weights:
             raise VertexNotFoundError(vertex)
@@ -181,6 +183,30 @@ class SocialGraph:
         self._adjacency[v].add(u)
         self._num_edges += 1
 
+    def add_edge_if_absent(self, u: int, v: int) -> bool:
+        """Add the edge unless it already exists; report whether it was new.
+
+        The bulk-load path (:meth:`from_edges`, the SNAP loader): instead
+        of ``has_edge`` + ``add_edge`` — three hash probes per edge, two
+        of them on the same set — this does the duplicate check once and
+        keeps the silent-dedup semantics.  Both endpoints must exist.
+        """
+        if u == v:
+            raise GraphError(f"self-loop on vertex {u!r} is not allowed")
+        try:
+            nbrs = self._adjacency[u]
+        except KeyError:
+            raise VertexNotFoundError(u) from None
+        if v in nbrs:
+            return False
+        try:
+            self._adjacency[v].add(u)
+        except KeyError:
+            raise VertexNotFoundError(v) from None
+        nbrs.add(v)
+        self._num_edges += 1
+        return True
+
     def remove_edge(self, u: int, v: int) -> None:
         if u not in self._adjacency:
             raise VertexNotFoundError(u)
@@ -219,6 +245,15 @@ class SocialGraph:
             return self._adjacency[vertex]
         except KeyError:
             raise VertexNotFoundError(vertex) from None
+
+    def neighbors_array(self, vertex: int) -> Set[int]:
+        """Read-protocol accessor (see :class:`repro.graph.compact.GraphRead`).
+
+        The dict-of-sets substrate has no array to expose, so this is the
+        live neighbor set; the CSR substrate returns an array slice.
+        Consumers only iterate / take ``len`` / test membership.
+        """
+        return self.neighbors(vertex)
 
     def degree(self, vertex: int) -> int:
         return len(self.neighbors(vertex))

@@ -1,0 +1,537 @@
+"""Array-backed CSR graph substrate for million-vertex workloads.
+
+:class:`~repro.graph.adjacency.SocialGraph`'s dict-of-sets adjacency is
+convenient for the mutable simulator but memory- and cache-hostile at
+scale: every neighbor is a boxed ``int`` object inside a per-vertex hash
+table.  This module provides the compact counterpart the ROADMAP's
+million-user target needs:
+
+* :class:`CompactGraph` — an immutable Compressed Sparse Row (CSR)
+  adjacency: one ``int64`` index array of length ``n + 1``, one
+  ``int32``/``int64`` neighbor array of length ``2m`` whose rows are
+  sorted (binary-search :meth:`~CompactGraph.has_edge` in O(log d),
+  allocation-free :meth:`~CompactGraph.neighbors_array` slices), and a
+  parallel ``float64`` vertex-weight column.  ~12-16 bytes per vertex
+  and ~8-16 bytes per undirected edge, versus hundreds for dict-of-sets.
+* :class:`GraphBuilder` — a mutable ingestion buffer that accepts
+  streamed edges (scalar or whole numpy batches), then finalizes to CSR
+  in a handful of vectorized passes (unique / bincount / lexsort), with
+  the same silent dedup + self-loop-skip semantics as
+  :meth:`SocialGraph.from_edges`.
+* lossless converters in both directions
+  (:meth:`CompactGraph.from_social` / :meth:`CompactGraph.to_social`).
+
+Both representations implement the same **read protocol**
+(:class:`GraphRead`): ``vertices() / num_vertices / num_edges /
+neighbors_array(v) / degree(v) / weight_of(v) / has_edge(u, v) /
+edges()``.  The multilevel partitioner, the repartitioner's auxiliary
+bootstrap, the streaming partitioners and the quality metrics are all
+written against this protocol, so they run on either substrate and —
+because the protocol fixes vertex order and per-vertex values, not
+container internals — produce identical outputs on both.
+
+Vertex identity: external code always speaks *vertex IDs* (arbitrary
+ints).  Internally vertices live at dense indices ``0..n-1``; when the
+IDs are exactly ``0..n-1`` in order (the generators' and builders' common
+case) the mapping is the identity and neighbor access is a zero-copy
+array slice.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    Iterator,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+try:
+    from typing import Protocol, runtime_checkable
+except ImportError:  # pragma: no cover - Python < 3.8
+    Protocol = object  # type: ignore[assignment]
+
+    def runtime_checkable(cls):  # type: ignore[misc]
+        return cls
+
+import numpy as np
+
+from repro.exceptions import (
+    DuplicateVertexError,
+    GraphError,
+    VertexNotFoundError,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.graph.adjacency import SocialGraph
+
+
+@runtime_checkable
+class GraphRead(Protocol):
+    """The read surface shared by :class:`SocialGraph` and :class:`CompactGraph`.
+
+    Anything consuming a graph read-only (partitioners, metrics, the
+    auxiliary-data bootstrap, statistics) should accept this protocol
+    rather than a concrete class.
+    """
+
+    @property
+    def num_vertices(self) -> int: ...
+
+    @property
+    def num_edges(self) -> int: ...
+
+    def vertices(self) -> Iterator[int]: ...
+
+    def neighbors_array(self, vertex: int) -> Sequence[int]: ...
+
+    def degree(self, vertex: int) -> int: ...
+
+    def weight_of(self, vertex: int) -> float: ...
+
+    def has_edge(self, u: int, v: int) -> bool: ...
+
+    def edges(self) -> Iterator[Tuple[int, int]]: ...
+
+
+def _neighbor_dtype(num_vertices: int):
+    """Smallest integer dtype that can index ``num_vertices`` vertices."""
+    return np.int32 if num_vertices <= np.iinfo(np.int32).max else np.int64
+
+
+class CompactGraph:
+    """Immutable CSR adjacency with a float vertex-weight column.
+
+    Construct through :class:`GraphBuilder`, :meth:`from_social` or
+    :meth:`from_edges`; the raw constructor takes already-validated
+    arrays and is intended for internal use.
+
+    Example
+    -------
+    >>> g = CompactGraph.from_edges([(0, 1), (1, 2), (0, 2)])
+    >>> g.num_vertices, g.num_edges
+    (3, 3)
+    >>> list(g.neighbors_array(0))
+    [1, 2]
+    >>> g.has_edge(0, 2), g.has_edge(1, 3)
+    (True, False)
+    """
+
+    __slots__ = ("_indptr", "_nbr", "_weights", "_ids", "_index")
+
+    DEFAULT_WEIGHT = 1.0
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        neighbors: np.ndarray,
+        weights: np.ndarray,
+        ids: Optional[np.ndarray] = None,
+    ) -> None:
+        n = len(indptr) - 1
+        if len(weights) != n:
+            raise GraphError(
+                f"weight column has {len(weights)} entries for {n} vertices"
+            )
+        if ids is not None and len(ids) != n:
+            raise GraphError(f"id column has {len(ids)} entries for {n} vertices")
+        self._indptr = indptr
+        self._nbr = neighbors
+        self._weights = weights
+        #: index -> external vertex ID; None means the identity mapping
+        self._ids = ids
+        #: external vertex ID -> index, built lazily for non-identity graphs
+        self._index: Optional[Dict[int, int]] = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Iterable[Tuple[int, int]],
+        vertices: Optional[Iterable[int]] = None,
+        default_weight: float = DEFAULT_WEIGHT,
+    ) -> "CompactGraph":
+        """CSR analogue of :meth:`SocialGraph.from_edges` (silent dedup)."""
+        builder = GraphBuilder(default_weight=default_weight)
+        if vertices is not None:
+            for vertex in vertices:
+                builder.ensure_vertex(vertex)
+        for u, v in edges:
+            builder.add_edge(u, v)
+        return builder.finalize()
+
+    @classmethod
+    def from_social(cls, graph: "SocialGraph") -> "CompactGraph":
+        """Lossless conversion preserving vertex order, weights and edges."""
+        order = list(graph.vertices())
+        n = len(order)
+        identity = all(vertex == index for index, vertex in enumerate(order))
+        index_of = (
+            None if identity else {vertex: i for i, vertex in enumerate(order)}
+        )
+        weights = np.fromiter(
+            (graph.weight(v) for v in order), dtype=np.float64, count=n
+        )
+        dtype = _neighbor_dtype(n)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        for i, vertex in enumerate(order):
+            indptr[i + 1] = graph.degree(vertex)
+        np.cumsum(indptr, out=indptr)
+        nbr = np.empty(int(indptr[-1]), dtype=dtype)
+        cursor = indptr[:-1].copy()
+        for i, vertex in enumerate(order):
+            row = graph.neighbors(vertex)
+            if index_of is not None:
+                row = [index_of[w] for w in row]
+            row = np.sort(np.fromiter(row, dtype=dtype, count=len(row)))
+            nbr[cursor[i] : cursor[i] + len(row)] = row
+            cursor[i] += len(row)
+        ids = None if identity else np.asarray(order, dtype=np.int64)
+        return cls(indptr, nbr, weights, ids)
+
+    def to_social(self) -> "SocialGraph":
+        """Materialize back into a mutable dict-of-sets :class:`SocialGraph`."""
+        from repro.graph.adjacency import SocialGraph
+
+        graph = SocialGraph()
+        for index in range(self.num_vertices):
+            graph.add_vertex(self._id_of(index), weight=float(self._weights[index]))
+        indptr = self._indptr
+        nbr = self._nbr
+        for index in range(self.num_vertices):
+            u = self._id_of(index)
+            for j in range(int(indptr[index]), int(indptr[index + 1])):
+                other = int(nbr[j])
+                if other > index:
+                    graph.add_edge(u, self._id_of(other))
+        return graph
+
+    # ------------------------------------------------------------------
+    # Identity / index mapping
+    # ------------------------------------------------------------------
+    def _id_of(self, index: int) -> int:
+        return index if self._ids is None else int(self._ids[index])
+
+    def _index_of(self, vertex: int) -> int:
+        if self._ids is None:
+            index = vertex
+            if isinstance(index, (int, np.integer)) and 0 <= index < self.num_vertices:
+                return int(index)
+            raise VertexNotFoundError(vertex)
+        if self._index is None:
+            self._index = {int(v): i for i, v in enumerate(self._ids)}
+        try:
+            return self._index[int(vertex)]
+        except (KeyError, TypeError):
+            raise VertexNotFoundError(vertex) from None
+
+    # ------------------------------------------------------------------
+    # Read protocol
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return len(self._indptr) - 1
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._nbr) // 2
+
+    def __len__(self) -> int:
+        return self.num_vertices
+
+    def __contains__(self, vertex: int) -> bool:
+        try:
+            self._index_of(vertex)
+        except VertexNotFoundError:
+            return False
+        return True
+
+    def vertices(self) -> Iterator[int]:
+        if self._ids is None:
+            return iter(range(self.num_vertices))
+        return iter(self._ids.tolist())
+
+    def neighbors_array(self, vertex: int) -> np.ndarray:
+        """The vertex's neighbor IDs as a sorted array.
+
+        For identity-mapped graphs this is a zero-copy view into the CSR
+        neighbor array (do not mutate); otherwise IDs are materialized
+        through the id column.
+        """
+        index = self._index_of(vertex)
+        row = self._nbr[self._indptr[index] : self._indptr[index + 1]]
+        if self._ids is None:
+            return row
+        return self._ids[row]
+
+    # The protocol's array accessor doubles as the plain accessor: the
+    # returned ndarray iterates like any neighbor collection.
+    neighbors = neighbors_array
+
+    def degree(self, vertex: int) -> int:
+        index = self._index_of(vertex)
+        return int(self._indptr[index + 1] - self._indptr[index])
+
+    def weight_of(self, vertex: int) -> float:
+        return float(self._weights[self._index_of(vertex)])
+
+    # SocialGraph compatibility alias
+    weight = weight_of
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Binary search in the sorted CSR row of ``u``: O(log d)."""
+        try:
+            iu = self._index_of(u)
+            iv = self._index_of(v)
+        except VertexNotFoundError:
+            return False
+        lo, hi = int(self._indptr[iu]), int(self._indptr[iu + 1])
+        pos = lo + int(np.searchsorted(self._nbr[lo:hi], iv))
+        return pos < hi and int(self._nbr[pos]) == iv
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        """Yield each undirected edge once, in CSR row order."""
+        indptr = self._indptr
+        nbr = self._nbr
+        for index in range(self.num_vertices):
+            u = self._id_of(index)
+            for j in range(int(indptr[index]), int(indptr[index + 1])):
+                other = int(nbr[j])
+                if other > index:
+                    yield (u, self._id_of(other))
+
+    # ------------------------------------------------------------------
+    # Weights (the one mutable column: read popularity changes online)
+    # ------------------------------------------------------------------
+    def set_weight(self, vertex: int, weight: float) -> None:
+        if weight < 0:
+            raise GraphError(f"vertex weight must be non-negative, got {weight}")
+        self._weights[self._index_of(vertex)] = float(weight)
+
+    def add_weight(self, vertex: int, delta: float) -> float:
+        index = self._index_of(vertex)
+        new_weight = float(self._weights[index]) + delta
+        if new_weight < 0:
+            raise GraphError(f"vertex weight must be non-negative, got {new_weight}")
+        self._weights[index] = new_weight
+        return new_weight
+
+    def total_weight(self) -> float:
+        return float(self._weights.sum())
+
+    # ------------------------------------------------------------------
+    # Raw columns (experiments / vectorized consumers)
+    # ------------------------------------------------------------------
+    @property
+    def indptr(self) -> np.ndarray:
+        """CSR row index, ``int64[n + 1]`` (do not mutate)."""
+        return self._indptr
+
+    @property
+    def neighbor_indices(self) -> np.ndarray:
+        """CSR neighbor column in *index* space, rows sorted (do not mutate)."""
+        return self._nbr
+
+    @property
+    def weights_column(self) -> np.ndarray:
+        """``float64[n]`` vertex weights in index order."""
+        return self._weights
+
+    @property
+    def ids_column(self) -> Optional[np.ndarray]:
+        """``int64[n]`` index -> vertex ID, or None for the identity map."""
+        return self._ids
+
+    def index_of(self, vertex: int) -> int:
+        """Dense index of a vertex ID (identity graphs: the ID itself)."""
+        return self._index_of(vertex)
+
+    def memory_bytes(self) -> int:
+        """Exact bytes held by the CSR arrays (index + neighbors + weights)."""
+        total = self._indptr.nbytes + self._nbr.nbytes + self._weights.nbytes
+        if self._ids is not None:
+            total += self._ids.nbytes
+        return total
+
+    def __repr__(self) -> str:
+        return (
+            f"CompactGraph(vertices={self.num_vertices}, edges={self.num_edges}, "
+            f"bytes={self.memory_bytes()})"
+        )
+
+
+class GraphBuilder:
+    """Mutable edge buffer that finalizes into a :class:`CompactGraph`.
+
+    Designed for *streaming ingestion*: edges arrive one at a time
+    (:meth:`add_edge`) or in whole numpy batches (:meth:`add_edge_batch`)
+    and are only buffered — the CSR layout is built in a few vectorized
+    passes at :meth:`finalize`.  Nothing here is ever a per-vertex python
+    container, so peak memory stays proportional to the raw edge count.
+
+    Semantics match :meth:`SocialGraph.from_edges`: self-loops are
+    skipped, duplicate edges (in either orientation) are deduplicated
+    silently, endpoints are added on demand with ``default_weight``.
+
+    Vertex order of the finalized graph is **sorted by vertex ID** (for
+    the common contiguous ``0..n-1`` ID space this equals insertion
+    order and finalizes to the identity mapping).
+    """
+
+    __slots__ = (
+        "_chunks_src",
+        "_chunks_dst",
+        "_pend_src",
+        "_pend_dst",
+        "_explicit",
+        "_weights",
+        "default_weight",
+        "_finalized",
+    )
+
+    #: scalar add_edge calls are compacted into an int64 chunk this often,
+    #: keeping the per-edge ingestion path free of unbounded boxed-int lists
+    SCALAR_CHUNK = 1 << 16
+
+    def __init__(self, default_weight: float = CompactGraph.DEFAULT_WEIGHT):
+        self._chunks_src: list = []  # np.int64 array chunks
+        self._chunks_dst: list = []
+        self._pend_src: list = []  # scalars awaiting compaction
+        self._pend_dst: list = []
+        self._explicit: Dict[int, None] = {}  # ordered set of bare vertices
+        self._weights: Dict[int, float] = {}
+        self.default_weight = default_weight
+        self._finalized = False
+
+    def _check_open(self) -> None:
+        if self._finalized:
+            raise GraphError("GraphBuilder already finalized")
+
+    def add_vertex(self, vertex: int, weight: Optional[float] = None) -> None:
+        """Register an (possibly isolated) vertex, optionally with a weight."""
+        self._check_open()
+        if vertex in self._explicit:
+            raise DuplicateVertexError(vertex)
+        if weight is not None and weight < 0:
+            raise GraphError(f"vertex weight must be non-negative, got {weight}")
+        self._explicit[int(vertex)] = None
+        if weight is not None:
+            self._weights[int(vertex)] = float(weight)
+
+    def ensure_vertex(self, vertex: int, weight: Optional[float] = None) -> None:
+        """Like :meth:`add_vertex` but idempotent."""
+        self._check_open()
+        self._explicit[int(vertex)] = None
+        if weight is not None:
+            self._weights[int(vertex)] = float(weight)
+
+    def set_weight(self, vertex: int, weight: float) -> None:
+        self._check_open()
+        if weight < 0:
+            raise GraphError(f"vertex weight must be non-negative, got {weight}")
+        self._explicit[int(vertex)] = None
+        self._weights[int(vertex)] = float(weight)
+
+    def add_edge(self, u: int, v: int) -> None:
+        """Buffer one undirected edge; endpoints are created on demand."""
+        self._check_open()
+        if u == v:
+            return
+        self._pend_src.append(int(u))
+        self._pend_dst.append(int(v))
+        if len(self._pend_src) >= self.SCALAR_CHUNK:
+            self._compact_pending()
+
+    def _compact_pending(self) -> None:
+        if self._pend_src:
+            self._chunks_src.append(np.asarray(self._pend_src, dtype=np.int64))
+            self._chunks_dst.append(np.asarray(self._pend_dst, dtype=np.int64))
+            self._pend_src = []
+            self._pend_dst = []
+
+    def add_edge_batch(self, src: np.ndarray, dst: np.ndarray) -> None:
+        """Buffer a whole batch of edges (the streaming-ingestion fast path).
+
+        ``src``/``dst`` are equal-length integer arrays; self-loops are
+        filtered vectorized, duplicates fall to finalize-time dedup.
+        """
+        self._check_open()
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        if src.shape != dst.shape or src.ndim != 1:
+            raise GraphError(
+                f"edge batch arrays must be equal-length 1-D, got "
+                f"{src.shape} and {dst.shape}"
+            )
+        keep = src != dst
+        if not keep.all():
+            src, dst = src[keep], dst[keep]
+        if len(src):
+            self._chunks_src.append(src)
+            self._chunks_dst.append(dst)
+
+    @property
+    def buffered_edges(self) -> int:
+        """Edges buffered so far (before dedup)."""
+        return sum(len(c) for c in self._chunks_src) + len(self._pend_src)
+
+    # ------------------------------------------------------------------
+    def _gather(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Concatenate the buffered chunks into two int64 arrays."""
+        self._compact_pending()
+        if not self._chunks_src:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+        return np.concatenate(self._chunks_src), np.concatenate(self._chunks_dst)
+
+    def finalize(self) -> CompactGraph:
+        """Build the CSR graph: unique IDs, dedup, counting sort, row sort."""
+        self._check_open()
+        self._finalized = True
+        src, dst = self._gather()
+        extra = np.asarray(list(self._explicit), dtype=np.int64)
+        # Sorted unique vertex IDs; inverse maps endpoints to dense indices.
+        all_ids = np.concatenate([src, dst, extra])
+        ids, inverse = np.unique(all_ids, return_inverse=True)
+        n = len(ids)
+        si = inverse[: len(src)]
+        di = inverse[len(src) : 2 * len(src)]
+        identity = bool(n == 0 or (int(ids[0]) == 0 and int(ids[-1]) == n - 1))
+
+        # Deduplicate undirected pairs via a packed (lo, hi) key.
+        lo = np.minimum(si, di)
+        hi = np.maximum(si, di)
+        if n:
+            key = lo.astype(np.uint64) * np.uint64(n) + hi.astype(np.uint64)
+            key = np.unique(key)
+            lo = (key // np.uint64(n)).astype(np.int64)
+            hi = (key % np.uint64(n)).astype(np.int64)
+
+        dtype = _neighbor_dtype(n)
+        heads = np.concatenate([lo, hi]).astype(dtype, copy=False)
+        tails = np.concatenate([hi, lo]).astype(dtype, copy=False)
+        counts = np.bincount(heads, minlength=n)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        # lexsort: primary key row (head), secondary key neighbor (tail)
+        # -> neighbor column grouped by row, each row sorted ascending.
+        order = np.lexsort((tails, heads))
+        nbr = np.ascontiguousarray(tails[order])
+
+        weights = np.full(n, self.default_weight, dtype=np.float64)
+        if self._weights:
+            if identity:
+                for vertex, weight in self._weights.items():
+                    weights[vertex] = weight
+            else:
+                positions = {int(v): i for i, v in enumerate(ids)}
+                for vertex, weight in self._weights.items():
+                    weights[positions[vertex]] = weight
+        id_column = None if identity else ids.astype(np.int64, copy=False)
+        self._chunks_src = []
+        self._chunks_dst = []
+        return CompactGraph(indptr, nbr, weights, id_column)

@@ -37,8 +37,11 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from typing import Iterator, Tuple
+
 from repro.exceptions import GraphError
 from repro.graph.adjacency import SocialGraph
+from repro.graph.compact import CompactGraph, GraphBuilder
 
 
 @dataclass(frozen=True)
@@ -311,6 +314,71 @@ def clustered_powerlaw_graph(
         added += 1
     _connect_components(graph, rng)
     return graph
+
+
+# ----------------------------------------------------------------------
+# Streaming (builder-backed) generation for large n
+# ----------------------------------------------------------------------
+def powerlaw_edge_stream(
+    n: int,
+    attach: int = 8,
+    hub_bias: float = 2.0,
+    seed: Optional[int] = None,
+    batch_size: int = 1 << 17,
+) -> Iterator[Tuple["object", "object"]]:
+    """Yield ``(src, dst)`` numpy batches of a heavy-tailed graph stream.
+
+    The dict-backed generators above model clustering faithfully but hold
+    the whole adjacency while generating — exactly what a million-vertex
+    ingest cannot afford.  This stream is their scalable surrogate: each
+    vertex ``v >= 1`` attaches to ``attach`` earlier vertices drawn as
+    ``floor(v * U**hub_bias)`` with ``U`` uniform — the inverse-transform
+    trick that biases targets toward low-ID (old, high-degree) vertices,
+    producing a heavy-tailed degree distribution and a connected graph
+    (every vertex reaches vertex 0 through its first attachment) with no
+    per-vertex state at all.  ``hub_bias`` > 1 sharpens the tail.
+
+    Batches are plain int64 arrays suitable for
+    :meth:`~repro.graph.compact.GraphBuilder.add_edge_batch`; duplicates
+    within a vertex's draws are left for finalize-time dedup.
+    """
+    import numpy as np
+
+    if n < 1:
+        raise GraphError(f"need n >= 1, got {n}")
+    if attach < 1:
+        raise GraphError(f"need attach >= 1, got {attach}")
+    if hub_bias <= 0:
+        raise GraphError(f"need hub_bias > 0, got {hub_bias}")
+    rng = np.random.default_rng(seed)
+    for start in range(1, n, batch_size):
+        stop = min(n, start + batch_size)
+        block = np.arange(start, stop, dtype=np.int64)
+        src = np.repeat(block, attach)
+        draws = rng.random(len(src)) ** hub_bias
+        dst = (src * draws).astype(np.int64)
+        yield src, dst
+
+
+def compact_powerlaw_graph(
+    n: int,
+    attach: int = 8,
+    hub_bias: float = 2.0,
+    seed: Optional[int] = None,
+    batch_size: int = 1 << 17,
+) -> CompactGraph:
+    """Build a CSR graph from :func:`powerlaw_edge_stream` via the builder.
+
+    This is the large-``n`` fast path: no dict-of-sets is ever held, peak
+    memory is the flat endpoint buffers plus the finalize working set.
+    """
+    builder = GraphBuilder()
+    builder.ensure_vertex(0)  # n == 1 still yields a graph
+    for src, dst in powerlaw_edge_stream(
+        n, attach=attach, hub_bias=hub_bias, seed=seed, batch_size=batch_size
+    ):
+        builder.add_edge_batch(src, dst)
+    return builder.finalize()
 
 
 # ----------------------------------------------------------------------

@@ -4,16 +4,48 @@ SNAP files are whitespace-separated ``src dst`` pairs, one per line, with
 ``#``-prefixed comment lines.  Directed inputs (e.g. the Twitter follower
 graph) are projected to undirected graphs, and the fraction of reciprocated
 arcs is reported so Table 1's "symmetric links" row can be computed.
+
+Two loaders are provided:
+
+* :func:`load_snap_edge_list` — the historical dict-of-sets loader with
+  first-seen ID interning and optional subsampling; right for the
+  simulator-scale graphs.
+* :func:`load_compact_edge_list` — streams lines straight through a
+  :class:`~repro.graph.compact.GraphBuilder` into CSR without ever
+  holding a per-vertex container or an intermediate edge list; right for
+  million-vertex files.  Its ``max_vertices`` is a hard guard (clear
+  error on violation), not a subsampler.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Optional, Set, Tuple
+from typing import Iterator, Optional, Set, Tuple
 
 from repro.exceptions import GraphError
 from repro.graph.adjacency import SocialGraph
+from repro.graph.compact import CompactGraph, GraphBuilder
 from repro.graph.generators import Dataset
+
+
+def _iter_edge_lines(path: str) -> Iterator[Tuple[int, int]]:
+    """Yield raw ``(u, v)`` ID pairs, validating the SNAP line format."""
+    if not os.path.exists(path):
+        raise GraphError(f"edge list not found: {path}")
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise GraphError(f"{path}:{line_number}: malformed edge line {line!r}")
+            try:
+                yield int(parts[0]), int(parts[1])
+            except ValueError:
+                raise GraphError(
+                    f"{path}:{line_number}: non-integer vertex IDs in {line!r}"
+                ) from None
 
 
 def load_snap_edge_list(
@@ -34,8 +66,6 @@ def load_snap_edge_list(
         Optional cap for subsampling huge files: lines whose endpoints both
         exceed the cap (by first-seen order) are skipped.
     """
-    if not os.path.exists(path):
-        raise GraphError(f"edge list not found: {path}")
     graph = SocialGraph()
     arcs: Set[Tuple[int, int]] = set()
     id_map = {}
@@ -50,30 +80,16 @@ def load_snap_edge_list(
             graph.add_vertex(mapped)
         return mapped
 
-    with open(path, "r", encoding="utf-8") as handle:
-        for line_number, line in enumerate(handle, start=1):
-            line = line.strip()
-            if not line or line.startswith("#"):
-                continue
-            parts = line.split()
-            if len(parts) < 2:
-                raise GraphError(f"{path}:{line_number}: malformed edge line {line!r}")
-            try:
-                raw_u, raw_v = int(parts[0]), int(parts[1])
-            except ValueError:
-                raise GraphError(
-                    f"{path}:{line_number}: non-integer vertex IDs in {line!r}"
-                ) from None
-            if raw_u == raw_v:
-                continue
-            u = intern(raw_u)
-            v = intern(raw_v)
-            if u is None or v is None:
-                continue
-            if directed:
-                arcs.add((u, v))
-            if not graph.has_edge(u, v):
-                graph.add_edge(u, v)
+    for raw_u, raw_v in _iter_edge_lines(path):
+        if raw_u == raw_v:
+            continue
+        u = intern(raw_u)
+        v = intern(raw_v)
+        if u is None or v is None:
+            continue
+        if directed:
+            arcs.add((u, v))
+        graph.add_edge_if_absent(u, v)
 
     if directed and graph.num_edges:
         reciprocated = sum(1 for (u, v) in arcs if (v, u) in arcs)
@@ -88,8 +104,41 @@ def load_snap_edge_list(
     )
 
 
-def save_edge_list(graph: SocialGraph, path: str, header: Optional[str] = None) -> None:
-    """Write the graph as a SNAP-style undirected edge list."""
+def load_compact_edge_list(
+    path: str,
+    max_vertices: Optional[int] = None,
+    default_weight: float = CompactGraph.DEFAULT_WEIGHT,
+) -> CompactGraph:
+    """Stream a SNAP edge list straight into a CSR :class:`CompactGraph`.
+
+    Lines flow through a :class:`GraphBuilder` (self-loops skipped,
+    duplicates deduplicated at finalize); no intermediate edge list or
+    per-vertex container is ever materialized, so peak memory is the raw
+    endpoint buffer plus the finalize working set.
+
+    ``max_vertices`` is a guard, not a subsampler: exceeding it raises
+    :class:`GraphError` naming the file and the cap, so an unexpectedly
+    huge input fails fast instead of exhausting memory.  Original vertex
+    IDs are preserved (the finalized graph's vertex order is sorted ID).
+    """
+    builder = GraphBuilder(default_weight=default_weight)
+    seen: Optional[Set[int]] = set() if max_vertices is not None else None
+    for raw_u, raw_v in _iter_edge_lines(path):
+        if seen is not None:
+            seen.add(raw_u)
+            seen.add(raw_v)
+            if len(seen) > max_vertices:
+                raise GraphError(
+                    f"{path}: edge list exceeds max_vertices={max_vertices} "
+                    f"distinct vertices; raise the cap or subsample the file "
+                    f"first (load_snap_edge_list(max_vertices=...) subsamples)"
+                )
+        builder.add_edge(raw_u, raw_v)
+    return builder.finalize()
+
+
+def save_edge_list(graph, path: str, header: Optional[str] = None) -> None:
+    """Write a graph (either substrate) as a SNAP-style undirected edge list."""
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(f"# {header or 'undirected edge list'}\n")
         handle.write(f"# vertices: {graph.num_vertices} edges: {graph.num_edges}\n")

@@ -15,12 +15,39 @@ from dataclasses import dataclass
 from typing import List
 
 from repro.exceptions import PartitioningError
-from repro.graph.adjacency import SocialGraph
+from repro.graph.compact import CompactGraph, GraphRead
 from repro.partitioning.base import Partitioning
 
 
-def edge_cut(graph: SocialGraph, partitioning: Partitioning) -> int:
-    """Number of edges whose endpoints live in different partitions."""
+def _partition_index_column(
+    graph: CompactGraph, partitioning: Partitioning
+) -> "np.ndarray":  # noqa: F821 - numpy imported lazily with CompactGraph
+    """Partition of each vertex as an array in CSR index order."""
+    import numpy as np
+
+    parts = np.empty(graph.num_vertices, dtype=np.int32)
+    for index, vertex in enumerate(graph.vertices()):
+        parts[index] = partitioning.partition_of(vertex)
+    return parts
+
+
+def edge_cut(graph: GraphRead, partitioning: Partitioning) -> int:
+    """Number of edges whose endpoints live in different partitions.
+
+    On the CSR substrate the count is computed vectorized over the
+    neighbor column (each cut edge appears twice, once per direction);
+    on dict-of-sets it walks ``edges()``.  Both count the same edge set,
+    so the results are identical.
+    """
+    if isinstance(graph, CompactGraph):
+        import numpy as np
+
+        parts = _partition_index_column(graph, partitioning)
+        indptr = graph.indptr
+        heads = np.repeat(
+            np.arange(graph.num_vertices, dtype=np.int64), np.diff(indptr)
+        )
+        return int((parts[heads] != parts[graph.neighbor_indices]).sum()) // 2
     cut = 0
     for u, v in graph.edges():
         if partitioning.partition_of(u) != partitioning.partition_of(v):
@@ -28,22 +55,27 @@ def edge_cut(graph: SocialGraph, partitioning: Partitioning) -> int:
     return cut
 
 
-def edge_cut_fraction(graph: SocialGraph, partitioning: Partitioning) -> float:
+def edge_cut_fraction(graph: GraphRead, partitioning: Partitioning) -> float:
     """Edge-cut as a fraction of all edges (the y-axis of Figure 7)."""
     if graph.num_edges == 0:
         return 0.0
     return edge_cut(graph, partitioning) / graph.num_edges
 
 
-def partition_weights(graph: SocialGraph, partitioning: Partitioning) -> List[float]:
-    """Aggregate vertex weight of each partition."""
+def partition_weights(graph: GraphRead, partitioning: Partitioning) -> List[float]:
+    """Aggregate vertex weight of each partition.
+
+    Accumulated vertex-by-vertex in ``vertices()`` order on every
+    substrate, so the float results are bit-identical across
+    representations of the same graph.
+    """
     weights = [0.0] * partitioning.num_partitions
     for vertex in graph.vertices():
-        weights[partitioning.partition_of(vertex)] += graph.weight(vertex)
+        weights[partitioning.partition_of(vertex)] += graph.weight_of(vertex)
     return weights
 
 
-def imbalance_factor(graph: SocialGraph, partitioning: Partitioning) -> float:
+def imbalance_factor(graph: GraphRead, partitioning: Partitioning) -> float:
     """Max partition weight divided by the average partition weight.
 
     This is the quantity the validity condition bounds by epsilon:
@@ -57,7 +89,7 @@ def imbalance_factor(graph: SocialGraph, partitioning: Partitioning) -> float:
 
 
 def is_valid_partitioning(
-    graph: SocialGraph, partitioning: Partitioning, epsilon: float
+    graph: GraphRead, partitioning: Partitioning, epsilon: float
 ) -> bool:
     """Paper Section 2.1: every partition weight is <= epsilon * average."""
     if epsilon < 1.0:
@@ -96,7 +128,7 @@ class MigrationStats:
 
 
 def migration_stats(
-    graph: SocialGraph, initial: Partitioning, final: Partitioning
+    graph: GraphRead, initial: Partitioning, final: Partitioning
 ) -> MigrationStats:
     """Compare two partitionings of the same graph (Figure 8's quantities)."""
     if initial.num_partitions != final.num_partitions:

@@ -18,13 +18,13 @@ import random
 from typing import Dict, List, Optional, Tuple
 
 from repro.exceptions import InvalidPartitionError
-from repro.graph.adjacency import SocialGraph
+from repro.graph.compact import GraphRead
 from repro.partitioning.base import Partitioner, Partitioning
 from repro.partitioning.multilevel.coarsening import contract
 from repro.partitioning.multilevel.initial import greedy_growing
 from repro.partitioning.multilevel.matching import heavy_edge_matching
 from repro.partitioning.multilevel.refinement import cut_weight, refine
-from repro.partitioning.multilevel.weighted import WeightedGraph
+from repro.partitioning.multilevel.weighted import WeightedGraph, as_weighted
 
 
 class MultilevelPartitioner(Partitioner):
@@ -72,7 +72,7 @@ class MultilevelPartitioner(Partitioner):
         self.seed = seed
 
     # ------------------------------------------------------------------
-    def partition(self, graph: SocialGraph, num_partitions: int) -> Partitioning:
+    def partition(self, graph: GraphRead, num_partitions: int) -> Partitioning:
         """Best-of-``tries`` multilevel partitioning (lowest edge-cut)."""
         best: Optional[Partitioning] = None
         best_cut = float("inf")
@@ -91,14 +91,16 @@ class MultilevelPartitioner(Partitioner):
         return best
 
     def _partition_once(
-        self, graph: SocialGraph, num_partitions: int, seed: Optional[int]
+        self, graph: GraphRead, num_partitions: int, seed: Optional[int]
     ) -> Partitioning:
         if num_partitions < 1:
             raise InvalidPartitionError("num_partitions must be >= 1")
         if num_partitions == 1 or graph.num_vertices <= num_partitions:
             return self._trivial(graph, num_partitions)
         rng = random.Random(seed)
-        base = WeightedGraph.from_social_graph(graph)
+        # CSR graphs are coarsened/matched in place through a unit-weight
+        # view; only the (much smaller) coarse levels become dict-backed.
+        base = as_weighted(graph)
         if self.scheme == "rb" and num_partitions > 2:
             # Imbalance compounds across nested splits: a vertex ends up
             # inside ~log2(k) bisections, each multiplying the allowed
@@ -263,7 +265,7 @@ class MultilevelPartitioner(Partitioner):
         return {fine: coarse_assignment[coarse] for fine, coarse in projection.items()}
 
     @staticmethod
-    def _trivial(graph: SocialGraph, num_partitions: int) -> Partitioning:
+    def _trivial(graph: GraphRead, num_partitions: int) -> Partitioning:
         partitioning = Partitioning(num_partitions)
         for index, vertex in enumerate(graph.vertices()):
             partitioning.assign(vertex, index % num_partitions)

@@ -7,10 +7,10 @@ the vertex weights that :class:`~repro.graph.adjacency.SocialGraph` carries.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Tuple
+from typing import Dict, Iterator, Mapping, Tuple
 
 from repro.exceptions import GraphError
-from repro.graph.adjacency import SocialGraph
+from repro.graph.compact import CompactGraph, GraphRead
 
 
 class WeightedGraph:
@@ -23,14 +23,17 @@ class WeightedGraph:
         self.adjacency: Dict[int, Dict[int, float]] = {}
 
     @classmethod
-    def from_social_graph(cls, graph: SocialGraph) -> "WeightedGraph":
-        """Lift a :class:`SocialGraph`; every edge gets weight 1."""
+    def from_graph(cls, graph: GraphRead) -> "WeightedGraph":
+        """Lift any read-protocol graph; every edge gets weight 1."""
         weighted = cls()
         for vertex in graph.vertices():
-            weighted.add_vertex(vertex, graph.weight(vertex))
+            weighted.add_vertex(vertex, graph.weight_of(vertex))
         for u, v in graph.edges():
             weighted.add_edge(u, v, 1.0)
         return weighted
+
+    # historical name, kept for callers that predate the read protocol
+    from_social_graph = from_graph
 
     def add_vertex(self, vertex: int, weight: float) -> None:
         if vertex in self.vertex_weights:
@@ -67,3 +70,97 @@ class WeightedGraph:
 
     def __repr__(self) -> str:
         return f"WeightedGraph(vertices={self.num_vertices}, edges={self.num_edges})"
+
+
+class _UnitRow(Mapping):
+    """One CSR row presented as a ``{neighbor: 1.0}`` mapping (no dict)."""
+
+    __slots__ = ("_ids",)
+
+    def __init__(self, ids) -> None:
+        self._ids = ids
+
+    def __getitem__(self, vertex: int) -> float:
+        # Only reached through ``.get`` on known members (max key=nbrs.get);
+        # every level-0 edge has unit weight.
+        return 1.0
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._ids)
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def items(self):
+        for vertex in self._ids:
+            yield vertex, 1.0
+
+
+class _WeightColumn(Mapping):
+    """``vertex -> weight`` view over a read-protocol graph."""
+
+    __slots__ = ("_graph",)
+
+    def __init__(self, graph: GraphRead) -> None:
+        self._graph = graph
+
+    def __getitem__(self, vertex: int) -> float:
+        return self._graph.weight_of(vertex)
+
+    def __iter__(self) -> Iterator[int]:
+        return self._graph.vertices()
+
+    def __len__(self) -> int:
+        return self._graph.num_vertices
+
+
+class UnitWeightedView:
+    """A read-protocol graph quacking like a :class:`WeightedGraph`.
+
+    The finest level of the multilevel hierarchy always has unit edge
+    weights, so coarsening (matching + contraction) and level-0 FM
+    refinement can read the CSR arrays directly instead of materializing
+    a dict-of-dicts copy of the whole graph — the coarse levels it
+    produces are ordinary (much smaller) :class:`WeightedGraph`\\ s.
+    """
+
+    __slots__ = ("_graph", "vertex_weights")
+
+    def __init__(self, graph: GraphRead) -> None:
+        self._graph = graph
+        self.vertex_weights = _WeightColumn(graph)
+
+    def neighbors(self, vertex: int) -> _UnitRow:
+        return _UnitRow(self._graph.neighbors_array(vertex))
+
+    def edges(self) -> Iterator[Tuple[int, int, float]]:
+        for u, v in self._graph.edges():
+            yield (u, v, 1.0)
+
+    @property
+    def num_vertices(self) -> int:
+        return self._graph.num_vertices
+
+    @property
+    def num_edges(self) -> int:
+        return self._graph.num_edges
+
+    def total_vertex_weight(self) -> float:
+        return sum(self.vertex_weights.values())
+
+    def __repr__(self) -> str:
+        return f"UnitWeightedView({self._graph!r})"
+
+
+def as_weighted(graph) -> "WeightedGraph | UnitWeightedView":
+    """The multilevel scheme's level-0 graph for any substrate.
+
+    CSR graphs are wrapped (no per-vertex materialization); dict-of-sets
+    graphs keep the historical :meth:`WeightedGraph.from_graph` lift so
+    seeded outputs on :class:`SocialGraph` are unchanged.
+    """
+    if isinstance(graph, (WeightedGraph, UnitWeightedView)):
+        return graph
+    if isinstance(graph, CompactGraph):
+        return UnitWeightedView(graph)
+    return WeightedGraph.from_graph(graph)

@@ -23,7 +23,7 @@ import random
 from typing import List, Optional
 
 from repro.exceptions import PartitioningError
-from repro.graph.adjacency import SocialGraph
+from repro.graph.compact import GraphRead
 from repro.partitioning.base import Partitioner, Partitioning
 
 
@@ -44,7 +44,7 @@ class _StreamingBase(Partitioner):
         self.shuffle = shuffle
         self.seed = seed
 
-    def partition(self, graph: SocialGraph, num_partitions: int) -> Partitioning:
+    def partition(self, graph: GraphRead, num_partitions: int) -> Partitioning:
         if num_partitions < 1:
             raise PartitioningError("num_partitions must be >= 1")
         order = list(graph.vertices())
@@ -53,10 +53,15 @@ class _StreamingBase(Partitioner):
         partitioning = Partitioning(num_partitions)
         sizes = [0] * num_partitions
         capacity = self.balance_slack * graph.num_vertices / num_partitions
+        get_placed = partitioning.get
         for vertex in order:
             placed_neighbors = [0] * num_partitions
-            for nbr in graph.neighbors(vertex):
-                home = partitioning.get(nbr)
+            # neighbors_array: a set view on dict-of-sets, a zero-copy CSR
+            # slice on CompactGraph — the scores only count members per
+            # partition, so neighbor order is immaterial and both
+            # substrates produce identical placements.
+            for nbr in graph.neighbors_array(vertex):
+                home = get_placed(nbr)
                 if home is not None:
                     placed_neighbors[home] += 1
             best = self._choose(placed_neighbors, sizes, capacity, graph, vertex)
@@ -69,7 +74,7 @@ class _StreamingBase(Partitioner):
         placed_neighbors: List[int],
         sizes: List[int],
         capacity: float,
-        graph: SocialGraph,
+        graph: GraphRead,
         vertex: int,
     ) -> int:
         raise NotImplementedError
@@ -118,7 +123,7 @@ class FennelPartitioner(_StreamingBase):
         self.alpha = alpha
         self._effective_alpha = alpha
 
-    def partition(self, graph: SocialGraph, num_partitions: int) -> Partitioning:
+    def partition(self, graph: GraphRead, num_partitions: int) -> Partitioning:
         if self.alpha is None:
             n = max(1, graph.num_vertices)
             self._effective_alpha = (

@@ -1,0 +1,119 @@
+"""Property tests: the two substrates are interchangeable.
+
+Random graphs must round-trip losslessly between SocialGraph and
+CompactGraph, and every consumer written against the read protocol
+(streaming partitioners, quality metrics) must produce *identical*
+outputs on both representations.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.adjacency import SocialGraph
+from repro.graph.compact import CompactGraph
+from repro.partitioning.base import Partitioning
+from repro.partitioning.metrics import edge_cut, edge_cut_fraction, partition_weights
+from repro.partitioning.streaming import FennelPartitioner, LinearDeterministicGreedy
+
+
+@st.composite
+def random_social_graph(draw):
+    """A random small graph with weights; optionally non-contiguous IDs."""
+    num_vertices = draw(st.integers(min_value=1, max_value=30))
+    seed = draw(st.integers(min_value=0, max_value=10**6))
+    offset = draw(st.sampled_from([0, 0, 5, 1000]))
+    stride = draw(st.sampled_from([1, 1, 3]))
+    rng = random.Random(seed)
+    graph = SocialGraph()
+    ids = [offset + stride * i for i in range(num_vertices)]
+    for vertex in ids:
+        graph.add_vertex(vertex, weight=rng.choice([1.0, 2.0, 0.5]))
+    for i, u in enumerate(ids):
+        for v in ids[i + 1 :]:
+            if rng.random() < 0.2:
+                graph.add_edge(u, v)
+    return graph
+
+
+def assert_same_graph(social: SocialGraph, compact: CompactGraph) -> None:
+    assert compact.num_vertices == social.num_vertices
+    assert compact.num_edges == social.num_edges
+    assert list(compact.vertices()) == list(social.vertices())
+    for vertex in social.vertices():
+        assert compact.degree(vertex) == social.degree(vertex)
+        assert compact.weight_of(vertex) == social.weight(vertex)
+        assert sorted(int(w) for w in compact.neighbors_array(vertex)) == sorted(
+            social.neighbors(vertex)
+        )
+    assert sorted(tuple(sorted(e)) for e in compact.edges()) == sorted(
+        tuple(sorted(e)) for e in social.edges()
+    )
+
+
+@given(random_social_graph())
+@settings(max_examples=60, deadline=None)
+def test_round_trip_is_lossless(social):
+    compact = CompactGraph.from_social(social)
+    assert_same_graph(social, compact)
+    back = compact.to_social()
+    assert_same_graph(back, compact)
+    # and a second hop changes nothing
+    assert_same_graph(back, CompactGraph.from_social(back))
+
+
+@given(random_social_graph())
+@settings(max_examples=40, deadline=None)
+def test_builder_from_edges_matches_social(social):
+    vertices = list(social.vertices())
+    compact = CompactGraph.from_edges(social.edges(), vertices=vertices)
+    assert compact.num_vertices == social.num_vertices
+    assert compact.num_edges == social.num_edges
+    # builder order is sorted-by-ID, so compare per-vertex, not by order
+    for vertex in vertices:
+        assert sorted(int(w) for w in compact.neighbors_array(vertex)) == sorted(
+            social.neighbors(vertex)
+        )
+        assert compact.has_edge(vertex, vertex) is False
+
+
+@given(
+    random_social_graph(),
+    st.integers(min_value=2, max_value=4),
+    st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=40, deadline=None)
+def test_metrics_identical_on_both_substrates(social, num_partitions, seed):
+    compact = CompactGraph.from_social(social)
+    rng = random.Random(seed)
+    partitioning = Partitioning(num_partitions)
+    for vertex in social.vertices():
+        partitioning.assign(vertex, rng.randrange(num_partitions))
+    assert edge_cut(social, partitioning) == edge_cut(compact, partitioning)
+    assert edge_cut_fraction(social, partitioning) == edge_cut_fraction(
+        compact, partitioning
+    )
+    # identical accumulation order -> identical floats, not just isclose
+    assert partition_weights(social, partitioning) == partition_weights(
+        compact, partitioning
+    )
+
+
+@given(
+    random_social_graph(),
+    st.integers(min_value=2, max_value=4),
+    st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=30, deadline=None)
+def test_streaming_partitioners_identical_on_both_substrates(
+    social, num_partitions, seed
+):
+    compact = CompactGraph.from_social(social)
+    for make in (
+        lambda: LinearDeterministicGreedy(seed=seed),
+        lambda: FennelPartitioner(seed=seed),
+    ):
+        on_social = make().partition(social, num_partitions)
+        on_compact = make().partition(compact, num_partitions)
+        assert on_social.as_mapping() == on_compact.as_mapping()

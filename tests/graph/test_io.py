@@ -4,7 +4,12 @@ import pytest
 
 from repro.exceptions import GraphError
 from repro.graph.adjacency import SocialGraph
-from repro.graph.io import load_snap_edge_list, save_edge_list
+from repro.graph.compact import CompactGraph
+from repro.graph.io import (
+    load_compact_edge_list,
+    load_snap_edge_list,
+    save_edge_list,
+)
 
 
 def write_lines(tmp_path, lines, name="edges.txt"):
@@ -60,6 +65,47 @@ class TestLoad:
             load_snap_edge_list(path)
 
 
+class TestLoadCompact:
+    def test_streams_into_csr(self, tmp_path):
+        path = write_lines(tmp_path, ["# c", "0 1", "1 0", "1 1", "1 2", "0 2"])
+        graph = load_compact_edge_list(path)
+        assert graph.num_vertices == 3
+        assert graph.num_edges == 3
+        assert graph.has_edge(0, 2)
+        assert not graph.has_edge(1, 1)
+
+    def test_original_ids_preserved(self, tmp_path):
+        path = write_lines(tmp_path, ["1000 2000", "2000 3000"])
+        graph = load_compact_edge_list(path)
+        assert list(graph.vertices()) == [1000, 2000, 3000]
+        assert graph.has_edge(2000, 3000)
+
+    def test_max_vertices_guard_raises(self, tmp_path):
+        path = write_lines(tmp_path, ["0 1", "2 3", "4 5"])
+        with pytest.raises(GraphError, match="exceeds max_vertices=4"):
+            load_compact_edge_list(path, max_vertices=4)
+
+    def test_max_vertices_guard_allows_exact_fit(self, tmp_path):
+        path = write_lines(tmp_path, ["0 1", "2 3"])
+        graph = load_compact_edge_list(path, max_vertices=4)
+        assert graph.num_vertices == 4
+
+    def test_matches_dict_loader(self, tmp_path):
+        path = write_lines(tmp_path, ["0 1", "1 2", "2 0", "3 1", "0 1"])
+        compact = load_compact_edge_list(path)
+        dataset = load_snap_edge_list(path)
+        assert compact.num_vertices == dataset.graph.num_vertices
+        assert compact.num_edges == dataset.graph.num_edges
+        assert sorted(compact.edges()) == sorted(
+            tuple(sorted(e)) for e in dataset.graph.edges()
+        )
+
+    def test_malformed_line(self, tmp_path):
+        path = write_lines(tmp_path, ["0"])
+        with pytest.raises(GraphError, match="malformed"):
+            load_compact_edge_list(path)
+
+
 class TestRoundTrip:
     def test_save_then_load(self, tmp_path):
         graph = SocialGraph.from_edges([(0, 1), (1, 2), (2, 3), (3, 0)])
@@ -68,3 +114,11 @@ class TestRoundTrip:
         dataset = load_snap_edge_list(path)
         assert dataset.graph.num_vertices == 4
         assert dataset.graph.num_edges == 4
+
+    def test_save_compact_then_load(self, tmp_path):
+        graph = CompactGraph.from_edges([(0, 1), (1, 2), (2, 3), (3, 0)])
+        path = str(tmp_path / "out.txt")
+        save_edge_list(graph, path, header="csr graph")
+        back = load_compact_edge_list(path)
+        assert back.num_vertices == 4
+        assert sorted(back.edges()) == sorted(graph.edges())
