@@ -50,6 +50,10 @@ class WorkloadReport:
     max_server_busy: float = 0.0
     #: busy seconds per server (index = server id)
     server_busy: Dict[int, float] = field(default_factory=dict)
+    #: operations attributed per client id (round-robin submission)
+    client_operations: Dict[str, int] = field(default_factory=dict)
+    #: simulated cost attributed per client id
+    client_cost: Dict[str, float] = field(default_factory=dict)
 
     @property
     def wall_time(self) -> float:
@@ -71,13 +75,35 @@ class WorkloadReport:
 
 
 class ClientPool:
-    """Submits operations to a :class:`~repro.cluster.hermes.HermesCluster`."""
+    """Submits operations to a :class:`~repro.cluster.hermes.HermesCluster`.
 
-    def __init__(self, cluster, num_clients: int = 32):
+    Every pool member has a stable client id (``client-0`` … ``client-N``)
+    and operations are attributed to them round-robin — the hook the
+    serving layer's per-tenant accounting uses.  Pass ``accounts`` (a
+    :class:`~repro.serving.accounting.TenantAccounts`) to meter each
+    operation onto its submitting client's ledger as it executes.
+    """
+
+    def __init__(
+        self,
+        cluster,
+        num_clients: int = 32,
+        client_prefix: str = "client",
+        accounts=None,
+    ):
         if num_clients < 1:
             raise WorkloadError("need at least one client")
         self.cluster = cluster
         self.num_clients = num_clients
+        #: stable per-client ids, round-robin attribution order
+        self.client_ids = [
+            f"{client_prefix}-{i}" for i in range(num_clients)
+        ]
+        self.accounts = accounts
+
+    def client_of(self, operation_index: int) -> str:
+        """Which client id submits the ``operation_index``-th operation."""
+        return self.client_ids[operation_index % self.num_clients]
 
     def run(
         self,
@@ -135,6 +161,7 @@ class ClientPool:
         return report
 
     def _execute(self, operation: Operation, report: WorkloadReport) -> None:
+        client = self.client_of(report.operations)
         report.operations += 1
         if isinstance(operation, Traversal):
             result = self.cluster.traverse(operation.start, operation.hops)
@@ -142,13 +169,12 @@ class ClientPool:
             report.processed_vertices += result.processed
             report.response_vertices += len(result.response)
             report.remote_hops += result.remote_hops
-            report.total_cost += result.cost
+            cost = result.cost
         elif isinstance(operation, ReadVertex):
             _, cost = self.cluster.read_vertex(operation.vertex)
             report.reads += 1
             report.processed_vertices += 1
             report.response_vertices += 1
-            report.total_cost += cost
         elif isinstance(operation, InsertVertex):
             cost = self.cluster.add_vertex(
                 operation.vertex,
@@ -156,12 +182,17 @@ class ClientPool:
                 properties=operation.properties,
             )
             report.writes += 1
-            report.total_cost += cost
         elif isinstance(operation, InsertEdge):
             cost = self.cluster.add_edge(
                 operation.u, operation.v, properties=operation.properties
             )
             report.writes += 1
-            report.total_cost += cost
         else:
             raise WorkloadError(f"unknown operation type: {operation!r}")
+        report.total_cost += cost
+        report.client_operations[client] = (
+            report.client_operations.get(client, 0) + 1
+        )
+        report.client_cost[client] = report.client_cost.get(client, 0.0) + cost
+        if self.accounts is not None:
+            self.accounts.record_admitted(client, cost)

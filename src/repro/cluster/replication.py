@@ -15,15 +15,24 @@ fully local.  The trade-offs the paper points out:
 :class:`OneHopReplicator` computes the replica placement implied by a
 partitioning and quantifies those trade-offs, so the ``spar`` experiment
 can put Hermes and SPAR side by side.
+
+Since the serving layer (PR 7) wires the replicator into the live read
+path, the class is instrumented: an attached
+:class:`~repro.telemetry.Telemetry` hub counts placement computations
+and the replica copies they produced, and exports the headline
+trade-off numbers (replication factor, total replicas, write
+amplification) as gauges every time :meth:`OneHopReplicator.stats`
+runs.  With the default null hub all of it is no-ops.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Set
+from typing import Dict, List, Optional, Set
 
 from repro.graph.adjacency import SocialGraph
 from repro.partitioning.base import Partitioning
+from repro.telemetry import NULL_TELEMETRY, Telemetry
 
 
 @dataclass(frozen=True)
@@ -53,6 +62,21 @@ class ReplicationStats:
 class OneHopReplicator:
     """Compute SPAR's replica placement for a given partitioning."""
 
+    def __init__(self, telemetry: Optional[Telemetry] = None):
+        self.attach_telemetry(telemetry or NULL_TELEMETRY)
+
+    def attach_telemetry(self, telemetry: Telemetry) -> None:
+        """(Re)bind the replication metric instruments."""
+        self.telemetry = telemetry
+        self._placements_counter = telemetry.counter(
+            "replication_placements_total",
+            "one-hop replica placement computations",
+        )
+        self._copies_counter = telemetry.counter(
+            "replication_copies_total",
+            "replica copies produced by placement computations",
+        )
+
     def placements(
         self, graph: SocialGraph, partitioning: Partitioning
     ) -> Dict[int, Set[int]]:
@@ -67,6 +91,8 @@ class OneHopReplicator:
                 # that both neighborhoods are fully local.
                 replicas[u].add(pv)
                 replicas[v].add(pu)
+        self._placements_counter.inc()
+        self._copies_counter.inc(sum(len(parts) for parts in replicas.values()))
         return replicas
 
     def stats(
@@ -83,7 +109,7 @@ class OneHopReplicator:
             if graph.num_vertices
             else 0.0
         )
-        return ReplicationStats(
+        stats = ReplicationStats(
             num_vertices=graph.num_vertices,
             total_replicas=total_replicas,
             records_per_partition=records,
@@ -93,6 +119,17 @@ class OneHopReplicator:
                 graph, partitioning
             ),
         )
+        self.telemetry.gauge(
+            "replication_factor", "average copies per vertex, primaries included"
+        ).set(stats.replication_factor)
+        self.telemetry.gauge(
+            "replication_total_replicas", "replica copies excluding primaries"
+        ).set(total_replicas)
+        self.telemetry.gauge(
+            "replication_write_amplification",
+            "average partitions reached by one vertex write",
+        ).set(write_amplification)
+        return stats
 
     @staticmethod
     def _two_hop_local_fraction(

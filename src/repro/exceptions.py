@@ -182,3 +182,57 @@ class InvariantViolationError(HermesError):
 
 class TelemetryError(HermesError):
     """Misuse of the telemetry subsystem (metric kind clash, bad buckets)."""
+
+
+class ServingError(HermesError):
+    """Base class for front-door serving-layer errors."""
+
+
+class AdmissionRejectedError(ServingError):
+    """Base class for typed load-shed rejections from the serving layer.
+
+    Every concrete rejection carries a machine-readable ``reason`` slug
+    used as the telemetry label and in the queue's conservation
+    accounting (``serving_shed_total{reason=...}``).
+    """
+
+    reason = "rejected"
+
+
+class QueueFullError(AdmissionRejectedError):
+    """The query queue was at its bounded depth."""
+
+    reason = "queue_full"
+
+    def __init__(self, depth: int, max_depth: int):
+        super().__init__(f"queue depth {depth} at bound {max_depth}")
+        self.depth = depth
+        self.max_depth = max_depth
+
+
+class OverloadShedError(AdmissionRejectedError):
+    """Admission control shed the operation to protect latency.
+
+    Raised both for priority-class shedding (the controller's state
+    machine floors out the operation's class) and for the per-operation
+    latency guard (the target server's backlog would blow the queueing
+    delay bound even for an admitted class).
+    """
+
+    reason = "overload_shed"
+
+    def __init__(self, message: str, state: str, wait: float = 0.0):
+        super().__init__(message)
+        self.state = state
+        self.wait = wait
+
+
+class InsufficientCreditsError(AdmissionRejectedError):
+    """The submitting tenant's credit balance was exhausted."""
+
+    reason = "insufficient_credits"
+
+    def __init__(self, tenant: str, balance: float):
+        super().__init__(f"tenant {tenant!r} has {balance:.1f} credits left")
+        self.tenant = tenant
+        self.balance = balance

@@ -40,6 +40,7 @@ from repro.experiments import (
     fig11,
     memory,
     scale as scale_experiment,
+    serving,
     table1,
     table2,
 )
@@ -60,6 +61,7 @@ EXPERIMENTS: Dict[str, Tuple[object, bool]] = {
     "faults": (faults, True),
     "batching": (batching, True),
     "scale": (scale_experiment, False),
+    "serving": (serving, True),
 }
 
 ORDER = [
@@ -77,6 +79,7 @@ ORDER = [
     "faults",
     "batching",
     "scale",
+    "serving",
 ]
 
 
@@ -86,9 +89,15 @@ def build_parser() -> argparse.ArgumentParser:
         description="Regenerate the Hermes (EDBT 2015) evaluation tables/figures.",
     )
     parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="EXPERIMENT",
+        help="experiments to run (positional form of --experiment)",
+    )
+    parser.add_argument(
         "--experiment",
         nargs="+",
-        default=["all"],
+        default=None,
         help=f"experiments to run: all, or any of {', '.join(ORDER)}",
     )
     parser.add_argument("--n", type=int, default=None, help="graph size override")
@@ -149,7 +158,10 @@ def jsonable(value: Any) -> Any:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    names = args.experiment
+    # Positional and --experiment forms compose; default is everything.
+    names = list(args.experiments) + list(args.experiment or [])
+    if not names:
+        names = ["all"]
     if "all" in names:
         names = ORDER
     unknown = [name for name in names if name not in EXPERIMENTS]

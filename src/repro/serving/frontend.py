@@ -1,0 +1,293 @@
+"""ServingFrontend: the cluster's front door.
+
+Every client operation enters here.  The frontend owns the serving-side
+simulated clock (the *arrival* timeline — what a client observes, as
+opposed to the cluster clock that advances with execution), and runs
+each submission through the full pipeline:
+
+1. advance the arrival clock and retire finished queue entries;
+2. per-tenant credit check (shed with ``insufficient_credits``);
+3. route — the :class:`~repro.serving.router.GraphRouter` picks a
+   primary or a fresh one-hop replica;
+4. admission — the :class:`~repro.serving.queue.QueryQueue` either
+   admits the operation (returning its queueing delay) or sheds it with
+   a typed reason;
+5. execute against the cluster (degraded outcomes from injected faults
+   still complete — they consumed their timeout);
+6. writes ship replica updates (asynchronously: charged to the replica
+   hosts' backlogs, not the client's latency);
+7. account the operation to its tenant.
+
+The client-observed latency of a completed operation is
+``queueing wait + execution cost``.  Shed operations never reach a
+server; their outcome carries the typed reason instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from repro.exceptions import (
+    AdmissionRejectedError,
+    ClusterError,
+    FaultInjectedError,
+    InsufficientCreditsError,
+    ServerDownError,
+)
+from repro.serving.accounting import TenantAccounts
+from repro.serving.admission import Priority
+from repro.serving.config import ServingConfig
+from repro.serving.queue import QueryQueue
+from repro.serving.replicas import ReplicaIndex, ReplicaSynchronizer
+from repro.serving.router import GraphRouter
+from repro.telemetry import NULL_TELEMETRY, Telemetry
+from repro.telemetry.registry import DEFAULT_TIME_BUCKETS
+
+#: operation kinds the front door accepts
+SERVING_OPS = ("read", "traverse", "add_vertex", "add_edge")
+
+COMPLETED = "completed"
+DEGRADED = "degraded"
+SHED = "shed"
+
+
+@dataclass
+class ServeOutcome:
+    """What happened to one front-door submission."""
+
+    op: str
+    client: str
+    priority: Priority
+    #: ``completed`` | ``degraded`` (fault timeout) | ``shed``
+    status: str
+    #: typed shed reason (``queue_full`` | ``overload_shed`` |
+    #: ``insufficient_credits``), None unless shed
+    reason: Optional[str] = None
+    #: client-observed simulated latency (wait + cost); sheds observe 0
+    latency: float = 0.0
+    wait: float = 0.0
+    cost: float = 0.0
+    #: server that executed the operation (None when shed)
+    served_by: Optional[int] = None
+    replica_read: bool = False
+    #: pending-update age of the data a replica read served
+    staleness: float = 0.0
+    result: Any = None
+    arrival: float = 0.0
+
+    @property
+    def admitted(self) -> bool:
+        return self.status != SHED
+
+
+class ServingFrontend:
+    """Route, admit, execute, and account every client operation."""
+
+    def __init__(
+        self,
+        cluster,
+        config: Optional[ServingConfig] = None,
+        telemetry: Optional[Telemetry] = None,
+    ):
+        self.cluster = cluster
+        self.config = config or ServingConfig()
+        self.telemetry = telemetry or cluster.telemetry or NULL_TELEMETRY
+        #: serving-side simulated clock: operation arrival times
+        self.now = 0.0
+        self.index = ReplicaIndex(cluster, telemetry=self.telemetry)
+        self.sync = ReplicaSynchronizer(
+            cluster, self.index, self.config, telemetry=self.telemetry
+        )
+        self.queue = QueryQueue(
+            cluster.num_servers, self.config, telemetry=self.telemetry
+        )
+        self.accounts = TenantAccounts(self.config, telemetry=self.telemetry)
+        self.router = GraphRouter(
+            cluster,
+            self.index,
+            self.sync,
+            self.queue,
+            self.config,
+            telemetry=self.telemetry,
+        )
+        self._latency_hist = self.telemetry.histogram(
+            "serving_latency_seconds",
+            "client-observed simulated latency (queue wait + execution)",
+            buckets=DEFAULT_TIME_BUCKETS,
+        )
+
+    # ------------------------------------------------------------------
+    # Topology hooks
+    # ------------------------------------------------------------------
+    def note_topology_change(self) -> None:
+        """A rebalance re-homed vertices; replica placement is stale."""
+        self.index.note_topology_change()
+
+    def rebalance(self, force: bool = False):
+        """Run the cluster's repartitioner and refresh replica placement."""
+        result = self.cluster.rebalance(force=force)
+        if result is not None:
+            self.note_topology_change()
+        return result
+
+    # ------------------------------------------------------------------
+    # The submission pipeline
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        op: str,
+        *args,
+        client: str = "client-0",
+        priority: Priority = Priority.NORMAL,
+        now: Optional[float] = None,
+        **kwargs,
+    ) -> ServeOutcome:
+        """Run one client operation through the front door.
+
+        ``now`` is the operation's arrival time on the serving clock;
+        omitted, the operation arrives as soon as the previous one did
+        (back-to-back).  The clock never runs backwards.
+        """
+        if op not in SERVING_OPS:
+            raise ValueError(f"unknown serving op {op!r}")
+        if now is not None and now > self.now:
+            self.now = now
+        arrival = self.now
+        self.queue.drain(arrival)
+
+        outcome = ServeOutcome(
+            op=op, client=client, priority=priority, status=SHED,
+            arrival=arrival,
+        )
+
+        # 1. Credit gate (before the queue: a tenant out of credits is
+        # shed without consuming admission capacity).
+        try:
+            self.accounts.check_credits(client)
+        except InsufficientCreditsError as rejection:
+            self.queue.record_shed(rejection.reason, arrival)
+            self.accounts.record_shed(client, rejection.reason)
+            outcome.reason = rejection.reason
+            return outcome
+
+        # 2. Route.  The routing lookups double as validation: an
+        # operation that cannot execute (unknown vertex, duplicate
+        # vertex/edge — e.g. a schedule invalidated by an earlier
+        # degraded write) raises ClusterError *here*, before consuming
+        # admission capacity, so queue conservation is never broken by
+        # a mid-pipeline failure.
+        decision = None
+        forward_cost = 0.0
+        if op == "read":
+            decision = self.router.route_read(args[0], arrival)
+            target = decision.host
+            forward_cost = decision.forward_cost
+        elif op == "add_vertex":
+            if args[0] in self.cluster.catalog:
+                raise ClusterError(f"vertex {args[0]} already exists")
+            # The vertex does not exist yet: its home is the hash
+            # placement target the cluster will pick.
+            target = self.cluster._placer.place(args[0], self.cluster.num_servers)
+        else:
+            # traverse starts at its root's primary; add_edge's record
+            # home is the src primary.
+            target, forward_cost = self.router.primary_of(args[0])
+            if op == "add_edge":
+                self.cluster.catalog.lookup(args[1])
+                if self.cluster.graph.has_edge(args[0], args[1]):
+                    raise ClusterError(
+                        f"edge ({args[0]}, {args[1]}) already exists"
+                    )
+
+        # 3. Admit.
+        try:
+            wait = self.queue.try_admit(target, priority, arrival)
+        except AdmissionRejectedError as rejection:
+            self.accounts.record_shed(client, rejection.reason)
+            outcome.reason = rejection.reason
+            return outcome
+
+        # 4. Execute.
+        result, cost, degraded = self._execute(op, args, kwargs, decision, arrival)
+        cost += forward_cost
+
+        # 5. Commit to the queue; the operation occupies its target
+        # server from arrival+wait to finish.
+        finish = self.queue.commit(target, arrival, wait, cost)
+
+        # 6. Writes ship replica updates, stamped at commit time.
+        if not degraded and op in ("add_vertex", "add_edge"):
+            touched = [args[0]] if op == "add_vertex" else [args[0], args[1]]
+            for host, async_cost in self.sync.record_write(touched, finish).items():
+                self.queue.add_backlog(host, finish, async_cost)
+
+        # 7. Account and report.
+        outcome.status = DEGRADED if degraded else COMPLETED
+        outcome.wait = wait
+        outcome.cost = cost
+        outcome.latency = wait + cost
+        outcome.served_by = target
+        outcome.result = result
+        if decision is not None and decision.replica_read and not degraded:
+            outcome.replica_read = True
+            outcome.staleness = self.sync.staleness(args[0], arrival)
+        self.accounts.record_admitted(
+            client, cost, replica_read=outcome.replica_read
+        )
+        self._latency_hist.observe(outcome.latency)
+        return outcome
+
+    def _execute(self, op, args, kwargs, decision, arrival):
+        """Run the operation against the cluster.
+
+        Returns ``(result, cost, degraded)``.  Fault-degraded operations
+        complete with their timeout cost — from the queue's perspective
+        they are completions, which is what keeps admitted == completed
+        + in_flight balanced under fault injection.
+        """
+        cluster = self.cluster
+        if op == "read":
+            if decision is not None and decision.replica_read:
+                properties, cost, _, degraded = self.router.serve_replica_read(
+                    args[0], decision, arrival
+                )
+                return properties, cost, degraded
+            degraded = (
+                cluster.faults is not None
+                and cluster.faults.is_down(decision.primary)
+            )
+            properties, cost = cluster.read_vertex(args[0])
+            return properties, cost, degraded
+        if op == "traverse":
+            result = cluster.traverse(args[0], kwargs.get("hops", args[1] if len(args) > 1 else 1))
+            return result.response, result.cost, result.partial
+        if op == "add_vertex":
+            try:
+                cost = cluster.add_vertex(args[0], **kwargs)
+            except ServerDownError as exc:
+                return None, exc.cost, True
+            return args[0], cost, False
+        # add_edge
+        try:
+            cost = cluster.add_edge(args[0], args[1], **kwargs)
+        except (FaultInjectedError, ServerDownError) as exc:
+            return None, exc.cost, True
+        return (args[0], args[1]), cost, False
+
+    # ------------------------------------------------------------------
+    # Introspection (experiments + simtest auditor)
+    # ------------------------------------------------------------------
+    def conservation(self) -> Dict[str, int]:
+        """Queue-conservation snapshot at the current serving time."""
+        return self.queue.conservation(self.now)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-able summary of the whole serving stack."""
+        return {
+            "now": self.now,
+            "admission_state": self.queue.admission.state,
+            "queue": self.conservation(),
+            "max_served_staleness": self.sync.max_served_staleness,
+            "tenants": self.accounts.totals(),
+        }

@@ -1,0 +1,182 @@
+"""Bounded query queue with backpressure and conservation accounting.
+
+The queue models client-visible queueing on the simulated clock without
+changing the serial execution model underneath: each server carries a
+``free_at`` horizon (the simulated time it finishes its current
+backlog), an admitted operation waits ``max(0, free_at - now)`` before
+its execution cost starts, and its completion is logged on a heap of
+finish times.  Between audit points the queue therefore satisfies the
+conservation law the simtest auditor checks:
+
+    submitted == admitted + shed
+    admitted  == completed + in_flight
+
+where *in_flight* is the number of admitted operations whose simulated
+finish time is still in the future.  Shed operations are partitioned by
+typed reason (``queue_full``, ``overload_shed``,
+``insufficient_credits``), and those per-reason counts must sum to the
+shed total.
+
+All counters are kept as plain integers (the source of truth for the
+invariant) and mirrored into the telemetry registry for export.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional
+
+from repro.exceptions import AdmissionRejectedError
+from repro.serving.admission import AdmissionController, Priority
+from repro.serving.config import ServingConfig
+from repro.telemetry import NULL_TELEMETRY, Telemetry
+from repro.telemetry.registry import DEFAULT_TIME_BUCKETS
+
+#: shed reasons with dedicated conservation slots
+SHED_REASONS = ("queue_full", "overload_shed", "insufficient_credits")
+
+
+class QueryQueue:
+    """Admission-controlled queue in front of the cluster's servers."""
+
+    def __init__(
+        self,
+        num_servers: int,
+        config: ServingConfig,
+        admission: Optional[AdmissionController] = None,
+        telemetry: Optional[Telemetry] = None,
+    ):
+        self.num_servers = num_servers
+        self.config = config
+        self.telemetry = telemetry or NULL_TELEMETRY
+        self.admission = admission or AdmissionController(
+            config, telemetry=self.telemetry
+        )
+        #: per-server simulated time at which its backlog drains
+        self.free_at: List[float] = [0.0] * num_servers
+        #: finish times of admitted-but-not-yet-finished operations
+        self._pending: List[float] = []
+        # Conservation counters (plain ints are authoritative; the
+        # registry mirrors them for export).
+        self.submitted = 0
+        self.admitted = 0
+        self.completed = 0
+        self.shed: Dict[str, int] = {reason: 0 for reason in SHED_REASONS}
+        self._attach_instruments()
+
+    def _attach_instruments(self) -> None:
+        telemetry = self.telemetry
+        self._submitted_c = telemetry.counter(
+            "serving_submitted_total", "operations offered to the front door"
+        )
+        self._admitted_c = telemetry.counter(
+            "serving_admitted_total", "operations admitted past the queue"
+        )
+        self._completed_c = telemetry.counter(
+            "serving_completed_total", "admitted operations past their finish time"
+        )
+        self._shed_c = {
+            reason: telemetry.counter(
+                "serving_shed_total", "operations load-shed by the front door",
+                reason=reason,
+            )
+            for reason in SHED_REASONS
+        }
+        self._depth_gauge = telemetry.gauge(
+            "serving_queue_depth", "operations logically in flight"
+        )
+        self._wait_hist = telemetry.histogram(
+            "serving_queue_wait_seconds",
+            "simulated queueing delay of admitted operations",
+            buckets=DEFAULT_TIME_BUCKETS,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def shed_total(self) -> int:
+        return sum(self.shed.values())
+
+    @property
+    def depth(self) -> int:
+        """Logical queue depth (operations with future finish times)."""
+        return len(self._pending)
+
+    def drain(self, now: float) -> int:
+        """Retire operations whose finish time has passed; returns count."""
+        drained = 0
+        while self._pending and self._pending[0] <= now:
+            heapq.heappop(self._pending)
+            drained += 1
+        if drained:
+            self.completed += drained
+            self._completed_c.inc(drained)
+        self._depth_gauge.set(len(self._pending))
+        return drained
+
+    def utilization(self, now: float) -> float:
+        """Hottest server's backlog over the queue-delay budget, in [0, 2]."""
+        backlog = max(
+            (free - now for free in self.free_at if free > now), default=0.0
+        )
+        return min(2.0, backlog / self.config.max_queue_delay)
+
+    # ------------------------------------------------------------------
+    def try_admit(self, target: int, priority: Priority, now: float) -> float:
+        """Admit one operation bound for ``target`` or raise its typed
+        rejection.  Returns the queueing delay the operation will incur.
+
+        Callers that pre-shed (e.g. accounting) must record the shed via
+        :meth:`record_shed` instead, so conservation still balances.
+        """
+        self.drain(now)
+        self.submitted += 1
+        self._submitted_c.inc()
+        self.admission.observe(self.utilization(now))
+        wait = max(0.0, self.free_at[target] - now)
+        try:
+            self.admission.admit(priority, wait, self.depth)
+        except AdmissionRejectedError as rejection:
+            self.shed[rejection.reason] += 1
+            self._shed_c[rejection.reason].inc()
+            raise
+        self.admitted += 1
+        self._admitted_c.inc()
+        self._wait_hist.observe(wait)
+        return wait
+
+    def record_shed(self, reason: str, now: float) -> None:
+        """Count a shed decided outside the admission check (credits)."""
+        self.drain(now)
+        self.submitted += 1
+        self._submitted_c.inc()
+        self.shed[reason] += 1
+        self._shed_c[reason].inc()
+
+    def commit(self, target: int, now: float, wait: float, cost: float) -> float:
+        """Log an admitted operation's execution; returns its finish time."""
+        finish = now + wait + cost
+        if finish > self.free_at[target]:
+            self.free_at[target] = finish
+        heapq.heappush(self._pending, finish)
+        self._depth_gauge.set(len(self._pending))
+        return finish
+
+    def add_backlog(self, target: int, now: float, cost: float) -> None:
+        """Charge asynchronous work (replica updates) to a server's
+        backlog without a queue entry — it delays later operations but
+        is not itself a client-visible operation."""
+        start = max(self.free_at[target], now)
+        self.free_at[target] = start + cost
+
+    # ------------------------------------------------------------------
+    def conservation(self, now: float) -> Dict[str, int]:
+        """Snapshot for the queue-conservation invariant (drains first)."""
+        self.drain(now)
+        return {
+            "submitted": self.submitted,
+            "admitted": self.admitted,
+            "completed": self.completed,
+            "shed": self.shed_total,
+            "shed_by_reason": dict(self.shed),
+            "in_flight": self.depth,
+        }

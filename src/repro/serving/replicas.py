@@ -1,0 +1,184 @@
+"""Live SPAR replica placement and the replica-update staleness model.
+
+:class:`~repro.cluster.replication.OneHopReplicator` (in-tree since the
+``spar`` comparison experiment, previously unused by any serving path)
+computes the replica set implied by the current partitioning.  This
+module keeps that placement *live* in front of a running cluster:
+
+* :class:`ReplicaIndex` caches the placement and recomputes it lazily —
+  automatically when the logical graph grows (new vertices/edges change
+  which partitions need copies), and on demand after a migration
+  re-homes vertices (``note_topology_change``);
+* :class:`ReplicaSynchronizer` models update propagation on the
+  simulated clock: a primary write at time *t* ships one replica-update
+  message per replica copy over the
+  :class:`~repro.cluster.network.SimulatedNetwork` (so the bytes land on
+  the per-link :class:`~repro.cluster.network.NetworkStats` with normal
+  send=receive conservation), and every replica of the vertex has
+  applied the update by *t + replica_lag*.  Until then a replica read
+  observes data aged ``now - t`` — the router serves it only while that
+  age is within the configured ``max_staleness`` bound.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set, Tuple
+
+from repro.cluster.replication import OneHopReplicator
+from repro.exceptions import FaultInjectedError
+from repro.serving.config import ServingConfig
+from repro.telemetry import NULL_TELEMETRY, Telemetry
+
+#: no replicas: shared fallback for vertices absent from the placement
+_NO_REPLICAS: frozenset = frozenset()
+
+
+class ReplicaIndex:
+    """The cluster's current one-hop replica placement, kept fresh."""
+
+    def __init__(self, cluster, telemetry: Optional[Telemetry] = None):
+        self.cluster = cluster
+        self.telemetry = telemetry or NULL_TELEMETRY
+        self.replicator = OneHopReplicator(telemetry=self.telemetry)
+        self._placements: Optional[Dict[int, Set[int]]] = None
+        #: (num_vertices, num_edges) the cached placement was computed at;
+        #: growth invalidates the cache (migrations do not change counts,
+        #: so they must invalidate via note_topology_change)
+        self._signature: Tuple[int, int] = (-1, -1)
+
+    def _current(self) -> Dict[int, Set[int]]:
+        graph = self.cluster.graph
+        signature = (graph.num_vertices, graph.num_edges)
+        if self._placements is None or signature != self._signature:
+            self._placements = self.replicator.placements(
+                graph, self.cluster.partitioning()
+            )
+            self._signature = signature
+        return self._placements
+
+    def note_topology_change(self) -> None:
+        """A migration (rebalance) re-homed vertices: placement is stale."""
+        self._placements = None
+
+    def replicas_of(self, vertex: int) -> frozenset:
+        """Partitions holding a replica of ``vertex`` (primary excluded)."""
+        placements = self._current()
+        parts = placements.get(vertex)
+        if not parts:
+            return _NO_REPLICAS
+        return frozenset(parts)
+
+    def placements(self) -> Dict[int, Set[int]]:
+        """The full (fresh) vertex -> replica-partition map."""
+        return {v: set(parts) for v, parts in self._current().items()}
+
+
+class ReplicaSynchronizer:
+    """Ships replica updates and answers staleness queries.
+
+    The write path calls :meth:`record_write` with the touched vertices;
+    the read path calls :meth:`staleness`/:meth:`fresh` before routing a
+    read to a replica.  All times are on the serving layer's simulated
+    arrival clock.
+    """
+
+    def __init__(
+        self,
+        cluster,
+        index: ReplicaIndex,
+        config: ServingConfig,
+        telemetry: Optional[Telemetry] = None,
+    ):
+        self.cluster = cluster
+        self.index = index
+        self.config = config
+        #: vertex -> simulated time of its most recent primary write
+        self.last_write: Dict[int, float] = {}
+        #: largest pending-update age any served replica read observed
+        self.max_served_staleness = 0.0
+        self.attach_telemetry(telemetry or NULL_TELEMETRY)
+
+    def attach_telemetry(self, telemetry: Telemetry) -> None:
+        self.telemetry = telemetry
+        self._updates = telemetry.counter(
+            "replica_updates_total", "replica-update messages shipped"
+        )
+        self._update_bytes = telemetry.counter(
+            "replica_update_bytes_total", "payload bytes of replica updates"
+        )
+        self._update_failures = telemetry.counter(
+            "replica_update_failures_total",
+            "replica updates lost to injected faults (re-shipped by "
+            "anti-entropy within the lag window)",
+        )
+
+    # ------------------------------------------------------------------
+    # Write side
+    # ------------------------------------------------------------------
+    def record_write(self, vertices, now: float) -> Dict[int, float]:
+        """A primary write touched ``vertices`` at simulated time ``now``.
+
+        Ships one update message per replica copy through the simulated
+        network (per-link bytes counted on both the send and receive
+        side, preserving the conservation invariant) and stamps the
+        vertices so replica reads observe bounded staleness until
+        ``now + replica_lag``.  Returns the simulated time each replica
+        host spent receiving and applying its updates — replication is
+        asynchronous, so the caller charges that to the replica servers'
+        backlogs, not to the client's latency.
+        """
+        network = self.cluster.network
+        catalog = self.cluster.catalog
+        servers = self.cluster.servers
+        size = self.config.replica_update_bytes
+        costs: Dict[int, float] = {}
+        for vertex in vertices:
+            self.last_write[vertex] = now
+            host = catalog.lookup(vertex)
+            for replica_partition in sorted(self.index.replicas_of(vertex)):
+                try:
+                    shipped = network.transfer(host, replica_partition, size)
+                except FaultInjectedError:
+                    # The update is lost on the wire; the background
+                    # anti-entropy pass re-ships it inside the lag
+                    # window, so the staleness contract still holds.
+                    self._update_failures.inc()
+                    continue
+                # Applying the update costs the replica host one record
+                # write's worth of CPU.
+                apply_cost = network.local_visit()
+                servers[replica_partition].busy_counter.inc(apply_cost)
+                costs[replica_partition] = (
+                    costs.get(replica_partition, 0.0) + shipped + apply_cost
+                )
+                self._updates.inc()
+                self._update_bytes.inc(size)
+        return costs
+
+    # ------------------------------------------------------------------
+    # Read side
+    # ------------------------------------------------------------------
+    def staleness(self, vertex: int, now: float) -> float:
+        """Age of the data a replica of ``vertex`` would serve at ``now``.
+
+        0.0 when the vertex was never written through the front door or
+        the last update has propagated (``now >= write + lag``);
+        otherwise the pending update's age ``now - write``.
+        """
+        written = self.last_write.get(vertex)
+        if written is None:
+            return 0.0
+        if now >= written + self.config.replica_lag:
+            return 0.0
+        return max(0.0, now - written)
+
+    def fresh(self, vertex: int, now: float) -> bool:
+        """May a replica serve ``vertex`` under the staleness bound?"""
+        return self.staleness(vertex, now) <= self.config.max_staleness
+
+    def note_served(self, vertex: int, now: float) -> float:
+        """Record that a replica read was served; returns its staleness."""
+        staleness = self.staleness(vertex, now)
+        if staleness > self.max_served_staleness:
+            self.max_served_staleness = staleness
+        return staleness

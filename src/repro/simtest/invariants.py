@@ -41,6 +41,18 @@ and TESTING.md):
 ``mirror-consistency``
     The cluster's own :meth:`~repro.cluster.hermes.HermesCluster.validate`
     deep check (adjacency chains, ghost conventions, aux counters).
+``queue-conservation``
+    (Serving clusters only.)  The front door's admission ledger
+    balances: submitted == admitted + shed, admitted == completed +
+    in_flight, and the per-reason shed counts sum to the shed total —
+    no operation is lost between the queue, the executor and the
+    accountant.
+``replica-staleness-bound``
+    (Serving clusters only.)  No replica read ever served data older
+    than the configured ``max_staleness``, and the live replica index
+    agrees with a from-scratch one-hop placement computed against the
+    current partitioning — a rebalance that forgot to refresh the
+    index shows up here.
 """
 
 from __future__ import annotations
@@ -49,6 +61,7 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
+from repro.cluster.replication import OneHopReplicator
 from repro.exceptions import ClusterError, InvariantViolationError
 from repro.telemetry.conservation import (
     network_conservation_violations,
@@ -65,6 +78,8 @@ INVARIANT_NAMES = (
     "telemetry-conservation",
     "undo-journal-closed",
     "mirror-consistency",
+    "queue-conservation",
+    "replica-staleness-bound",
 )
 
 
@@ -96,6 +111,8 @@ class InvariantAuditor:
         violations += self._check_telemetry(cluster)
         violations += self._check_journal(cluster)
         violations += self._check_mirror(cluster)
+        violations += self._check_queue_conservation(cluster)
+        violations += self._check_replica_staleness(cluster)
         return violations
 
     def check(self, cluster) -> None:
@@ -323,3 +340,78 @@ class InvariantAuditor:
         except ClusterError as exc:
             return [InvariantViolation("mirror-consistency", str(exc))]
         return []
+
+    # ------------------------------------------------------------------
+    # Serving-layer invariants (no-ops for clusters without a front door)
+    # ------------------------------------------------------------------
+    def _check_queue_conservation(self, cluster) -> List[InvariantViolation]:
+        frontend = getattr(cluster, "serving", None)
+        if frontend is None:
+            return []
+        out: List[InvariantViolation] = []
+        snap = frontend.conservation()
+        if snap["submitted"] != snap["admitted"] + snap["shed"]:
+            out.append(
+                InvariantViolation(
+                    "queue-conservation",
+                    f"submitted {snap['submitted']} != admitted "
+                    f"{snap['admitted']} + shed {snap['shed']}",
+                )
+            )
+        if snap["admitted"] != snap["completed"] + snap["in_flight"]:
+            out.append(
+                InvariantViolation(
+                    "queue-conservation",
+                    f"admitted {snap['admitted']} != completed "
+                    f"{snap['completed']} + in_flight {snap['in_flight']}",
+                )
+            )
+        by_reason = sum(snap["shed_by_reason"].values())
+        if by_reason != snap["shed"]:
+            out.append(
+                InvariantViolation(
+                    "queue-conservation",
+                    f"per-reason shed counts sum to {by_reason}, "
+                    f"shed total is {snap['shed']}",
+                )
+            )
+        return out
+
+    def _check_replica_staleness(self, cluster) -> List[InvariantViolation]:
+        frontend = getattr(cluster, "serving", None)
+        if frontend is None:
+            return []
+        out: List[InvariantViolation] = []
+        bound = frontend.config.max_staleness
+        served = frontend.sync.max_served_staleness
+        if served > bound + 1e-12:
+            out.append(
+                InvariantViolation(
+                    "replica-staleness-bound",
+                    f"a replica read served data {served * 1e3:.3f} ms "
+                    f"stale, past the {bound * 1e3:.3f} ms bound",
+                )
+            )
+        # The live index must agree with a from-scratch placement; a
+        # fresh replicator keeps counters off the cluster's registry.
+        expected = OneHopReplicator().placements(
+            cluster.graph, cluster.partitioning()
+        )
+        actual = frontend.index.placements()
+        expected = {v: set(parts) for v, parts in expected.items() if parts}
+        actual = {v: set(parts) for v, parts in actual.items() if parts}
+        if expected != actual:
+            drifted = sorted(
+                v
+                for v in set(expected) | set(actual)
+                if expected.get(v, set()) != actual.get(v, set())
+            )
+            out.append(
+                InvariantViolation(
+                    "replica-staleness-bound",
+                    f"live replica index disagrees with a fresh one-hop "
+                    f"placement for {len(drifted)} vertices "
+                    f"(first: {drifted[:5]})",
+                )
+            )
+        return out

@@ -15,7 +15,16 @@ them abort the run:
   message (the cluster stayed consistent, the operation did not happen);
 * ``skipped`` — the step was invalidated by an earlier degraded write
   (e.g. an ``add_edge`` whose endpoint vertex never got inserted);
+* ``shed`` — a ``serve`` step was rejected by the front door's
+  admission control (queue full, overload, or out of credits) before
+  reaching any server;
 * ``ok`` — the operation completed.
+
+``serve`` steps route through the spec's
+:class:`~repro.serving.frontend.ServingFrontend` (attached to the
+cluster as ``cluster.serving`` by ``build_cluster``); rebalances on a
+serving cluster go through the frontend too, so the live replica index
+is refreshed exactly when a migration re-homes vertices.
 
 After every step (or every ``audit_every`` steps) the
 :class:`~repro.simtest.invariants.InvariantAuditor` sweeps the cluster;
@@ -33,6 +42,8 @@ from repro.exceptions import (
     HermesError,
     MigrationAbortedError,
 )
+from repro.serving.admission import Priority
+from repro.serving.frontend import DEGRADED, SHED
 from repro.simtest.invariants import InvariantAuditor, InvariantViolation
 from repro.simtest.scenario import Schedule, ScenarioSpec, Step, build_cluster
 
@@ -96,7 +107,7 @@ class ScenarioRunner:
     # ------------------------------------------------------------------
     def _apply(self, cluster, step: Step) -> str:
         try:
-            self._dispatch(cluster, step)
+            status = self._dispatch(cluster, step)
         except MigrationAbortedError:
             return "aborted"
         except FaultInjectedError:
@@ -105,9 +116,10 @@ class ScenarioRunner:
             # e.g. an add_edge whose endpoint was lost to a degraded
             # add_vertex earlier, or a read of a never-inserted vertex.
             return "skipped"
-        return "ok"
+        return status or "ok"
 
-    def _dispatch(self, cluster, step: Step) -> None:
+    def _dispatch(self, cluster, step: Step) -> Optional[str]:
+        """Execute one step; returns a status override or None (= ok)."""
         kind, args = step.kind, step.args
         if kind == "traverse":
             cluster.traverse(int(args["start"]), hops=int(args["hops"]))
@@ -117,8 +129,16 @@ class ScenarioRunner:
             cluster.add_edge(int(args["u"]), int(args["v"]))
         elif kind == "add_vertex":
             cluster.add_vertex(int(args["vertex"]))
+        elif kind == "serve":
+            return self._serve(cluster, args)
         elif kind == "rebalance":
-            cluster.rebalance(force=bool(args.get("force", False)))
+            frontend = getattr(cluster, "serving", None)
+            if frontend is not None:
+                # Through the front door: refreshes the replica index
+                # iff the repartitioner actually moved vertices.
+                frontend.rebalance(force=bool(args.get("force", False)))
+            else:
+                cluster.rebalance(force=bool(args.get("force", False)))
         elif kind == "decay":
             cluster.decay_weights(float(args.get("factor", 0.5)))
         elif kind == "attach_faults":
@@ -132,6 +152,50 @@ class ScenarioRunner:
             _corrupt(cluster, str(args.get("mode", "catalog_drift")))
         else:
             raise ValueError(f"unknown step kind {kind!r}")
+        return None
+
+    def _serve(self, cluster, args: Dict[str, object]) -> Optional[str]:
+        """Dispatch one front-door submission; maps its outcome to a
+        step status (``shed``/``degraded``/ok)."""
+        frontend = _frontend(cluster)
+        op = str(args["op"])
+        op_args = dict(args.get("args", {}))
+        if op == "traverse":
+            positional = (int(op_args["start"]),)
+            keywords = {"hops": int(op_args.get("hops", 1))}
+        elif op == "read" or op == "add_vertex":
+            positional = (int(op_args["vertex"]),)
+            keywords = {}
+        elif op == "add_edge":
+            positional = (int(op_args["u"]), int(op_args["v"]))
+            keywords = {}
+        else:
+            raise ValueError(f"unknown serve op {op!r}")
+        outcome = frontend.submit(
+            op,
+            *positional,
+            client=str(args.get("client", "client-0")),
+            priority=Priority.from_name(str(args.get("priority", "normal"))),
+            now=frontend.now + float(args.get("gap", 0.0)),
+            **keywords,
+        )
+        if outcome.status == SHED:
+            return "shed"
+        if outcome.status == DEGRADED:
+            return "degraded"
+        return None
+
+
+def _frontend(cluster):
+    """The cluster's serving front door, attached on first use for
+    hand-written schedules whose spec did not declare ``serving``."""
+    frontend = getattr(cluster, "serving", None)
+    if frontend is None:
+        from repro.serving.frontend import ServingFrontend
+
+        frontend = ServingFrontend(cluster)
+        cluster.serving = frontend
+    return frontend
 
 
 def _corrupt(cluster, mode: str) -> None:
@@ -161,6 +225,16 @@ def _corrupt(cluster, mode: str) -> None:
         cluster._executor.active_journal = [("import", 0, 0)]
     elif mode == "stats_skew":
         cluster.network.stats.bytes_sent += 64
+    elif mode == "queue_skew":
+        # An admitted operation that never committed nor shed: breaks
+        # admitted == completed + in_flight.
+        _frontend(cluster).queue.admitted += 1
+    elif mode == "stale_serve":
+        # Pretend a replica served data far beyond the staleness bound.
+        frontend = _frontend(cluster)
+        frontend.sync.max_served_staleness = (
+            frontend.config.max_staleness * 10
+        )
     else:
         raise ValueError(f"unknown corruption mode {mode!r}")
 
@@ -173,4 +247,6 @@ CORRUPT_MODES = (
     "cache_poison",
     "journal_leak",
     "stats_skew",
+    "queue_skew",
+    "stale_serve",
 )

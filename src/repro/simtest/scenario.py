@@ -11,6 +11,18 @@ what makes a failing run replayable from an artifact file: the same
 spec + schedule always reproduce the same cluster states
 (FoundationDB-style deterministic simulation, scaled to this simulator).
 
+Scenarios may additionally exercise the front-door serving layer
+(:class:`~repro.serving.frontend.ServingFrontend`): when
+``spec.serving`` is true the workload steps are wrapped as ``serve``
+steps carrying a client id, a priority class and a Poisson-ish
+inter-arrival gap, and the auditor extends its sweep with the
+queue-conservation and replica-staleness invariants.  The serving
+decision and the serve-step decorations are drawn from a *separate*
+seeded stream (``("hermes-serving", seed)``), so the base spec and
+schedule for a given seed are byte-identical to what pre-serving
+versions of the harness generated — old replay artifacts (which lack
+the ``serving`` key) load and reproduce unchanged.
+
 The generator never emits ``corrupt`` steps — those are the test-only
 hook the acceptance tests use to prove the auditor catches violations —
 but the runner understands them so corrupted schedules shrink and replay
@@ -20,7 +32,7 @@ exactly like organic ones.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
 from repro.cluster.hermes import HermesCluster
@@ -35,6 +47,15 @@ READ_KINDS = ("traverse", "read")
 WRITE_KINDS = ("add_edge", "add_vertex")
 MAINTENANCE_KINDS = ("rebalance", "decay")
 
+#: workload kinds that route through the front door in serving scenarios
+FRONT_DOOR_KINDS = READ_KINDS + WRITE_KINDS
+
+#: priority names serve steps draw from (the overload experiment's mix:
+#: mostly NORMAL, with BATCH and INTERACTIVE tails)
+_SERVE_PRIORITIES = (
+    "batch", "normal", "normal", "normal", "interactive",
+)
+
 
 @dataclass(frozen=True)
 class ScenarioSpec:
@@ -48,6 +69,9 @@ class ScenarioSpec:
     batch_remote_hops: bool = True
     epsilon: float = 1.2
     k: int = 2
+    #: route the workload through a ServingFrontend (serve steps) and
+    #: audit the serving-layer invariants
+    serving: bool = False
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -59,6 +83,7 @@ class ScenarioSpec:
             "batch_remote_hops": self.batch_remote_hops,
             "epsilon": self.epsilon,
             "k": self.k,
+            "serving": self.serving,
         }
 
     @classmethod
@@ -72,6 +97,9 @@ class ScenarioSpec:
             batch_remote_hops=bool(data["batch_remote_hops"]),
             epsilon=float(data["epsilon"]),
             k=int(data["k"]),
+            # Absent from pre-serving artifacts: default off so they
+            # load and replay unchanged.
+            serving=bool(data.get("serving", False)),
         )
 
 
@@ -110,18 +138,29 @@ def build_graph(spec: ScenarioSpec) -> SocialGraph:
 
 
 def build_cluster(spec: ScenarioSpec) -> HermesCluster:
-    """A loaded cluster in the spec's exact initial state."""
+    """A loaded cluster in the spec's exact initial state.
+
+    Serving specs come back with a :class:`ServingFrontend` attached as
+    ``cluster.serving`` — the runner dispatches ``serve`` steps through
+    it and the auditor checks the serving invariants whenever the
+    attribute is present.
+    """
     graph = build_graph(spec)
     placement = HashPartitioner(salt=spec.placement_salt).partition(
         graph, spec.num_servers
     )
-    return HermesCluster.from_graph(
+    cluster = HermesCluster.from_graph(
         graph,
         num_servers=spec.num_servers,
         partitioning=placement,
         network=NetworkConfig(batch_remote_hops=spec.batch_remote_hops),
         repartitioner=RepartitionerConfig(epsilon=spec.epsilon, k=spec.k),
     )
+    if spec.serving:
+        from repro.serving.frontend import ServingFrontend
+
+        cluster.serving = ServingFrontend(cluster)
+    return cluster
 
 
 class ScenarioGenerator:
@@ -150,6 +189,13 @@ class ScenarioGenerator:
             k=2,
         )
         schedule = self._schedule(spec, rng)
+        # The serving decision and every serve-step decoration draw from
+        # their own stream so the base spec/schedule above stay
+        # byte-identical per seed whether or not serving exists.
+        serving_rng = random.Random(("hermes-serving", self.seed).__repr__())
+        if serving_rng.random() < 0.5:
+            spec = replace(spec, serving=True)
+            schedule = self._serving_schedule(schedule, serving_rng)
         return spec, schedule
 
     # ------------------------------------------------------------------
@@ -211,6 +257,44 @@ class ScenarioGenerator:
                 faults_active = True
                 clear_in = rng.randint(3, 8)
         return schedule
+
+    def _serving_schedule(
+        self, schedule: Schedule, rng: random.Random
+    ) -> Schedule:
+        """Wrap every workload step as a front-door ``serve`` step.
+
+        Maintenance and fault steps pass through untouched.  Each serve
+        step gains a client id (4 tenants, so accounting attribution is
+        exercised), a priority class drawn from the overload
+        experiment's mix, and an inter-arrival ``gap`` in simulated
+        seconds on the serving clock.  Arrivals are bursty: most gaps
+        are several operations wide (backlogs drain, the state machine
+        de-escalates), but ~30% are sub-lag flash-crowd gaps, which is
+        what drives genuine queueing, shedding episodes, and replica
+        reads inside the staleness window.
+        """
+        converted: Schedule = []
+        for step in schedule:
+            if step.kind not in FRONT_DOOR_KINDS:
+                converted.append(step)
+                continue
+            if rng.random() < 0.3:
+                gap = rng.uniform(0.0, 0.0005)
+            else:
+                gap = rng.uniform(0.001, 0.008)
+            converted.append(
+                Step(
+                    "serve",
+                    {
+                        "op": step.kind,
+                        "args": dict(step.args),
+                        "client": f"client-{rng.randrange(4)}",
+                        "priority": rng.choice(_SERVE_PRIORITIES),
+                        "gap": round(gap, 6),
+                    },
+                )
+            )
+        return converted
 
     def _add_edge_step(
         self,

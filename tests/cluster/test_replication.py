@@ -8,6 +8,7 @@ from repro.graph.generators import community_graph
 from repro.partitioning.base import Partitioning
 from repro.partitioning.hashing import HashPartitioner
 from repro.partitioning.multilevel import MultilevelPartitioner
+from repro.telemetry import Telemetry
 
 
 @pytest.fixture
@@ -82,3 +83,56 @@ class TestStats:
         stats = replicator.stats(graph, Partitioning(2))
         assert stats.replication_factor == 0.0
         assert stats.two_hop_local_fraction == 1.0
+
+
+class TestTelemetry:
+    def make_instrumented(self):
+        hub = Telemetry()
+        return OneHopReplicator(telemetry=hub), hub
+
+    def test_placements_counts_computations_and_copies(self):
+        replicator, hub = self.make_instrumented()
+        graph = SocialGraph.from_edges([(0, 1)])
+        partitioning = Partitioning.from_mapping({0: 0, 1: 1})
+        replicator.placements(graph, partitioning)
+        assert replicator._placements_counter.value == 1
+        # One cut edge: each endpoint gets one replica across the cut.
+        assert replicator._copies_counter.value == 2
+        replicator.placements(graph, partitioning)
+        assert replicator._placements_counter.value == 2
+        assert replicator._copies_counter.value == 4
+
+    def test_stats_exports_tradeoff_gauges(self):
+        replicator, hub = self.make_instrumented()
+        graph = SocialGraph.from_edges([(0, 1)])
+        partitioning = Partitioning.from_mapping({0: 0, 1: 1})
+        stats = replicator.stats(graph, partitioning)
+        snapshot = {
+            sample["name"]: sample["value"]
+            for sample in hub.registry.snapshot()
+            if "value" in sample
+        }
+        assert snapshot["replication_factor"] == pytest.approx(
+            stats.replication_factor
+        )
+        assert snapshot["replication_total_replicas"] == 2
+        assert snapshot["replication_write_amplification"] == pytest.approx(
+            stats.write_amplification
+        )
+
+    def test_default_null_hub_is_inert(self):
+        replicator = OneHopReplicator()
+        graph = SocialGraph.from_edges([(0, 1)])
+        partitioning = Partitioning.from_mapping({0: 0, 1: 1})
+        replicator.placements(graph, partitioning)
+        assert replicator._placements_counter.value == 0.0
+
+    def test_attach_telemetry_rebinds(self):
+        replicator = OneHopReplicator()
+        graph = SocialGraph.from_edges([(0, 1)])
+        partitioning = Partitioning.from_mapping({0: 0, 1: 1})
+        replicator.placements(graph, partitioning)  # no-op hub
+        hub = Telemetry()
+        replicator.attach_telemetry(hub)
+        replicator.placements(graph, partitioning)
+        assert replicator._placements_counter.value == 1

@@ -1,0 +1,72 @@
+"""Per-tenant metering and credit gating."""
+
+import pytest
+
+from repro.exceptions import InsufficientCreditsError
+from repro.serving import TenantAccounts
+from repro.serving.config import ServingConfig
+
+
+class TestMetering:
+    def test_usage_accumulates_per_tenant(self):
+        accounts = TenantAccounts(ServingConfig())
+        accounts.record_admitted("alpha", cost=1e-4)
+        accounts.record_admitted("alpha", cost=2e-4, replica_read=True)
+        accounts.record_admitted("beta", cost=5e-4)
+        accounts.record_shed("beta", "overload_shed")
+        alpha, beta = accounts.usage("alpha"), accounts.usage("beta")
+        assert alpha.admitted == 2
+        assert alpha.replica_reads == 1
+        assert alpha.cost_seconds == pytest.approx(3e-4)
+        assert beta.operations == 2
+        assert beta.shed_by_reason == {"overload_shed": 1}
+
+    def test_totals_snapshot_is_sorted_and_plain(self):
+        accounts = TenantAccounts(ServingConfig())
+        accounts.record_admitted("b", cost=1e-4)
+        accounts.record_admitted("a", cost=1e-4)
+        totals = accounts.totals()
+        assert list(totals) == ["a", "b"]
+        assert totals["a"]["admitted"] == 1
+        assert totals["a"]["credits"] is None  # gating disabled
+
+    def test_metering_without_credits_never_sheds(self):
+        accounts = TenantAccounts(ServingConfig(tenant_credits=None))
+        for _ in range(100):
+            accounts.check_credits("tenant")
+            accounts.record_admitted("tenant", cost=1.0)
+
+
+class TestCreditGating:
+    def test_balance_depletes_and_gates(self):
+        accounts = TenantAccounts(
+            ServingConfig(tenant_credits=2.0, credit_per_op=1.0)
+        )
+        accounts.check_credits("t")
+        accounts.record_admitted("t", cost=0.0)
+        accounts.check_credits("t")
+        accounts.record_admitted("t", cost=0.0)
+        with pytest.raises(InsufficientCreditsError) as info:
+            accounts.check_credits("t")
+        assert info.value.reason == "insufficient_credits"
+        assert info.value.tenant == "t"
+
+    def test_cost_proportional_debit(self):
+        accounts = TenantAccounts(
+            ServingConfig(
+                tenant_credits=10.0,
+                credit_per_op=1.0,
+                credits_per_cost_second=1000.0,
+            )
+        )
+        accounts.record_admitted("t", cost=2e-3)  # 1 + 2 credits
+        assert accounts.usage("t").credits == pytest.approx(7.0)
+
+    def test_tenants_are_isolated(self):
+        accounts = TenantAccounts(
+            ServingConfig(tenant_credits=1.0, credit_per_op=1.0)
+        )
+        accounts.record_admitted("poor", cost=0.0)
+        with pytest.raises(InsufficientCreditsError):
+            accounts.check_credits("poor")
+        accounts.check_credits("rich")  # unaffected

@@ -1,0 +1,193 @@
+"""End-to-end front-door pipeline: route, admit, execute, account."""
+
+import pytest
+
+from repro.cluster.hermes import HermesCluster
+from repro.exceptions import ClusterError
+from repro.partitioning.base import Partitioning
+from repro.partitioning.hashing import HashPartitioner
+from repro.serving import (
+    COMPLETED,
+    DEGRADED,
+    SHED,
+    Priority,
+    ServingConfig,
+    ServingFrontend,
+)
+from tests.conftest import crash_plan, make_random_graph
+
+
+def make_frontend(config=None, n=30, servers=3):
+    graph = make_random_graph(n, 2 * n, seed=5)
+    cluster = HermesCluster.from_graph(
+        graph, num_servers=servers, partitioner=HashPartitioner()
+    )
+    return ServingFrontend(cluster, config=config or ServingConfig())
+
+
+def check_conservation(frontend):
+    snap = frontend.conservation()
+    assert snap["submitted"] == snap["admitted"] + snap["shed"]
+    assert snap["admitted"] == snap["completed"] + snap["in_flight"]
+    assert sum(snap["shed_by_reason"].values()) == snap["shed"]
+    return snap
+
+
+class TestPipeline:
+    def test_read_completes_with_latency_decomposition(self):
+        frontend = make_frontend()
+        outcome = frontend.submit("read", 0, client="c0", now=1.0)
+        assert outcome.status == COMPLETED
+        assert outcome.admitted
+        assert outcome.latency == pytest.approx(outcome.wait + outcome.cost)
+        assert outcome.served_by is not None
+        assert frontend.accounts.usage("c0").admitted == 1
+        check_conservation(frontend)
+
+    def test_all_op_kinds_complete(self):
+        frontend = make_frontend()
+        n = frontend.cluster.graph.num_vertices
+        assert frontend.submit("traverse", 0, hops=2).status == COMPLETED
+        assert frontend.submit("add_vertex", n, now=0.1).status == COMPLETED
+        assert frontend.submit("add_edge", n, 0, now=0.2).status == COMPLETED
+        assert frontend.submit("read", n, now=0.3).status == COMPLETED
+        snap = check_conservation(frontend)
+        assert snap["admitted"] == 4
+
+    def test_unknown_op_rejected(self):
+        frontend = make_frontend()
+        with pytest.raises(ValueError):
+            frontend.submit("drop_table", 0)
+
+    def test_clock_never_runs_backwards(self):
+        frontend = make_frontend()
+        frontend.submit("read", 0, now=5.0)
+        frontend.submit("read", 1, now=1.0)
+        assert frontend.now == 5.0
+
+    def test_writes_ship_replica_updates_to_backlogs(self):
+        frontend = make_frontend()
+        updates_before = frontend.sync._updates.value
+        free_before = list(frontend.queue.free_at)
+        # A burst of edges across partitions must ship replica updates.
+        n = frontend.cluster.graph.num_vertices
+        frontend.submit("add_vertex", n, now=0.0)
+        for i in range(8):
+            frontend.submit("add_edge", n, i, now=0.0)
+        assert frontend.sync._updates.value > updates_before
+        assert frontend.queue.free_at != free_before
+        check_conservation(frontend)
+
+
+class TestShedding:
+    def test_overload_sheds_with_reason_and_accounts(self):
+        config = ServingConfig(max_queue_delay=0.5e-3)
+        frontend = make_frontend(config)
+        shed = 0
+        for i in range(60):
+            outcome = frontend.submit(
+                "traverse", i % 20, hops=2, client="c0", priority=Priority.BATCH
+            )
+            shed += outcome.status == SHED
+        assert shed > 0
+        snap = check_conservation(frontend)
+        assert snap["shed"] == shed
+        assert frontend.accounts.usage("c0").shed == shed
+        assert frontend.queue.admission.state != "accepting"
+
+    def test_interactive_survives_longer_than_batch(self):
+        config = ServingConfig(max_queue_delay=0.5e-3)
+        frontend = make_frontend(config)
+        outcomes = {Priority.BATCH: 0, Priority.INTERACTIVE: 0}
+        for i in range(40):
+            for priority in outcomes:
+                outcome = frontend.submit("read", i % 20, priority=priority)
+                outcomes[priority] += outcome.status != SHED
+        assert outcomes[Priority.INTERACTIVE] >= outcomes[Priority.BATCH]
+
+    def test_credit_exhaustion_sheds_before_queue(self):
+        config = ServingConfig(tenant_credits=3.0)
+        frontend = make_frontend(config)
+        outcomes = [
+            frontend.submit("read", i, client="t", now=i * 1.0) for i in range(5)
+        ]
+        assert [o.status for o in outcomes[:3]] == [COMPLETED] * 3
+        assert [o.status for o in outcomes[3:]] == [SHED] * 2
+        assert all(o.reason == "insufficient_credits" for o in outcomes[3:])
+        check_conservation(frontend)
+
+
+class TestValidation:
+    """Invalid operations are rejected before admission, so a failed
+    submission can never break queue conservation."""
+
+    def test_unknown_read_vertex_raises_before_admission(self):
+        frontend = make_frontend()
+        with pytest.raises(ClusterError):
+            frontend.submit("read", 10**6)
+        snap = check_conservation(frontend)
+        assert snap["submitted"] == 0
+
+    def test_duplicate_add_vertex_raises_before_admission(self):
+        frontend = make_frontend()
+        with pytest.raises(ClusterError):
+            frontend.submit("add_vertex", 0)
+        assert frontend.conservation()["submitted"] == 0
+
+    def test_add_edge_missing_endpoint_raises_before_admission(self):
+        frontend = make_frontend()
+        with pytest.raises(ClusterError):
+            frontend.submit("add_edge", 0, 10**6)
+        assert frontend.conservation()["submitted"] == 0
+
+    def test_duplicate_edge_raises_before_admission(self):
+        frontend = make_frontend()
+        u, v = next(iter(frontend.cluster.graph.edges()))
+        with pytest.raises(ClusterError):
+            frontend.submit("add_edge", u, v)
+        assert frontend.conservation()["submitted"] == 0
+
+
+class TestFaults:
+    def test_crashed_server_degrades_but_conserves(self):
+        graph = make_random_graph(4, 3, seed=3)
+        cluster = HermesCluster.from_graph(
+            graph,
+            num_servers=2,
+            partitioning=Partitioning.from_mapping({0: 0, 1: 0, 2: 1, 3: 1}),
+        )
+        frontend = ServingFrontend(cluster)
+        cluster.attach_faults(crash_plan(1))
+        outcome = frontend.submit("read", 2)
+        assert outcome.status == DEGRADED
+        assert outcome.admitted
+        snap = check_conservation(frontend)
+        assert snap["admitted"] == 1
+
+
+class TestTopology:
+    def test_rebalance_refreshes_replica_index(self):
+        frontend = make_frontend()
+        result = frontend.rebalance(force=True)
+        if result is None:
+            pytest.skip("repartitioner declined to move anything")
+        # The index recomputed against the new partitioning: it must
+        # match a from-scratch placement.
+        from repro.cluster.replication import OneHopReplicator
+
+        fresh = OneHopReplicator().placements(
+            frontend.cluster.graph, frontend.cluster.partitioning()
+        )
+        assert {
+            v: set(p) for v, p in frontend.index.placements().items() if p
+        } == {v: set(p) for v, p in fresh.items() if p}
+
+    def test_snapshot_is_json_able(self):
+        import json
+
+        frontend = make_frontend()
+        frontend.submit("read", 0, client="c1")
+        snapshot = frontend.snapshot()
+        json.dumps(snapshot)
+        assert snapshot["queue"]["admitted"] == 1
+        assert "c1" in snapshot["tenants"]

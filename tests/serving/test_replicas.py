@@ -1,0 +1,130 @@
+"""Replica index freshness and the replica-update staleness model."""
+
+import pytest
+
+from repro.cluster.hermes import HermesCluster
+from repro.partitioning.base import Partitioning
+from repro.serving import ReplicaIndex, ReplicaSynchronizer
+from repro.serving.config import ServingConfig
+from repro.telemetry.conservation import network_conservation_violations
+from tests.conftest import link_down_plan, make_random_graph
+
+
+def cut_pair_cluster():
+    """Two servers, one cut edge: vertex 0 on server 0, vertex 1 on 1."""
+    graph = make_random_graph(2, 0)
+    graph.add_edge(0, 1)
+    return HermesCluster.from_graph(
+        graph,
+        num_servers=2,
+        partitioning=Partitioning.from_mapping({0: 0, 1: 1}),
+    )
+
+
+class TestReplicaIndex:
+    def test_cut_edge_places_replicas_both_sides(self):
+        cluster = cut_pair_cluster()
+        index = ReplicaIndex(cluster)
+        assert index.replicas_of(0) == {1}
+        assert index.replicas_of(1) == {0}
+
+    def test_internal_vertex_has_no_replicas(self):
+        graph = make_random_graph(3, 0)
+        graph.add_edge(0, 1)
+        cluster = HermesCluster.from_graph(
+            graph,
+            num_servers=2,
+            partitioning=Partitioning.from_mapping({0: 0, 1: 0, 2: 1}),
+        )
+        index = ReplicaIndex(cluster)
+        assert index.replicas_of(0) == frozenset()
+        assert index.replicas_of(2) == frozenset()
+
+    def test_graph_growth_invalidates_automatically(self):
+        cluster = cut_pair_cluster()
+        index = ReplicaIndex(cluster)
+        assert index.replicas_of(0) == {1}
+        cluster.add_vertex(2)
+        cluster.add_edge(0, 2)
+        home_2 = cluster.catalog.lookup(2)
+        if home_2 != 0:
+            assert home_2 in index.replicas_of(0)
+        assert index.replicas_of(2) is not None  # recomputed, no stale KeyError
+
+    def test_note_topology_change_forces_recompute(self):
+        cluster = cut_pair_cluster()
+        index = ReplicaIndex(cluster)
+        index.replicas_of(0)
+        # Move vertex 1 onto server 0: the edge is now internal, but the
+        # cached placement (same vertex/edge counts) says otherwise.
+        from tests.conftest import migrate_moves
+
+        migrate_moves(cluster, {1: (1, 0)})
+        assert index.replicas_of(0) == {1}  # stale cache
+        index.note_topology_change()
+        assert index.replicas_of(0) == frozenset()
+
+
+class TestSynchronizer:
+    def make_sync(self, cluster, **overrides):
+        config = ServingConfig(**overrides)
+        index = ReplicaIndex(cluster)
+        sync = ReplicaSynchronizer(
+            cluster, index, config, telemetry=cluster.telemetry
+        )
+        return sync, config
+
+    def test_staleness_timeline(self):
+        cluster = cut_pair_cluster()
+        sync, config = self.make_sync(cluster, replica_lag=1e-3)
+        assert sync.staleness(0, now=5.0) == 0.0  # never written
+        sync.record_write([0], now=1.0)
+        assert sync.staleness(0, now=1.0004) == pytest.approx(0.0004)
+        # Past the lag the update has applied everywhere: fresh again.
+        assert sync.staleness(0, now=1.0 + 1e-3) == 0.0
+
+    def test_fresh_respects_bound(self):
+        cluster = cut_pair_cluster()
+        sync, config = self.make_sync(cluster, replica_lag=10e-3, max_staleness=2e-3)
+        sync.record_write([0], now=0.0)
+        assert sync.fresh(0, now=1e-3)
+        assert not sync.fresh(0, now=5e-3)  # pending and past the bound
+
+    def test_update_ships_bytes_with_link_conservation(self):
+        cluster = cut_pair_cluster()
+        sync, config = self.make_sync(cluster)
+        before = cluster.network.stats.bytes_sent
+        costs = sync.record_write([0], now=0.0)
+        assert set(costs) == {1}
+        assert costs[1] > 0.0
+        assert (
+            cluster.network.stats.bytes_sent
+            == before + config.replica_update_bytes
+        )
+        assert network_conservation_violations(cluster.network.stats) == []
+
+    def test_update_charges_replica_host_not_caller(self):
+        cluster = cut_pair_cluster()
+        sync, _ = self.make_sync(cluster)
+        busy_before = cluster.servers[1].busy_seconds
+        sync.record_write([0], now=0.0)
+        assert cluster.servers[1].busy_seconds > busy_before
+
+    def test_lost_update_counts_failure_but_still_stamps(self):
+        cluster = cut_pair_cluster()
+        sync, config = self.make_sync(cluster)
+        cluster.attach_faults(link_down_plan(0, 1))
+        costs = sync.record_write([0], now=0.0)
+        assert costs == {}
+        assert sync._update_failures.value >= 1
+        # The write is still stamped: reads observe staleness regardless.
+        assert sync.staleness(0, now=config.replica_lag / 2) > 0.0
+
+    def test_note_served_tracks_maximum(self):
+        cluster = cut_pair_cluster()
+        sync, _ = self.make_sync(cluster, replica_lag=10e-3, max_staleness=1.0)
+        sync.record_write([0], now=0.0)
+        sync.note_served(0, now=1e-3)
+        sync.note_served(0, now=4e-3)
+        sync.note_served(0, now=2e-3)
+        assert sync.max_served_staleness == pytest.approx(4e-3)

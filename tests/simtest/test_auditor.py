@@ -37,6 +37,8 @@ EXPECTED_INVARIANT = {
     "cache_poison": "location-cache-coherence",
     "journal_leak": "undo-journal-closed",
     "stats_skew": "telemetry-conservation",
+    "queue_skew": "queue-conservation",
+    "stale_serve": "replica-staleness-bound",
 }
 
 

@@ -42,15 +42,21 @@ def test_seeded_scenario_holds_every_invariant(seed):
 
 def test_scenarios_exercise_the_interesting_paths():
     """Across the tier-1 seed range the schedules must actually hit
-    rebalances, fault episodes and degraded operations — otherwise the
-    invariant audit is vacuous."""
+    rebalances, fault episodes, degraded operations and the serving
+    front door — otherwise the invariant audit is vacuous."""
     kinds = set()
     statuses = set()
+    serving_specs = 0
     for seed in range(min(NUM_SEEDS, 30)):
         spec, schedule = ScenarioGenerator(seed).generate()
+        serving_specs += spec.serving
         kinds.update(step.kind for step in schedule)
         statuses.update(ScenarioRunner().run(spec, schedule).statuses)
     assert {"traverse", "read", "add_edge", "add_vertex", "rebalance",
-            "decay", "attach_faults", "clear_faults"} <= kinds
+            "decay", "attach_faults", "clear_faults", "serve"} <= kinds
     assert "ok" in statuses
     assert "degraded" in statuses or "aborted" in statuses
+    # Serving scenarios appear, and admission control genuinely sheds in
+    # some of them (the queue-conservation invariant covers both arms).
+    assert serving_specs > 0
+    assert "shed" in statuses
