@@ -131,6 +131,28 @@ class HermesCluster:
             location_cache=self.location_cache,
         )
         self._placer = HashPartitioner()
+        #: optional WorkloadModel observing traversal traffic (see
+        #: attach_workload_model); None keeps the read path untouched
+        self.workload_model = None
+
+    # ==================================================================
+    # Workload model
+    # ==================================================================
+    def attach_workload_model(self, model) -> None:
+        """Feed traversal traffic into a WorkloadModel (None detaches).
+
+        While attached, every frontier expansion the traversal engine
+        performs becomes one :meth:`~repro.workloads.model.WorkloadModel.
+        observe_edge` call, and the cluster clock drives the model's
+        decay clock.  Observation is passive — costs, schedules and
+        results of the read path are unchanged; the model only becomes
+        *active* when its heat is attached to the auxiliary data for a
+        workload-aware rebalance (``RepartitionerConfig.workload_alpha``).
+        """
+        if model is not None:
+            model.advance(self.now)
+        self.workload_model = model
+        self._engine.workload_model = model
 
     # ==================================================================
     # Fault injection
@@ -170,6 +192,8 @@ class HermesCluster:
         if self.faults is not None:
             # The operation's in-flight time is now part of the clock.
             self.faults.reset()
+        if self.workload_model is not None:
+            self.workload_model.advance(self.now)
 
     # ==================================================================
     # Loading
@@ -373,6 +397,13 @@ class HermesCluster:
             return None
         span = self.telemetry.span("rebalance", forced=force)
         scratch = self.catalog.snapshot()
+        if (
+            self.workload_model is not None
+            and self.repartitioner_config.workload_alpha > 0.0
+        ):
+            # Close the telemetry loop: refresh the auxiliary data's heat
+            # overlay from the observed traffic before selecting moves.
+            self.aux.attach_heat(self.workload_model.normalized_edge_heat())
         repartitioner = LightweightRepartitioner(self.repartitioner_config)
         result = repartitioner.run(
             self.graph, scratch, aux=self.aux, telemetry=self.telemetry

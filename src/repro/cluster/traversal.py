@@ -130,6 +130,9 @@ class TraversalEngine:
         self.catalog = catalog
         self.network = network
         self.retry = retry or RetryPolicy()
+        #: optional WorkloadModel fed one observation per frontier
+        #: expansion (set via HermesCluster.attach_workload_model)
+        self.workload_model = None
         self.attach_telemetry(telemetry or NULL_TELEMETRY)
         # Standalone engines get a private cache; a cluster passes the
         # shared instance the migration executor invalidates through.
@@ -150,6 +153,10 @@ class TraversalEngine:
         )
         self._cost_hist = telemetry.histogram(
             "traversal_cost_seconds", "simulated execution time of one traversal"
+        )
+        self._model_observations = telemetry.counter(
+            "workload_model_observations_total",
+            "edge observations fed to the attached workload model",
         )
 
     def traverse(self, start: int, hops: int) -> TraversalResult:
@@ -348,6 +355,13 @@ class TraversalEngine:
             # response, its expansions are lost.
             state.failed.add(host)
             return True
+        model = self.workload_model
+        if model is not None and entries:
+            # Every frontier expansion follows edge (vertex, neighbor):
+            # that is the per-edge traffic the heat model accumulates.
+            for entry in entries:
+                model.observe_edge(vertex, entry.neighbor)
+            self._model_observations.inc(len(entries))
         if state.cached:
             cache = self.location_cache
             for entry in entries:

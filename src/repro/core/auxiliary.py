@@ -33,7 +33,7 @@ DESIGN.md, "Hot-path engineering"):
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Set, Tuple
 
 from repro.exceptions import PartitioningError, VertexNotFoundError
 from repro.graph.compact import GraphRead
@@ -68,7 +68,12 @@ class AuxiliaryData:
         "_weights_dirty",
         "_cached_total_weight",
         "_cached_max_weight",
+        "_edge_heat",
+        "_heat_counts",
     )
+
+    #: shared empty heat map returned for unheated vertices (do not mutate)
+    _NO_HEAT: Dict[int, float] = {}
 
     def __init__(self, num_partitions: int):
         if num_partitions < 1:
@@ -91,6 +96,12 @@ class AuxiliaryData:
         self._weights_dirty = True
         self._cached_total_weight = 0.0
         self._cached_max_weight = 0.0
+        #: observed-traffic heat per canonical edge (None until attached)
+        self._edge_heat: Optional[Dict[Tuple[int, int], float]] = None
+        #: per-vertex heat toward each partition, the weighted analogue of
+        #: the neighbor counters: heat_counts[v][p] = sum of heat of v's
+        #: edges whose other endpoint lives on p
+        self._heat_counts: Optional[Dict[int, Dict[int, float]]] = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -139,6 +150,8 @@ class AuxiliaryData:
             raise PartitioningError(
                 f"vertex {vertex} still has incident edges; remove them first"
             )
+        if self._heat_counts is not None:
+            self._heat_counts.pop(vertex, None)
         self.partition_weights[partition] -= self._vertex_weights[vertex]
         self._weights_dirty = True
         self._members[partition].discard(vertex)
@@ -160,6 +173,11 @@ class AuxiliaryData:
         pu, pv = self.partition_of(u), self.partition_of(v)
         self._bump(u, pu, pv, -1)
         self._bump(v, pv, pu, -1)
+        if self._edge_heat:
+            heat = self._edge_heat.pop((u, v) if u <= v else (v, u), 0.0)
+            if heat:
+                self._drop_heat(u, pv, heat)
+                self._drop_heat(v, pu, heat)
 
     def add_weight(self, vertex: int, delta: float) -> None:
         """A read request increments the vertex's popularity weight."""
@@ -288,6 +306,7 @@ class AuxiliaryData:
         ext_low = self._ext_low
         boundary_high = self._boundary_high
         boundary_low = self._boundary_low
+        edge_heat = self._edge_heat
         for nbr in neighbors:
             nbr_counts = neighbor_counts[nbr]
             value = nbr_counts.get(source, 0) - 1
@@ -301,6 +320,16 @@ class AuxiliaryData:
             else:
                 nbr_counts[source] = value
             nbr_counts[target] = nbr_counts.get(target, 0) + 1
+            if edge_heat is not None:
+                # The weighted counters move in lockstep with the integer
+                # ones: the neighbor's heat toward the source partition
+                # follows the vertex to the target.
+                heat = edge_heat.get(
+                    (vertex, nbr) if vertex <= nbr else (nbr, vertex)
+                )
+                if heat:
+                    self._drop_heat(nbr, source, heat)
+                    self._add_heat(nbr, target, heat)
             home = vertex_partition[nbr]
             if home == source:
                 # The edge to ``vertex`` turned external, toward target.
@@ -354,6 +383,84 @@ class AuxiliaryData:
                         if ext == 1:
                             boundary_high[home].add(nbr)
         return source
+
+    # ------------------------------------------------------------------
+    # Workload heat (observed-traffic weighting for the gain function)
+    # ------------------------------------------------------------------
+    def attach_heat(self, edge_heat: Mapping[Tuple[int, int], float]) -> None:
+        """Install observed-traffic edge heat for weighted gain.
+
+        ``edge_heat`` maps (undirected) edges to non-negative heat —
+        typically :meth:`~repro.workloads.model.WorkloadModel.normalized_edge_heat`.
+        Keys are canonicalized, zero/negative heat and edges with an
+        untracked endpoint are dropped.  Heat must describe *real* edges:
+        the weighted selection only considers target partitions the
+        vertex has neighbors in, so heat toward a partition with no
+        counted neighbor is never read.  From here on :meth:`apply_move`
+        and :meth:`remove_edge` keep the weighted counters in lockstep
+        with the integer ones; new edges start cold until re-attached.
+        """
+        vertex_partition = self._vertex_partition
+        canonical: Dict[Tuple[int, int], float] = {}
+        for (u, v), heat in edge_heat.items():
+            if heat <= 0.0 or u == v:
+                continue
+            if u > v:
+                u, v = v, u
+            if u not in vertex_partition or v not in vertex_partition:
+                continue
+            canonical[(u, v)] = canonical.get((u, v), 0.0) + heat
+        heat_counts: Dict[int, Dict[int, float]] = {}
+        for (u, v), heat in canonical.items():
+            pu, pv = vertex_partition[u], vertex_partition[v]
+            counts_u = heat_counts.setdefault(u, {})
+            counts_u[pv] = counts_u.get(pv, 0.0) + heat
+            counts_v = heat_counts.setdefault(v, {})
+            counts_v[pu] = counts_v.get(pu, 0.0) + heat
+        self._edge_heat = canonical
+        self._heat_counts = heat_counts
+
+    def detach_heat(self) -> None:
+        """Drop the heat overlay; gain falls back to pure edge counts."""
+        self._edge_heat = None
+        self._heat_counts = None
+
+    @property
+    def has_heat(self) -> bool:
+        """True when a non-empty heat overlay is attached."""
+        return bool(self._edge_heat)
+
+    def heat_counts(self, vertex: int) -> Dict[int, float]:
+        """Sparse view {partition: heat} — the weighted analogue of
+        :meth:`neighbor_counts` (do not mutate; empty when unheated)."""
+        if not self._heat_counts:
+            return self._NO_HEAT
+        return self._heat_counts.get(vertex, self._NO_HEAT)
+
+    def heat_selection_view(self, partition: int) -> Dict[int, Dict[int, float]]:
+        """Per-vertex heat counters readable for ``partition``'s hosted
+        vertices (do not mutate) — the weighted companion map of
+        :meth:`selection_view`; vertices absent from it are unheated."""
+        self._check_partition(partition)
+        return self._heat_counts if self._heat_counts is not None else {}
+
+    def _add_heat(self, vertex: int, partition: int, heat: float) -> None:
+        counts = self._heat_counts.setdefault(vertex, {})
+        counts[partition] = counts.get(partition, 0.0) + heat
+
+    def _drop_heat(self, vertex: int, partition: int, heat: float) -> None:
+        counts = self._heat_counts.get(vertex)
+        if counts is None:
+            return
+        value = counts.get(partition, 0.0) - heat
+        # Exact cancellation is not guaranteed in floats; treat ulp-scale
+        # residue as zero so empty entries do not accumulate.
+        if abs(value) < 1e-12:
+            counts.pop(partition, None)
+            if not counts:
+                self._heat_counts.pop(vertex, None)
+        else:
+            counts[partition] = value
 
     # ------------------------------------------------------------------
     # Queries used by Algorithm 1

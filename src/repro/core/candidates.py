@@ -47,7 +47,9 @@ class MigrationCandidate:
     vertex: int
     source: int
     target: int
-    gain: int
+    #: static runs carry the integer edge-cut gain; workload-aware runs
+    #: (workload_alpha > 0) carry the blended float gain
+    gain: float
 
     def __lt__(self, other: "MigrationCandidate") -> bool:
         # Orders by gain so candidate lists can be heap-sorted directly.
@@ -70,7 +72,8 @@ def get_target_partition(
     epsilon: float,
     average: Optional[float] = None,
     overloaded: Optional[bool] = None,
-) -> Tuple[Optional[int], int]:
+    alpha: float = 0.0,
+) -> Tuple[Optional[int], float]:
     """Paper Algorithm 1: returns ``(target, gain)``; target None if no move.
 
     Only auxiliary data is consulted: the vertex's per-partition neighbor
@@ -80,6 +83,14 @@ def get_target_partition(
     (migration-invariant) average weight and the source's overload status
     instead of re-deriving them per vertex; when omitted they are computed
     from ``aux`` exactly as the historical per-call code did.
+
+    ``alpha`` > 0 blends observed-traffic heat into the gain:
+    ``(1 - alpha) * (d_t - d_s) + alpha * (h_t - h_s)``.  Heat only
+    exists toward partitions the vertex has real neighbors in (it is
+    learned from traversed edges), so the sparse counter-key scan below
+    still covers every target a non-overloaded source could admit, and
+    at alpha == 0 the arithmetic — integer gains included — is exactly
+    the historical static path.
     """
     source = aux.partition_of(vertex)
     weight = aux.weight_of(vertex)
@@ -113,6 +124,9 @@ def get_target_partition(
 
     counts = aux.neighbor_counts(vertex)
     d_source = counts.get(source, 0)
+    if alpha:
+        heat = aux.heat_counts(vertex)
+        h_source = heat.get(source, 0.0)
 
     # Lines 7-13: scan admissible targets, keep the maximum-gain one.  A
     # non-overloaded source needs gain > 0, which only partitions present
@@ -130,7 +144,12 @@ def get_target_partition(
             continue
         if not direction_allows(stage, source, candidate):
             continue
-        candidate_gain = counts.get(candidate, 0) - d_source
+        if alpha:
+            candidate_gain = (1.0 - alpha) * (
+                counts.get(candidate, 0) - d_source
+            ) + alpha * (heat.get(candidate, 0.0) - h_source)
+        else:
+            candidate_gain = counts.get(candidate, 0) - d_source
         if candidate_gain <= max_gain:
             continue  # cheap reject before the balance check
         candidate_factor = (

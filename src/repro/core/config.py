@@ -52,6 +52,14 @@ class RepartitionerConfig:
     selection_workers:
         Thread-pool size for ``parallel_selection``; ``None`` lets the
         executor pick (one thread per partition up to the CPU default).
+    workload_alpha:
+        Blend factor between static edge-cut gain and observed-traffic
+        gain: candidate gain becomes ``(1 - alpha) * (d_t - d_s) +
+        alpha * (h_t - h_s)`` where ``h`` is the attached edge heat (see
+        :meth:`~repro.core.auxiliary.AuxiliaryData.attach_heat`).  At the
+        default 0.0 the repartitioner takes the classic static path —
+        bit-for-bit identical to runs without any heat attached.  At 1.0
+        selection is driven purely by observed traversal traffic.
     """
 
     epsilon: float = 1.1
@@ -62,6 +70,7 @@ class RepartitionerConfig:
     stall_iterations: Optional[int] = 8
     parallel_selection: bool = False
     selection_workers: Optional[int] = None
+    workload_alpha: float = 0.0
 
     def __post_init__(self) -> None:
         if not 1.0 < self.epsilon < 2.0:
@@ -85,6 +94,10 @@ class RepartitionerConfig:
         if self.selection_workers is not None and self.selection_workers < 1:
             raise PartitioningError(
                 f"selection_workers must be >= 1 or None, got {self.selection_workers}"
+            )
+        if not 0.0 <= self.workload_alpha <= 1.0:
+            raise PartitioningError(
+                f"workload_alpha must be in [0, 1], got {self.workload_alpha}"
             )
 
     def effective_k(self, num_vertices: int) -> int:

@@ -14,3 +14,22 @@ def gain(aux: AuxiliaryData, vertex: int, source: int, target: int) -> int:
     """Edge-cut decrease from moving ``vertex`` from ``source`` to ``target``."""
     counts = aux.neighbor_counts(vertex)
     return counts.get(target, 0) - counts.get(source, 0)
+
+
+def weighted_gain(
+    aux: AuxiliaryData, vertex: int, source: int, target: int, alpha: float
+) -> float:
+    """Gain blended with observed-traffic heat.
+
+    ``(1 - alpha) * (d_t - d_s) + alpha * (h_t - h_s)`` where ``h`` is
+    per-partition heat from :meth:`AuxiliaryData.heat_counts` — the
+    reduction in (heat-weighted) traversal communication if ``vertex``
+    migrates alone.  With ``alpha == 0`` this returns the exact integer
+    :func:`gain`, preserving static-path determinism.
+    """
+    static = gain(aux, vertex, source, target)
+    if alpha == 0.0:
+        return static
+    heat = aux.heat_counts(vertex)
+    hot = heat.get(target, 0.0) - heat.get(source, 0.0)
+    return (1.0 - alpha) * static + alpha * hot

@@ -360,6 +360,14 @@ class LightweightRepartitioner:
         historical ``imbalance_factor`` float expressions term for term,
         so the selected candidates are bit-identical.
         """
+        alpha = self.config.workload_alpha
+        if alpha > 0.0 and getattr(aux, "has_heat", False):
+            # Workload-aware selection runs in its own method so the
+            # static path below keeps its historical float arithmetic
+            # untouched (alpha == 0 stays bit-identical to older runs).
+            return self._select_candidates_weighted(
+                aux, source, stage, k, alpha, average
+            )
         epsilon = self.config.epsilon
         if average is None:
             average = aux.average_weight()
@@ -449,6 +457,134 @@ class LightweightRepartitioner:
                     ):
                         continue
                     candidate_gain = count - d_source
+                    if candidate_gain < best_gain or (
+                        candidate_gain == best_gain
+                        and (target is None or candidate_partition > target)
+                    ):
+                        continue
+                    if (
+                        average == 0
+                        or (partition_weights[candidate_partition] + weight)
+                        / average
+                        < epsilon
+                    ):
+                        target = candidate_partition
+                        best_gain = candidate_gain
+            if target is None:
+                continue
+            entry = (best_gain, tiebreak, vertex, target)
+            tiebreak += 1
+            if len(top_k) < k:
+                heappush(top_k, entry)
+            elif best_gain > top_k[0][0]:
+                heapreplace(top_k, entry)
+        return [
+            MigrationCandidate(entry[2], source, entry[3], entry[0])
+            for entry in top_k
+        ]
+
+    def _select_candidates_weighted(
+        self,
+        aux: AuxiliaryData,
+        source: int,
+        stage: int,
+        k: int,
+        alpha: float,
+        average: Optional[float] = None,
+    ) -> List[MigrationCandidate]:
+        """Workload-aware variant of :meth:`_select_candidates`.
+
+        Same structure — frozen average, directional boundary scan,
+        top-k min-heap — but each candidate is ranked by the blended
+        gain ``(1 - alpha) * (d_t - d_s) + alpha * (h_t - h_s)``, where
+        ``h`` comes from the attached observed-traffic heat.  Heat only
+        exists on traversed (real) edges, so every partition a vertex
+        has heat toward also appears in its integer counters: the sparse
+        counter-key scan and the directional boundary sets remain
+        complete for the strictly-positive-gain bar, exactly as in the
+        static path.
+        """
+        epsilon = self.config.epsilon
+        if average is None:
+            average = aux.average_weight()
+        partition_weights = aux.partition_weights
+        source_weight = partition_weights[source]
+        overloaded = (
+            1.0 if average == 0 else source_weight / average
+        ) > epsilon
+        weights, counters = aux.selection_view(source)
+        heat_view = aux.heat_selection_view(source)
+        no_heat: Dict[int, float] = {}
+        two_minus_eps = 2.0 - epsilon
+        one_minus_alpha = 1.0 - alpha
+        if stage == STAGE_LOW_TO_HIGH:
+            cp_lo, cp_hi = source + 1, aux.num_partitions - 1
+            scan = (
+                aux.vertices_in(source)
+                if overloaded
+                else aux.boundary_toward_higher(source)
+            )
+        elif stage == STAGE_HIGH_TO_LOW:
+            cp_lo, cp_hi = 0, source - 1
+            scan = (
+                aux.vertices_in(source)
+                if overloaded
+                else aux.boundary_toward_lower(source)
+            )
+        else:  # STAGE_ANY_DIRECTION (ablation only)
+            cp_lo, cp_hi = 0, aux.num_partitions - 1
+            scan = (
+                aux.vertices_in(source)
+                if overloaded
+                else aux.boundary_vertices(source)
+            )
+        dense_targets = range(cp_lo, cp_hi + 1)
+
+        top_k: List[Tuple[float, int, int, int]] = []
+        heappush, heapreplace = heapq.heappush, heapq.heapreplace
+        tiebreak = 0
+        for vertex in sorted(scan):
+            weight = weights[vertex]
+            if (
+                average != 0
+                and (source_weight + -weight) / average < two_minus_eps
+            ):
+                continue
+            counts = counters[vertex]
+            d_source = counts.get(source, 0)
+            heat = heat_view.get(vertex, no_heat)
+            h_source = heat.get(source, 0.0)
+            target = None
+            if overloaded:
+                best_gain = float("-inf")
+                for candidate_partition in dense_targets:
+                    if candidate_partition == source:
+                        continue
+                    candidate_gain = one_minus_alpha * (
+                        counts.get(candidate_partition, 0) - d_source
+                    ) + alpha * (heat.get(candidate_partition, 0.0) - h_source)
+                    if candidate_gain <= best_gain:
+                        continue
+                    if (
+                        average == 0
+                        or (partition_weights[candidate_partition] + weight)
+                        / average
+                        < epsilon
+                    ):
+                        target = candidate_partition
+                        best_gain = candidate_gain
+            else:
+                best_gain = 0.0
+                for candidate_partition, count in counts.items():
+                    if (
+                        candidate_partition < cp_lo
+                        or candidate_partition > cp_hi
+                        or candidate_partition == source
+                    ):
+                        continue
+                    candidate_gain = one_minus_alpha * (
+                        count - d_source
+                    ) + alpha * (heat.get(candidate_partition, 0.0) - h_source)
                     if candidate_gain < best_gain or (
                         candidate_gain == best_gain
                         and (target is None or candidate_partition > target)

@@ -33,7 +33,17 @@ that the algorithm needs no global state.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, KeysView, List, Set, Tuple
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    KeysView,
+    List,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+)
 
 from repro.core.auxiliary import AuxiliaryData, check_decay_factor, decayed_weight
 from repro.exceptions import PartitioningError, VertexNotFoundError
@@ -55,6 +65,7 @@ class AuxiliaryShard:
         "ext_low",
         "total_external",
         "_local_weight",
+        "heat_counts",
     )
 
     def __init__(self, server_id: int, num_partitions: int):
@@ -70,6 +81,9 @@ class AuxiliaryShard:
         self.ext_low: Dict[int, int] = {}
         self.total_external = 0
         self._local_weight = 0.0
+        #: per-hosted-vertex {partition: heat} — the weighted companions
+        #: of neighbor_counts, populated only while heat is attached
+        self.heat_counts: Dict[int, Dict[int, float]] = {}
 
     @property
     def local_weight(self) -> float:
@@ -109,6 +123,7 @@ class AuxiliaryShard:
         self.total_external -= self.ext_high.pop(vertex) + self.ext_low.pop(vertex)
         self.boundary_high.discard(vertex)
         self.boundary_low.discard(vertex)
+        self.heat_counts.pop(vertex, None)
         return weight, self.neighbor_counts.pop(vertex)
 
     def bump_weight(self, vertex: int, delta: float) -> None:
@@ -173,6 +188,10 @@ class ShardedAuxiliaryData:
         self.partition_weights: List[float] = [0.0] * num_partitions
         #: instrumentation: migration/update messages between shards
         self.messages_sent = 0
+        #: canonicalized observed-traffic edge heat; None = unheated.
+        #: Heat updates piggyback on the counter-update messages already
+        #: counted, so attaching heat adds no message traffic.
+        self._edge_heat: Optional[Dict[Tuple[int, int], float]] = None
         self._weights_dirty = True
         self._cached_total_weight = 0.0
         self._cached_max_weight = 0.0
@@ -240,6 +259,11 @@ class ShardedAuxiliaryData:
         self.shards[pv].bump(v, pu, -1)
         if pu != pv:
             self.messages_sent += 1
+        if self._edge_heat:
+            heat = self._edge_heat.pop((u, v) if u <= v else (v, u), 0.0)
+            if heat:
+                self._drop_heat(u, pu, pv, heat)
+                self._drop_heat(v, pv, pu, heat)
 
     def add_weight(self, vertex: int, delta: float) -> None:
         shard = self._shard_of(vertex)
@@ -268,8 +292,13 @@ class ShardedAuxiliaryData:
         source = self.partition_of(vertex)
         if source == target:
             return source
+        heat_record = self.shards[source].heat_counts.pop(vertex, None)
         weight, counts = self.shards[source].evict(vertex)
         self.shards[target].host(vertex, weight, counts)
+        if heat_record is not None:
+            # The vertex's weighted counters ride the same migration
+            # message as its integer record.
+            self.shards[target].heat_counts[vertex] = heat_record
         self._home[vertex] = target
         self.partition_weights[source] -= weight
         self.partition_weights[target] += weight
@@ -283,6 +312,7 @@ class ShardedAuxiliaryData:
         # forwarded update message either way).
         home_map = self._home
         shards = self.shards
+        edge_heat = self._edge_heat
         for nbr in neighbors:
             home = home_map[nbr]
             shard = shards[home]
@@ -298,6 +328,17 @@ class ShardedAuxiliaryData:
             else:
                 nbr_counts[source] = value
             nbr_counts[target] = nbr_counts.get(target, 0) + 1
+            if edge_heat is not None:
+                # Weighted counters move in lockstep with the integer
+                # ones: the neighbor's heat toward the source follows
+                # the vertex to the target (same float steps as the
+                # centralized implementation, so results stay identical).
+                heat = edge_heat.get(
+                    (vertex, nbr) if vertex <= nbr else (nbr, vertex)
+                )
+                if heat:
+                    self._drop_heat(nbr, home, source, heat)
+                    self._add_heat(nbr, home, target, heat)
             if home == source:
                 if target > home:
                     ext = shard.ext_high[nbr] + 1
@@ -345,6 +386,86 @@ class ShardedAuxiliaryData:
                             shard.boundary_high.add(nbr)
                 self.messages_sent += 1  # forwarded counter update
         return source
+
+    # ------------------------------------------------------------------
+    # Workload heat (observed-traffic weighting for the gain function)
+    # ------------------------------------------------------------------
+    #: shared empty heat map returned for unheated vertices (do not mutate)
+    _NO_HEAT: Dict[int, float] = {}
+
+    def attach_heat(self, edge_heat: Mapping[Tuple[int, int], float]) -> None:
+        """Install observed-traffic edge heat on the hosting shards.
+
+        Same contract as :meth:`AuxiliaryData.attach_heat`; each shard
+        stores the weighted counters of its hosted vertices only, the
+        layout the real system would use (heat is learned from local
+        telemetry and moves with the migrated auxiliary record).
+        """
+        home_map = self._home
+        canonical: Dict[Tuple[int, int], float] = {}
+        for (u, v), heat in edge_heat.items():
+            if heat <= 0.0 or u == v:
+                continue
+            if u > v:
+                u, v = v, u
+            if u not in home_map or v not in home_map:
+                continue
+            canonical[(u, v)] = canonical.get((u, v), 0.0) + heat
+        for shard in self.shards:
+            shard.heat_counts = {}
+        shards = self.shards
+        for (u, v), heat in canonical.items():
+            pu, pv = home_map[u], home_map[v]
+            counts_u = shards[pu].heat_counts.setdefault(u, {})
+            counts_u[pv] = counts_u.get(pv, 0.0) + heat
+            counts_v = shards[pv].heat_counts.setdefault(v, {})
+            counts_v[pu] = counts_v.get(pu, 0.0) + heat
+        self._edge_heat = canonical
+
+    def detach_heat(self) -> None:
+        """Drop the heat overlay; gain falls back to pure edge counts."""
+        self._edge_heat = None
+        for shard in self.shards:
+            shard.heat_counts = {}
+
+    @property
+    def has_heat(self) -> bool:
+        """True when a non-empty heat overlay is attached."""
+        return bool(self._edge_heat)
+
+    def heat_counts(self, vertex: int) -> Dict[int, float]:
+        """Sparse {partition: heat} view from the hosting shard (do not
+        mutate; empty when unheated)."""
+        if self._edge_heat is None:
+            if vertex not in self._home:
+                raise VertexNotFoundError(vertex)
+            return self._NO_HEAT
+        return self._shard_of(vertex).heat_counts.get(vertex, self._NO_HEAT)
+
+    def heat_selection_view(self, partition: int) -> Dict[int, Dict[int, float]]:
+        """The hosting shard's per-vertex heat counters (do not mutate) —
+        the weighted companion map of :meth:`selection_view`; vertices
+        absent from it are unheated."""
+        self._check_partition(partition)
+        return self.shards[partition].heat_counts
+
+    def _add_heat(self, vertex: int, home: int, partition: int, heat: float) -> None:
+        counts = self.shards[home].heat_counts.setdefault(vertex, {})
+        counts[partition] = counts.get(partition, 0.0) + heat
+
+    def _drop_heat(self, vertex: int, home: int, partition: int, heat: float) -> None:
+        heat_map = self.shards[home].heat_counts
+        counts = heat_map.get(vertex)
+        if counts is None:
+            return
+        value = counts.get(partition, 0.0) - heat
+        # Same ulp-residue cleanup as the centralized implementation.
+        if abs(value) < 1e-12:
+            counts.pop(partition, None)
+            if not counts:
+                heat_map.pop(vertex, None)
+        else:
+            counts[partition] = value
 
     # ------------------------------------------------------------------
     # Queries used by Algorithm 1 (all answerable by one shard + the
@@ -470,6 +591,8 @@ class ShardedAuxiliaryData:
             central.add_vertex(vertex, partition, self.weight_of(vertex))
         for vertex in self._home:
             central.ingest_counts(vertex, self.neighbor_counts(vertex))
+        if self._edge_heat is not None:
+            central.attach_heat(self._edge_heat)
         return central
 
     def memory_entries(self) -> Tuple[int, int]:

@@ -43,6 +43,7 @@ from repro.experiments import (
     serving,
     table1,
     table2,
+    workload,
 )
 
 #: experiment name -> (module, needs_cluster_scale)
@@ -62,6 +63,7 @@ EXPERIMENTS: Dict[str, Tuple[object, bool]] = {
     "batching": (batching, True),
     "scale": (scale_experiment, False),
     "serving": (serving, True),
+    "workload": (workload, True),
 }
 
 ORDER = [
@@ -80,6 +82,7 @@ ORDER = [
     "batching",
     "scale",
     "serving",
+    "workload",
 ]
 
 

@@ -53,6 +53,14 @@ and TESTING.md):
     agrees with a from-scratch one-hop placement computed against the
     current partitioning — a rebalance that forgot to refresh the
     index shows up here.
+``workload-model-conservation``
+    (Clusters with an attached workload model only.)  Every edge and
+    link heat is non-negative, the model clock never trails the cluster
+    clock, total decayed heat never exceeds the undecayed observed
+    weight (decay only shrinks), the model's observation count matches
+    the engine's ``workload_model_observations_total`` counter, and
+    after folding in the network stats the model's per-link totals
+    equal the send-side message/byte counters exactly.
 """
 
 from __future__ import annotations
@@ -80,6 +88,7 @@ INVARIANT_NAMES = (
     "mirror-consistency",
     "queue-conservation",
     "replica-staleness-bound",
+    "workload-model-conservation",
 )
 
 
@@ -113,6 +122,7 @@ class InvariantAuditor:
         violations += self._check_mirror(cluster)
         violations += self._check_queue_conservation(cluster)
         violations += self._check_replica_staleness(cluster)
+        violations += self._check_workload_model(cluster)
         return violations
 
     def check(self, cluster) -> None:
@@ -412,6 +422,79 @@ class InvariantAuditor:
                     f"live replica index disagrees with a fresh one-hop "
                     f"placement for {len(drifted)} vertices "
                     f"(first: {drifted[:5]})",
+                )
+            )
+        return out
+
+    # ------------------------------------------------------------------
+    # Workload-model invariants (no-ops without an attached model)
+    # ------------------------------------------------------------------
+    def _check_workload_model(self, cluster) -> List[InvariantViolation]:
+        model = getattr(cluster, "workload_model", None)
+        if model is None:
+            return []
+        out: List[InvariantViolation] = []
+        if model.now < cluster.now - 1e-12:
+            out.append(
+                InvariantViolation(
+                    "workload-model-conservation",
+                    f"model clock {model.now} trails cluster clock {cluster.now}",
+                )
+            )
+        negative = [
+            (key, heat) for key, heat in model.edge_heats().items() if heat < 0.0
+        ]
+        if negative:
+            out.append(
+                InvariantViolation(
+                    "workload-model-conservation",
+                    f"{len(negative)} edges carry negative heat "
+                    f"(first: {negative[:3]})",
+                )
+            )
+        total = model.total_heat()
+        if total > model.observed_weight + 1e-6:
+            out.append(
+                InvariantViolation(
+                    "workload-model-conservation",
+                    f"decayed heat total {total} exceeds observed weight "
+                    f"{model.observed_weight} — decay must only shrink heat",
+                )
+            )
+        counted = cluster.telemetry.registry.total(
+            "workload_model_observations_total"
+        )
+        if counted != model.observations:
+            out.append(
+                InvariantViolation(
+                    "workload-model-conservation",
+                    f"model recorded {model.observations} observations but "
+                    f"the engine counter says {counted:g}",
+                )
+            )
+        # Folding the network stats in (idempotent) must land the model's
+        # link totals exactly on the send-side counters.
+        model.ingest_network(cluster.network.stats)
+        sent_messages = sum(
+            link.messages for link in cluster.network.stats.per_link.values()
+        )
+        sent_bytes = sum(
+            link.bytes for link in cluster.network.stats.per_link.values()
+        )
+        if model.link_messages_total != sent_messages:
+            out.append(
+                InvariantViolation(
+                    "workload-model-conservation",
+                    f"model link messages {model.link_messages_total:g} != "
+                    f"network messages sent {sent_messages}",
+                )
+            )
+        if model.link_bytes_total != sent_bytes:
+            out.append(
+                InvariantViolation(
+                    "workload-model-conservation",
+                    f"model link bytes {model.link_bytes_total:g} != "
+                    f"network bytes sent {sent_bytes}",
                 )
             )
         return out

@@ -160,6 +160,12 @@ def build_cluster(spec: ScenarioSpec) -> HermesCluster:
         from repro.serving.frontend import ServingFrontend
 
         cluster.serving = ServingFrontend(cluster)
+    # Passive traffic observer: costs, schedules and results are
+    # untouched, but every scenario now exercises the workload-model
+    # conservation invariant (heat >= 0, decay-bounded, counter match).
+    from repro.workloads.model import WorkloadModel
+
+    cluster.attach_workload_model(WorkloadModel(half_life=0.05))
     return cluster
 
 

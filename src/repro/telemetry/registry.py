@@ -100,6 +100,15 @@ class Histogram:
         self.sum = 0.0
 
     def observe(self, value: float) -> None:
+        """Record ``value`` with Prometheus ``le`` (less-or-EQUAL) semantics.
+
+        ``bisect_left`` returns the first bound >= value, so an
+        observation landing exactly on a bucket bound counts toward that
+        bound's bucket, not the next one — ``observe(0.1)`` increments
+        ``le="0.1"``.  A ``bisect_right`` here would silently flip every
+        on-bound observation into the next bucket and desynchronize the
+        exposition from real Prometheus clients.
+        """
         self.count += 1
         self.sum += value
         self.bucket_counts[bisect_left(self.bounds, value)] += 1

@@ -21,6 +21,7 @@ from repro.workloads.traces import (
     uniform_trace,
     zipf_trace,
 )
+from repro.workloads.model import WorkloadModel, edge_key
 from repro.workloads.writes import GraphEvolution
 from repro.workloads.mixed import mixed_trace
 
@@ -36,4 +37,6 @@ __all__ = [
     "zipf_trace",
     "GraphEvolution",
     "mixed_trace",
+    "WorkloadModel",
+    "edge_key",
 ]

@@ -1,0 +1,380 @@
+"""Workload model: edge heat accumulated from recorded telemetry.
+
+The telemetry subsystem records what the cluster *did* — traversal spans
+(start vertex, hop count, per-depth costs) and per-link message/byte
+totals — but until now nothing fed those observations back into
+placement.  :class:`WorkloadModel` closes that loop: it accumulates
+**edge heat**, a per-edge count of how often traversals actually crossed
+each edge, with exponential half-life decay on the simulated clock so
+the model tracks *current* traffic rather than all-time totals (the same
+reason vertex weights decay).
+
+Heat flows in three ways:
+
+* **live observation** — the traversal engine calls
+  :meth:`observe_edge` for every frontier expansion when a model is
+  attached to the cluster (see
+  :meth:`~repro.cluster.hermes.HermesCluster.attach_workload_model`);
+* **span replay** — :meth:`ingest_spans` re-executes recorded
+  ``traversal`` spans (their ``start``/``hops`` attributes) against a
+  graph snapshot, deterministically reconstructing the edges each query
+  crossed, so a JSONL telemetry log recorded yesterday can be replayed
+  into a model today;
+* **link ingestion** — :meth:`ingest_network` folds per-link
+  :class:`~repro.cluster.network.NetworkStats` deltas into server-pair
+  heat, conserving against the send side of the link counters.
+
+The whole model serializes to JSON (:meth:`to_dict`/:meth:`from_dict`),
+and with ``record=True`` it keeps an observation log that
+:meth:`replay` can re-apply to an empty model — the record/replay
+round-trip the property tests pin.
+
+The repartitioner consumes :meth:`normalized_edge_heat`: heat rescaled
+so the *mean heated edge* has heat 1.0, making the heat term of the
+blended gain directly comparable to the unit neighbor counts of the
+static gain (see ``RepartitionerConfig.workload_alpha``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.exceptions import VertexNotFoundError, WorkloadError
+from repro.workloads.queries import Operation, Traversal
+
+EdgeKey = Tuple[int, int]
+LinkKey = Tuple[int, int]
+
+
+def edge_key(u: int, v: int) -> EdgeKey:
+    """Canonical undirected key: traffic over (u, v) and (v, u) is one edge."""
+    return (u, v) if u <= v else (v, u)
+
+
+class WorkloadModel:
+    """Edge-heat accumulator with simulated-clock exponential decay.
+
+    Parameters
+    ----------
+    half_life:
+        Simulated seconds for heat to halve.  ``None`` disables decay
+        (heat accumulates forever) — useful for offline replay where the
+        whole trace should count equally.
+    record:
+        Keep an observation log for :meth:`replay`.  Off by default: the
+        log grows with the observation stream, the model itself does not.
+    """
+
+    def __init__(
+        self, half_life: Optional[float] = None, record: bool = False
+    ):
+        if half_life is not None and half_life <= 0.0:
+            raise WorkloadError(f"half_life must be positive, got {half_life}")
+        self.half_life = half_life
+        self.now = 0.0
+        #: (heat, stamp) per canonical edge; heat is valid *at* stamp and
+        #: decays lazily when read or re-observed
+        self._edges: Dict[EdgeKey, Tuple[float, float]] = {}
+        #: accumulated per-directed-link traffic from NetworkStats deltas
+        self._links: Dict[LinkKey, Dict[str, float]] = {}
+        #: last NetworkStats snapshot per link, so re-ingesting the same
+        #: (monotone) stats object only adds the delta
+        self._link_snapshot: Dict[LinkKey, Tuple[int, int]] = {}
+        #: observation counters (undecayed): the conservation side of the
+        #: simtest invariant — observe_edge calls and total raw weight
+        self.observations = 0
+        self.observed_weight = 0.0
+        self.recording = record
+        self._log: List[Tuple] = []
+
+    # ------------------------------------------------------------------
+    # Clock and decay
+    # ------------------------------------------------------------------
+    def advance(self, now: float) -> None:
+        """Move the model clock forward (simulated time is monotone)."""
+        if now < self.now:
+            raise WorkloadError(
+                f"model clock went backwards: {now} < {self.now}"
+            )
+        self.now = now
+
+    def _decayed(self, heat: float, stamp: float, now: float) -> float:
+        if self.half_life is None or heat == 0.0:
+            return heat
+        elapsed = now - stamp
+        if elapsed <= 0.0:
+            return heat
+        return heat * 0.5 ** (elapsed / self.half_life)
+
+    # ------------------------------------------------------------------
+    # Observation (live hook + replay entry points)
+    # ------------------------------------------------------------------
+    def observe_edge(
+        self, u: int, v: int, weight: float = 1.0, now: Optional[float] = None
+    ) -> None:
+        """One traversal crossed edge ``(u, v)``: add ``weight`` heat.
+
+        ``now`` defaults to the model clock; an explicit value also
+        advances the clock, so observations arrive in simulated order.
+        """
+        if weight < 0.0:
+            raise WorkloadError(f"heat weight must be >= 0, got {weight}")
+        if now is not None:
+            self.advance(now)
+        key = edge_key(u, v)
+        entry = self._edges.get(key)
+        if entry is None:
+            self._edges[key] = (weight, self.now)
+        else:
+            heat, stamp = entry
+            self._edges[key] = (
+                self._decayed(heat, stamp, self.now) + weight,
+                self.now,
+            )
+        self.observations += 1
+        self.observed_weight += weight
+        if self.recording:
+            self._log.append(("edge", u, v, weight, self.now))
+
+    def ingest_trace(
+        self, operations: Iterable[Operation], graph
+    ) -> int:
+        """Replay a recorded operation stream against a graph snapshot.
+
+        Each :class:`~repro.workloads.queries.Traversal` is expanded
+        breadth-first exactly like the engine expands its frontier —
+        every edge followed to reach the next depth is one observation
+        (vertices reachable along several paths re-heat each path's
+        edge, matching the engine's processed-per-path accounting).
+        Non-traversal operations carry no edge traffic and are skipped.
+        Returns the number of edge observations made.
+        """
+        adjacency = getattr(graph, "neighbors", None) or graph.neighbors_array
+        before = self.observations
+        for operation in operations:
+            if not isinstance(operation, Traversal):
+                continue
+            frontier = [operation.start]
+            expanded = set()
+            for _ in range(operation.hops):
+                next_frontier: List[int] = []
+                for vertex in frontier:
+                    if vertex in expanded:
+                        continue
+                    expanded.add(vertex)
+                    try:
+                        neighbors = adjacency(vertex)
+                    except VertexNotFoundError:
+                        continue  # recorded against a since-shrunk graph
+                    for neighbor in neighbors:
+                        self.observe_edge(vertex, int(neighbor))
+                        next_frontier.append(int(neighbor))
+                if not next_frontier:
+                    break
+                frontier = next_frontier
+        return self.observations - before
+
+    def ingest_spans(self, spans: Iterable[Mapping], graph) -> int:
+        """Replay recorded ``traversal`` spans (e.g. from a JSONL log).
+
+        Each span dict needs ``name == "traversal"`` and ``start`` /
+        ``hops`` attributes (the tracer stores them under ``attributes``;
+        flat dicts work too).  Returns the edge observations made.
+        """
+        operations: List[Traversal] = []
+        for span in spans:
+            if span.get("name") != "traversal":
+                continue
+            attrs = span.get("attributes", span)
+            if "start" not in attrs:
+                continue
+            operations.append(
+                Traversal(
+                    start=int(attrs["start"]), hops=int(attrs.get("hops", 1))
+                )
+            )
+        return self.ingest_trace(operations, graph)
+
+    def ingest_network(self, stats) -> None:
+        """Fold per-link send-side deltas of a NetworkStats into link heat.
+
+        Idempotent against a monotone stats object: only the delta since
+        the last ingest of each link is added, so the accumulated totals
+        equal the stats' send-side counters exactly (the conservation
+        half of the simtest invariant).
+        """
+        for (src, dst), link in stats.per_link.items():
+            key = (src, dst)
+            seen_msgs, seen_bytes = self._link_snapshot.get(key, (0, 0))
+            d_msgs = link.messages - seen_msgs
+            d_bytes = link.bytes - seen_bytes
+            if d_msgs < 0 or d_bytes < 0:
+                raise WorkloadError(
+                    f"link {key} counters went backwards; NetworkStats are "
+                    "monotone — was a different stats object ingested?"
+                )
+            if d_msgs == 0 and d_bytes == 0:
+                continue
+            entry = self._links.setdefault(
+                key, {"messages": 0.0, "bytes": 0.0}
+            )
+            entry["messages"] += d_msgs
+            entry["bytes"] += d_bytes
+            self._link_snapshot[key] = (link.messages, link.bytes)
+            if self.recording:
+                self._log.append(("link", src, dst, d_msgs, d_bytes))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def edge_heat(self, u: int, v: int, now: Optional[float] = None) -> float:
+        """Decayed heat of edge ``(u, v)`` at ``now`` (default: model clock)."""
+        entry = self._edges.get(edge_key(u, v))
+        if entry is None:
+            return 0.0
+        heat, stamp = entry
+        return self._decayed(heat, stamp, self.now if now is None else now)
+
+    def edge_heats(self, now: Optional[float] = None) -> Dict[EdgeKey, float]:
+        """All decayed edge heats at ``now`` (canonical keys, fresh dict)."""
+        at = self.now if now is None else now
+        return {
+            key: self._decayed(heat, stamp, at)
+            for key, (heat, stamp) in self._edges.items()
+        }
+
+    def total_heat(self, now: Optional[float] = None) -> float:
+        """Sum of decayed edge heats — monotone non-increasing between
+        observations, and never above :attr:`observed_weight`."""
+        return sum(self.edge_heats(now).values())
+
+    def normalized_edge_heat(
+        self, now: Optional[float] = None
+    ) -> Dict[EdgeKey, float]:
+        """Edge heat rescaled so the mean heated edge has heat 1.0.
+
+        This is the map the repartitioner attaches: with a mean of 1.0
+        the heat term of the blended gain lives on the same scale as the
+        unit neighbor counts of the static gain, so ``workload_alpha``
+        interpolates between comparable quantities.
+        """
+        heats = {
+            key: heat for key, heat in self.edge_heats(now).items() if heat > 0.0
+        }
+        if not heats:
+            return {}
+        scale = len(heats) / sum(heats.values())
+        return {key: heat * scale for key, heat in heats.items()}
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    def link_heat(self, src: int, dst: int) -> Dict[str, float]:
+        return dict(self._links.get((src, dst), {"messages": 0.0, "bytes": 0.0}))
+
+    @property
+    def link_messages_total(self) -> float:
+        return sum(entry["messages"] for entry in self._links.values())
+
+    @property
+    def link_bytes_total(self) -> float:
+        return sum(entry["bytes"] for entry in self._links.values())
+
+    @property
+    def log(self) -> List[Tuple]:
+        """The observation log (empty unless constructed with record=True)."""
+        return list(self._log)
+
+    # ------------------------------------------------------------------
+    # Serialization and replay
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        return {
+            "half_life": self.half_life,
+            "now": self.now,
+            "observations": self.observations,
+            "observed_weight": self.observed_weight,
+            "edges": [
+                [u, v, heat, stamp]
+                for (u, v), (heat, stamp) in sorted(self._edges.items())
+            ],
+            "links": [
+                [src, dst, entry["messages"], entry["bytes"]]
+                for (src, dst), entry in sorted(self._links.items())
+            ],
+            "link_snapshot": [
+                [src, dst, msgs, nbytes]
+                for (src, dst), (msgs, nbytes) in sorted(
+                    self._link_snapshot.items()
+                )
+            ],
+            "log": [list(entry) for entry in self._log],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "WorkloadModel":
+        model = cls(
+            half_life=data.get("half_life"), record=bool(data.get("log"))
+        )
+        model.now = float(data.get("now", 0.0))
+        model.observations = int(data.get("observations", 0))
+        model.observed_weight = float(data.get("observed_weight", 0.0))
+        for u, v, heat, stamp in data.get("edges", []):
+            model._edges[(int(u), int(v))] = (float(heat), float(stamp))
+        for src, dst, messages, nbytes in data.get("links", []):
+            model._links[(int(src), int(dst))] = {
+                "messages": float(messages),
+                "bytes": float(nbytes),
+            }
+        for src, dst, msgs, nbytes in data.get("link_snapshot", []):
+            model._link_snapshot[(int(src), int(dst))] = (
+                int(msgs),
+                int(nbytes),
+            )
+        model._log = [tuple(entry) for entry in data.get("log", [])]
+        model.recording = bool(model._log)
+        return model
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "WorkloadModel":
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def replay(
+        cls, log: Iterable[Tuple], half_life: Optional[float] = None
+    ) -> "WorkloadModel":
+        """Re-apply a recorded observation log to a fresh model.
+
+        Replaying the log of a recording model reproduces its edge and
+        link state exactly (same observations at the same simulated
+        times, so the same lazy-decay arithmetic).
+        """
+        model = cls(half_life=half_life)
+        for entry in log:
+            kind = entry[0]
+            if kind == "edge":
+                _, u, v, weight, now = entry
+                model.observe_edge(int(u), int(v), float(weight), float(now))
+            elif kind == "link":
+                _, src, dst, d_msgs, d_bytes = entry
+                key = (int(src), int(dst))
+                bucket = model._links.setdefault(
+                    key, {"messages": 0.0, "bytes": 0.0}
+                )
+                bucket["messages"] += float(d_msgs)
+                bucket["bytes"] += float(d_bytes)
+            else:
+                raise WorkloadError(f"unknown log entry kind {kind!r}")
+        return model
+
+    def __repr__(self) -> str:
+        return (
+            f"WorkloadModel(edges={len(self._edges)}, "
+            f"observations={self.observations}, now={self.now:.6f}, "
+            f"half_life={self.half_life})"
+        )

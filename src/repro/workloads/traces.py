@@ -60,18 +60,29 @@ def hotspot_trace(
     if hot_multiplier < 1.0:
         raise WorkloadError("hot_multiplier must be >= 1")
     hot = list(hot_vertices)
-    cold = [v for v in vertices if v not in set(hot)]
     if not hot:
         raise WorkloadError("empty hotspot set")
     rng = random.Random(config.seed)
-    # Under uniform selection the hot set is hit with probability
-    # |hot| / |vertices|; the skew multiplies that probability.
-    hot_probability = min(1.0, hot_multiplier * len(hot) / len(vertices))
+    # The base stream draws exactly like uniform_trace; the skew is a
+    # *redirect* drawn from a separate seeded stream, so with
+    # hot_multiplier=1.0 the emitted operations are byte-identical to
+    # the uniform trace under the same seed (A/B comparisons then
+    # differ only in the skew, never in the baseline randomness).
+    # Redirecting any base pick to a uniform hot pick with probability
+    # e = (m - 1)|hot| / (n - |hot|) gives each hot vertex probability
+    # e/|hot| + (1-e)/n = m/n — the multiplier — while cold vertices
+    # scale down uniformly.  e >= 1 exactly when m|hot| >= n, the same
+    # saturation point as the old min(1, m|hot|/n) hot probability.
+    n = len(vertices)
+    if n == len(hot):
+        excess = 0.0  # every vertex is hot: uniform already is the skew
+    else:
+        excess = min(1.0, (hot_multiplier - 1.0) * len(hot) / (n - len(hot)))
+    skew_rng = random.Random(("hermes-hotspot", config.seed).__repr__())
     for _ in range(config.num_queries):
-        if cold and rng.random() >= hot_probability:
-            start = rng.choice(cold)
-        else:
-            start = rng.choice(hot)
+        start = rng.choice(vertices)
+        if excess and skew_rng.random() < excess:
+            start = skew_rng.choice(hot)
         yield Traversal(start=start, hops=config.hops)
 
 

@@ -9,6 +9,8 @@ retry of the same plan must succeed (idempotence).
 import pytest
 
 from repro.cluster.faults import CrashWindow, FaultInjector, FaultPlan, RetryPolicy
+from repro.cluster.hermes import HermesCluster
+from repro.cluster.network import NetworkConfig, SimulatedNetwork
 from repro.core.migration import build_migration_plan
 from repro.exceptions import (
     ClusterError,
@@ -19,12 +21,18 @@ from repro.exceptions import (
     ServerDownError,
 )
 from repro.graph.adjacency import SocialGraph
+from repro.partitioning.hashing import HashPartitioner
+from repro.telemetry.conservation import (
+    network_conservation_violations,
+    registry_conservation_violations,
+)
 from tests.conftest import (
     FixedPartitioner,
     build_placed_cluster as build_cluster,
     crash_plan,
     deep_snapshot,
     link_down_plan,
+    make_random_graph,
 )
 
 
@@ -353,6 +361,106 @@ class TestMigrationRollback:
         assert cluster.catalog.lookup(0) == 0
         assert cluster.servers[0].store.is_available(0)
         assert not cluster.servers[1].store.has_node(0)
+
+
+# ======================================================================
+# Fault-window conservation
+# ======================================================================
+class TestFaultConservation:
+    """Lost messages must vanish from *both* sides of the accounting.
+
+    ``check_message`` runs before ``stats.record`` in every send path
+    (remote_hop, batched_hop, transfer), so a faulted message is charged
+    to neither the sender nor the receiver and send == receive holds at
+    every instant — including inside fault windows.  These tests pin
+    that ordering so a refactor that records before checking (leaking
+    send-side counts for dropped traffic) fails loudly.
+    """
+
+    def test_lost_batch_leaves_all_counters_untouched(self):
+        net = SimulatedNetwork(2)
+        injector = FaultInjector(link_down_plan())
+        net.attach_faults(injector)
+        with pytest.raises(FaultInjectedError):
+            net.batched_hop(0, 1, count=10)
+        assert net.stats.messages == 0
+        assert net.stats.messages_received == 0
+        assert net.stats.bytes_sent == 0
+        assert net.stats.bytes_received == 0
+        assert net.stats.per_link == {}
+        assert net.stats.received_per_link == {}
+        assert network_conservation_violations(net.stats) == []
+
+    def test_lost_single_hop_and_transfer_also_unaccounted(self):
+        net = SimulatedNetwork(2)
+        net.attach_faults(FaultInjector(link_down_plan()))
+        for send in (
+            lambda: net.remote_hop(0, 1),
+            lambda: net.transfer(0, 1, size=4096),
+        ):
+            with pytest.raises(FaultInjectedError):
+                send()
+        assert net.stats.messages == 0
+        assert net.stats.messages_received == 0
+        assert network_conservation_violations(net.stats) == []
+
+    def test_partial_loss_conserves_the_delivered_remainder(self):
+        """Interleaved delivered and dropped batches: the delivered ones
+        are double-entry accounted, the dropped ones nowhere."""
+        net = SimulatedNetwork(2)
+        net.attach_faults(FaultInjector(FaultPlan(seed=7, loss_rate=0.5)))
+        delivered = 0
+        for count in range(1, 40):
+            try:
+                net.batched_hop(0, 1, count=count)
+                delivered += 1
+            except FaultInjectedError:
+                pass
+        assert 0 < delivered < 39  # the plan actually dropped some
+        assert net.stats.messages == delivered
+        assert net.stats.messages_received == delivered
+        assert network_conservation_violations(net.stats) == []
+
+    @pytest.mark.parametrize("batched", [True, False], ids=["batched", "legacy"])
+    def test_traversals_under_loss_and_crashes_conserve(self, batched):
+        """End-to-end: aggressive loss plus a crash window, batched and
+        legacy engines both keep send == receive on every link."""
+        graph = make_random_graph(num_vertices=80, num_edges=300, seed=23)
+        placement = HashPartitioner(salt=23).partition(graph, 3)
+        cluster = HermesCluster.from_graph(
+            graph,
+            num_servers=3,
+            partitioning=placement,
+            network=NetworkConfig(batch_remote_hops=batched),
+        )
+        cluster.attach_faults(
+            FaultPlan(
+                seed=5,
+                loss_rate=0.3,
+                crash_windows=(CrashWindow(server=1, start=0.5, end=2.0),),
+            )
+        )
+        partials = 0
+        for start in sorted(graph.vertices())[:40]:
+            result = cluster.traverse(start, hops=2)
+            partials += bool(result.partial)
+        assert partials > 0, "fault plan should have degraded some traversals"
+        assert network_conservation_violations(cluster.network.stats) == []
+        assert (
+            registry_conservation_violations(cluster.telemetry, cluster.network)
+            == []
+        )
+
+    def test_aborted_migration_conserves(self):
+        cluster = build_rich_cluster()
+        cluster.attach_faults(link_down_plan())
+        with pytest.raises(MigrationAbortedError):
+            cluster.repartition_static(FixedPartitioner({0: 1, 1: 1, 2: 0, 3: 2}))
+        assert network_conservation_violations(cluster.network.stats) == []
+        assert (
+            registry_conservation_violations(cluster.telemetry, cluster.network)
+            == []
+        )
 
 
 class TestRebalanceAbort:

@@ -49,6 +49,28 @@ class TestPrometheusText:
         hub.counter("m", src=2, dst=3).inc()
         assert 'm{dst="3",src="2"} 1.0' in prometheus_text(hub.registry)
 
+    def test_bucket_bounds_are_le_inclusive(self):
+        """An observation exactly on a bound belongs to that bound's
+        bucket — Prometheus ``le`` means less-or-EQUAL.  Pinned at the
+        exporter so a bisect_left -> bisect_right regression in
+        Histogram.observe shows up as a wire-format change."""
+        hub = Telemetry()
+        hist = hub.histogram("h", "edge values", buckets=(1.0, 2.0, 5.0))
+        for value in (1.0, 2.0, 5.0):
+            hist.observe(value)
+        text = prometheus_text(hub.registry)
+        assert 'h_bucket{le="1.0"} 1' in text
+        assert 'h_bucket{le="2.0"} 2' in text
+        assert 'h_bucket{le="5.0"} 3' in text
+        assert 'h_bucket{le="+Inf"} 3' in text
+        # Just past a bound spills into the next bucket; just under stays.
+        hist.observe(1.0000001)
+        hist.observe(4.9999999)
+        cumulative = dict(hist.cumulative_buckets())
+        assert cumulative[1.0] == 1
+        assert cumulative[2.0] == 3
+        assert cumulative[5.0] == 5
+
 
 class TestJsonlRoundtrip:
     def test_export_and_read_back(self, tmp_path):

@@ -73,6 +73,60 @@ class TestHotspot:
         )
         assert len(ops) == 10
 
+    @pytest.mark.parametrize("seed", [0, 1, 42, 1234])
+    def test_multiplier_one_is_byte_identical_to_uniform(self, seed):
+        """hot_multiplier=1.0 must not perturb the operation stream.
+
+        The skew is a redirect drawn from a *separate* RNG stream, so a
+        no-op multiplier leaves the base stream untouched — A/B runs
+        against uniform_trace differ only in the redirected queries,
+        never in the baseline randomness.
+        """
+        config = TraceConfig(num_queries=500, hops=2, seed=seed)
+        skewed = list(
+            hotspot_trace(VERTICES, VERTICES[:25], config, hot_multiplier=1.0)
+        )
+        uniform = list(uniform_trace(VERTICES, config))
+        assert skewed == uniform
+
+    def test_all_hot_is_byte_identical_to_uniform(self):
+        """A universal hot set cannot skew anything: same stream as uniform."""
+        config = TraceConfig(num_queries=200, seed=9)
+        assert list(
+            hotspot_trace(VERTICES, VERTICES, config, hot_multiplier=5.0)
+        ) == list(uniform_trace(VERTICES, config))
+
+    def test_skew_only_redirects_base_stream(self):
+        """Every skewed query either matches the uniform stream's query or
+        was redirected into the hot set — the cold-query subsequence is a
+        subsequence of the uniform stream, not a reshuffle."""
+        config = TraceConfig(num_queries=2000, seed=11)
+        hot = set(VERTICES[:10])
+        skewed = list(hotspot_trace(VERTICES, sorted(hot), config, hot_multiplier=4.0))
+        uniform = list(uniform_trace(VERTICES, config))
+        redirected = 0
+        for got, base in zip(skewed, uniform):
+            if got != base:
+                assert got.start in hot
+                redirected += 1
+        assert redirected > 0
+
+    def test_multiplier_scales_hot_probability(self):
+        """P(hot) tracks multiplier * |hot| / n across multipliers."""
+        hot = VERTICES[:10]  # 10% of the population
+        for multiplier in (2.0, 4.0):
+            ops = list(
+                hotspot_trace(
+                    VERTICES,
+                    hot,
+                    TraceConfig(num_queries=8000, seed=13),
+                    hot_multiplier=multiplier,
+                )
+            )
+            frac = sum(1 for op in ops if op.start in set(hot)) / len(ops)
+            expected = multiplier * len(hot) / len(VERTICES)
+            assert abs(frac - expected) < 0.05
+
 
 class TestZipf:
     def test_heavy_head(self):
