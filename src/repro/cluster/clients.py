@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Optional
 
-from repro.exceptions import WorkloadError
+from repro.exceptions import HermesError, MigrationAbortedError, WorkloadError
 from repro.workloads.queries import (
     InsertEdge,
     InsertVertex,
@@ -54,11 +54,23 @@ class WorkloadReport:
     client_operations: Dict[str, int] = field(default_factory=dict)
     #: simulated cost attributed per client id
     client_cost: Dict[str, float] = field(default_factory=dict)
+    #: operations that ended in a cluster error (concurrent runs record
+    #: the failure and move on; serial runs propagate, leaving this 0)
+    failed_operations: int = 0
+    #: event-timeline makespan of a concurrent run; None for serial runs
+    #: (whose wall time is the analytic two-limit bound below)
+    measured_wall_time: Optional[float] = None
 
     @property
     def wall_time(self) -> float:
-        """Simulated wall-clock seconds: the binding constraint between
-        client pipelining and hot-server saturation."""
+        """Simulated wall-clock seconds.
+
+        Concurrent runs report the event scheduler's measured makespan;
+        serial runs fall back to the analytic binding constraint between
+        client pipelining and hot-server saturation.
+        """
+        if self.measured_wall_time is not None:
+            return self.measured_wall_time
         return max(self.total_cost / self.num_clients, self.max_server_busy)
 
     @property
@@ -100,6 +112,10 @@ class ClientPool:
             f"{client_prefix}-{i}" for i in range(num_clients)
         ]
         self.accounts = accounts
+        #: the ConcurrentExecutor of the most recent concurrent run
+        #: (None after serial runs) — exposes the event log, per-task
+        #: handles and coherence sweep results to tests and the auditor
+        self.last_engine = None
 
     def client_of(self, operation_index: int) -> str:
         """Which client id submits the ``operation_index``-th operation."""
@@ -121,17 +137,35 @@ class ClientPool:
         lightweight repartitioner runs when it fires (online operation,
         as in a deployed Hermes).
         """
+        concurrency = getattr(self.cluster, "concurrency", None)
+        if concurrency is not None and concurrency.enabled:
+            return self._run_concurrent(
+                trace,
+                duration=duration,
+                max_operations=max_operations,
+                rebalance_every=rebalance_every,
+            )
         report = WorkloadReport(num_clients=self.num_clients)
         busy_before = {
             server.server_id: server.busy_seconds
             for server in self.cluster.servers
         }
 
+        def busy_delta(server) -> float:
+            # A server registered after the run started (elastic
+            # scenarios) is baselined at its busy time when first
+            # observed: only work it does *during* this run counts,
+            # instead of a KeyError — or, with a zero default, its
+            # entire pre-join busy time double-counted into
+            # max_server_busy.
+            baseline = busy_before.setdefault(
+                server.server_id, server.busy_seconds
+            )
+            return server.busy_seconds - baseline
+
         def update_server_busy() -> None:
             for server in self.cluster.servers:
-                report.server_busy[server.server_id] = (
-                    server.busy_seconds - busy_before[server.server_id]
-                )
+                report.server_busy[server.server_id] = busy_delta(server)
             report.max_server_busy = max(report.server_busy.values(), default=0.0)
 
         for operation in trace:
@@ -142,10 +176,7 @@ class ClientPool:
                 # skip rebuilding the per-server map on the hot path; the
                 # full map is refreshed at rebalance boundaries and exit.
                 report.max_server_busy = max(
-                    (
-                        server.busy_seconds - busy_before[server.server_id]
-                        for server in self.cluster.servers
-                    ),
+                    (busy_delta(server) for server in self.cluster.servers),
                     default=0.0,
                 )
                 if report.wall_time >= duration:
@@ -196,3 +227,103 @@ class ClientPool:
         report.client_cost[client] = report.client_cost.get(client, 0.0) + cost
         if self.accounts is not None:
             self.accounts.record_admitted(client, cost)
+
+    # ------------------------------------------------------------------
+    # Concurrent execution (ConcurrencyConfig.enabled)
+    # ------------------------------------------------------------------
+    def _run_concurrent(
+        self,
+        trace: Iterable[Operation],
+        duration: Optional[float] = None,
+        max_operations: Optional[int] = None,
+        rebalance_every: Optional[int] = None,
+    ) -> WorkloadReport:
+        """Run the trace through the event scheduler.
+
+        Each client becomes one long-lived task executing its round-robin
+        share of the trace in order; the scheduler interleaves all
+        clients (and any online migration they trigger) at hop
+        granularity.  ``wall_time`` becomes the *measured* event-timeline
+        makespan instead of the serial two-limit bound.  An operation
+        that fails with a cluster error is counted in
+        ``failed_operations`` and its client moves on — one crashed
+        write must not silently drop the rest of that client's trace.
+        """
+        from repro.concurrency.engine import ConcurrentExecutor
+
+        report = WorkloadReport(num_clients=self.num_clients)
+        busy_before = {
+            server.server_id: server.busy_seconds
+            for server in self.cluster.servers
+        }
+        ops = []
+        for index, operation in enumerate(trace):
+            if max_operations is not None and index >= max_operations:
+                break
+            ops.append(operation)
+        per_client: list = [[] for _ in range(self.num_clients)]
+        for index, operation in enumerate(ops):
+            per_client[index % self.num_clients].append(operation)
+
+        engine = ConcurrentExecutor(self.cluster)
+        self.last_engine = engine
+        scheduler = engine.scheduler
+
+        def account(operation, outcome, cost: float, client: str) -> None:
+            report.operations += 1
+            if isinstance(operation, Traversal):
+                report.traversals += 1
+                report.processed_vertices += outcome.processed
+                report.response_vertices += len(outcome.response)
+                report.remote_hops += outcome.remote_hops
+            elif isinstance(operation, ReadVertex):
+                report.reads += 1
+                report.processed_vertices += 1
+                report.response_vertices += 1
+            else:
+                report.writes += 1
+            report.total_cost += cost
+            report.client_operations[client] = (
+                report.client_operations.get(client, 0) + 1
+            )
+            report.client_cost[client] = (
+                report.client_cost.get(client, 0.0) + cost
+            )
+            if self.accounts is not None:
+                self.accounts.record_admitted(client, cost)
+
+        def client_task(client: str, assigned):
+            for operation in assigned:
+                if duration is not None and scheduler.now >= duration:
+                    break
+                try:
+                    outcome, cost = yield from engine.operation_task(operation)
+                except HermesError:
+                    report.failed_operations += 1
+                    continue
+                account(operation, outcome, cost, client)
+                if (
+                    rebalance_every is not None
+                    and report.operations % rebalance_every == 0
+                ):
+                    try:
+                        yield from engine.rebalance_task()
+                    except MigrationAbortedError:
+                        # Rolled back exactly; traffic keeps flowing.
+                        pass
+
+        for client_index, assigned in enumerate(per_client):
+            if assigned:
+                client = self.client_ids[client_index]
+                engine.submit(client_task(client, assigned), label=client)
+        report.measured_wall_time = engine.run()
+
+        for server in self.cluster.servers:
+            baseline = busy_before.setdefault(
+                server.server_id, server.busy_seconds
+            )
+            report.server_busy[server.server_id] = (
+                server.busy_seconds - baseline
+            )
+        report.max_server_busy = max(report.server_busy.values(), default=0.0)
+        return report

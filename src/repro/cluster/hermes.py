@@ -31,7 +31,12 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.cluster.catalog import Catalog, LocationCache
 from repro.cluster.faults import FaultInjector, FaultPlan, RetryPolicy
-from repro.cluster.migration_executor import MigrationExecutor, MigrationReport
+from repro.cluster.migration_executor import (
+    MigrationExecutor,
+    MigrationReport,
+    MigrationStep,
+)
+from repro.concurrency.config import ConcurrencyConfig
 from repro.cluster.network import NetworkConfig, SimulatedNetwork
 from repro.cluster.server import HermesServer
 from repro.cluster.traversal import TraversalEngine, TraversalResult
@@ -69,6 +74,7 @@ class HermesCluster:
         track_weights: bool = True,
         sharded_aux: bool = False,
         telemetry: Optional[Telemetry] = None,
+        concurrency: Optional[ConcurrencyConfig] = None,
     ):
         if num_servers < 1:
             raise ClusterError("need at least one server")
@@ -134,6 +140,14 @@ class HermesCluster:
         #: optional WorkloadModel observing traversal traffic (see
         #: attach_workload_model); None keeps the read path untouched
         self.workload_model = None
+        #: event-queue scheduler knobs; the default (enabled=False) keeps
+        #: every operation running serially, byte-identical to the
+        #: historical simulator
+        self.concurrency = concurrency or ConcurrencyConfig()
+        # In-flight traversals re-resolve their frontiers when a
+        # migration commits underneath them (serial mode never observes
+        # the epoch change: no traversal is paused during a migration).
+        self._executor.topology_listeners.append(self._engine.note_topology_change)
 
     # ==================================================================
     # Workload model
@@ -265,6 +279,14 @@ class HermesCluster:
                 exc.cost += cost
                 raise
             self.servers[host_v].store.create_relationship(rel_id, u, v, ghost=True)
+        # Double-write window: an endpoint mid-copy in an online
+        # migration also receives the record on its target server, after
+        # every fault point — a failed write must not leave mirror state.
+        # No-op (empty window) outside an online migration.
+        if self._executor.window_open:
+            rel = {"rel_id": rel_id, "src": u, "dst": v, "properties": properties or {}}
+            for endpoint in (u, v):
+                self._executor.mirror_edge(endpoint, rel)
         return cost
 
     # ==================================================================
@@ -415,6 +437,87 @@ class HermesCluster:
             # migration rolled itself back, so undo the logical moves too
             # and the cluster is exactly where it was before the attempt.
             self._rollback_aux(result.moves)
+            self.telemetry.counter(
+                "rebalance_aborts_total",
+                "rebalance runs aborted by injected faults",
+            ).inc()
+            self.telemetry.event(
+                "rebalance_aborted",
+                forced=force,
+                vertices_moved=result.vertices_moved,
+                error=str(exc.cause),
+            )
+            span.set_attribute("aborted", True)
+            span.finish(duration=exc.report.total_cost)
+            raise
+        self.telemetry.counter(
+            "rebalances_total", "repartitioner end-to-end runs"
+        ).inc()
+        self.telemetry.event(
+            "rebalance",
+            forced=force,
+            iterations=result.iterations,
+            vertices_moved=result.vertices_moved,
+            initial_edge_cut=result.initial_edge_cut,
+            final_edge_cut=result.final_edge_cut,
+            final_imbalance=result.final_imbalance,
+            migration_cost=report.total_cost,
+        )
+        span.set_attribute("vertices_moved", result.vertices_moved)
+        span.finish(duration=report.total_cost)
+        return result, report
+
+    def rebalance_steps(self, force: bool = False):
+        """Online rebalance: generator variant of :meth:`rebalance`.
+
+        Phase 1 runs exactly as in the serial path (the plan is computed
+        against the cluster state at call time), then phase 2 streams
+        :class:`~repro.cluster.migration_executor.MigrationStep` events —
+        one per copied vertex, the barrier, one per removed source copy —
+        so the concurrent engine interleaves queries and writes with the
+        physical migration.  Copied vertices sit in a double-write window
+        until the atomic catalog commit; an abort rolls back copy-steps
+        and mirrored writes together and re-points the auxiliary data,
+        exactly as the serial path does.  Because the plan is fixed up
+        front and commit is atomic, the final placement (and therefore
+        the edge-cut) equals what :meth:`rebalance` produces from the
+        same start state.  Yields nothing when the trigger does not fire
+        and ``force`` is False; the generator's return value is
+        ``(RepartitionResult, MigrationReport)`` or ``None``.
+        """
+        decision = self.check_trigger()
+        if not decision.should_repartition and not force:
+            return None
+        span = self.telemetry.span("rebalance", forced=force, online=True)
+        scratch = self.catalog.snapshot()
+        if (
+            self.workload_model is not None
+            and self.repartitioner_config.workload_alpha > 0.0
+        ):
+            self.aux.attach_heat(self.workload_model.normalized_edge_heat())
+        repartitioner = LightweightRepartitioner(self.repartitioner_config)
+        result = repartitioner.run(
+            self.graph, scratch, aux=self.aux, telemetry=self.telemetry
+        )
+        plan = build_migration_plan(result.moves)
+        steps = self._executor.migrate_steps(plan)
+        advanced = 0.0
+        report: Optional[MigrationReport] = None
+        try:
+            while True:
+                try:
+                    step: MigrationStep = next(steps)
+                except StopIteration as stop:
+                    report = stop.value
+                    break
+                self._advance(step.cost)
+                advanced += step.cost
+                yield step
+        except MigrationAbortedError as exc:
+            self._rollback_aux(result.moves)
+            # Per-step costs were folded into the clock as they ran; the
+            # abort's wasted timeout/backoff is the only remainder.
+            self._advance(max(0.0, exc.report.total_cost - advanced))
             self.telemetry.counter(
                 "rebalance_aborts_total",
                 "rebalance runs aborted by injected faults",

@@ -36,9 +36,7 @@ step) is purely server-local and cannot fault.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Tuple
-
-from typing import Optional
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
 
 from repro.cluster.catalog import Catalog, LocationCache
 from repro.cluster.faults import RetryPolicy
@@ -71,6 +69,22 @@ class MigrationReport:
     @property
     def total_cost(self) -> float:
         return self.copy_cost + self.barrier_cost + self.remove_cost
+
+
+@dataclass(frozen=True)
+class MigrationStep:
+    """One yielded unit of online-migration progress.
+
+    ``kind`` is ``"copy"`` (one vertex replicated onto its target),
+    ``"barrier"`` (participants confirm) or ``"remove"`` (one source
+    copy retired after commit).  ``cost`` is the step's simulated
+    seconds; ``servers`` the servers the step occupies on the event
+    timeline.
+    """
+
+    kind: str
+    cost: float
+    servers: Tuple[int, ...] = ()
 
 
 def _payload_size(payload: Dict[str, Any]) -> int:
@@ -107,6 +121,18 @@ class MigrationExecutor:
         #: an aborted attempt must leave it None (the simtest auditor's
         #: journal-emptiness invariant between schedule steps).
         self.active_journal: Optional[List[Tuple]] = None
+        #: double-write window of an *online* migration: vertex -> target
+        #: server for every vertex whose copy-step has run but whose
+        #: catalog entry has not flipped yet.  Writes that touch a
+        #: windowed vertex mirror onto the target (``mirror_edge``);
+        #: reads keep forwarding through the catalog to the source.
+        #: Always empty outside ``migrate_steps``.
+        self._window: Dict[int, int] = {}
+        #: final placement of the online migration owning the window
+        self._window_final_home: Optional[Dict[int, int]] = None
+        #: called after every catalog commit (online or stop-the-world);
+        #: in-flight traversals use this to re-resolve their frontiers.
+        self.topology_listeners: List[Callable[[], None]] = []
         self.attach_telemetry(telemetry or NULL_TELEMETRY)
 
     @property
@@ -205,6 +231,7 @@ class MigrationExecutor:
                 self.location_cache.on_moved(move.vertex, move.source, move.target)
         # Past the commit point: the journal will never be replayed.
         self.active_journal = None
+        self._notify_topology_change()
 
         remove_span = self.telemetry.span("migration.remove")
         self._remove_step(plan, final_home, payloads, report)
@@ -259,29 +286,39 @@ class MigrationExecutor:
         """
         payloads: Dict[int, Dict[str, Any]] = {}
         for move in plan.moves:
-            source = self.servers[move.source]
-            target = self.servers[move.target]
-            if not source.store.has_node(move.vertex):
-                raise ClusterError(
-                    f"server {move.source} does not host vertex {move.vertex}"
-                )
-            payload = source.store.export_node(move.vertex)
-            payloads[move.vertex] = payload
-            size = _payload_size(payload)
-            payload_sizes.append(size)
-            report.bytes_transferred += size
-            report.copy_cost += self._transfer(move.source, move.target, size)
-            report.vertices_moved += 1
-            report.per_target[move.target] = report.per_target.get(move.target, 0) + 1
-
-            target.store.import_node(payload)
-            undo.append(("import", move.target, move.vertex))
-            for rel in payload["relationships"]:
-                self._install_relationship(
-                    target, move.vertex, rel, final_home, undo
-                )
-                report.relationships_transferred += 1
+            self._copy_one(move, final_home, report, undo, payload_sizes, payloads)
         return payloads
+
+    def _copy_one(
+        self,
+        move,
+        final_home: Dict[int, int],
+        report: MigrationReport,
+        undo: List[Tuple],
+        payload_sizes: List[int],
+        payloads: Dict[int, Dict[str, Any]],
+    ) -> None:
+        """Replicate one moving vertex on its target server (journalled)."""
+        source = self.servers[move.source]
+        target = self.servers[move.target]
+        if not source.store.has_node(move.vertex):
+            raise ClusterError(
+                f"server {move.source} does not host vertex {move.vertex}"
+            )
+        payload = source.store.export_node(move.vertex)
+        payloads[move.vertex] = payload
+        size = _payload_size(payload)
+        payload_sizes.append(size)
+        report.bytes_transferred += size
+        report.copy_cost += self._transfer(move.source, move.target, size)
+        report.vertices_moved += 1
+        report.per_target[move.target] = report.per_target.get(move.target, 0) + 1
+
+        target.store.import_node(payload)
+        undo.append(("import", move.target, move.vertex))
+        for rel in payload["relationships"]:
+            self._install_relationship(target, move.vertex, rel, final_home, undo)
+            report.relationships_transferred += 1
 
     def _transfer(self, src: int, dst: int, size: int) -> float:
         """One copy-step record shipment, retried under injected faults."""
@@ -320,8 +357,14 @@ class MigrationExecutor:
         if target.store.has_relationship(rel_id):
             # Counterpart already present (other endpoint lives here or
             # arrived earlier in this copy step): link the new endpoint in
-            # and reconcile the primary/ghost role.
-            target.store.attach_endpoint(rel_id, arriving)
+            # and reconcile the primary/ghost role.  A mid-window write
+            # whose other endpoint lives on the target was already linked
+            # into the arriving copy's chain by ``create_relationship``
+            # (it links every local endpoint, available or not) — the
+            # mirror then only journals the attach so an abort still
+            # detaches it, without double-linking the chain.
+            if not target.store.chain_contains(arriving, rel_id):
+                target.store.attach_endpoint(rel_id, arriving)
             undo.append(("attach", target.server_id, rel_id, arriving))
             existing = target.store.relationship(rel_id)
             should_be_ghost = not (primary_here or both_local_eventually)
@@ -426,32 +469,240 @@ class MigrationExecutor:
             self.servers[move.source].store.set_available(move.vertex, False)
         # Second pass: relationship record surgery + node removal.
         for move in plan.moves:
-            source = self.servers[move.source]
-            store = source.store
-            entries = list(
-                store.neighbor_entries(move.vertex, include_unavailable=True)
+            self._remove_one(move, final_home, report)
+
+    def _remove_one(
+        self,
+        move,
+        final_home: Dict[int, int],
+        report: MigrationReport,
+    ) -> None:
+        """Retire one migrated vertex's source copy (post-commit, local)."""
+        source = self.servers[move.source]
+        store = source.store
+        entries = list(
+            store.neighbor_entries(move.vertex, include_unavailable=True)
+        )
+        for entry in entries:
+            other = entry.neighbor
+            other_here = (
+                store.has_node(other)
+                and self._home_after(other, final_home) == move.source
             )
-            for entry in entries:
-                other = entry.neighbor
-                other_here = (
-                    store.has_node(other)
-                    and self._home_after(other, final_home) == move.source
+            if other_here:
+                # The edge now crosses partitions: keep the record for
+                # the staying endpoint, null the migrated side, and
+                # recompute its ghost role (primary follows src).
+                store.detach_endpoint(entry.rel_id, move.vertex)
+                record = store.relationship(entry.rel_id)
+                should_be_ghost = (
+                    self._home_after(record.src, final_home) != move.source
                 )
-                if other_here:
-                    # The edge now crosses partitions: keep the record for
-                    # the staying endpoint, null the migrated side, and
-                    # recompute its ghost role (primary follows src).
-                    store.detach_endpoint(entry.rel_id, move.vertex)
-                    record = store.relationship(entry.rel_id)
-                    should_be_ghost = (
-                        self._home_after(record.src, final_home) != move.source
-                    )
-                    if record.ghost != should_be_ghost:
-                        store.set_ghost(entry.rel_id, should_be_ghost)
-                    report.relationships_rewritten += 1
-                else:
-                    store.delete_relationship(entry.rel_id)
-                    report.relationships_rewritten += 1
-                report.remove_cost += self.network.local_visit()
-            store.remove_node_record(move.vertex)
+                if record.ghost != should_be_ghost:
+                    store.set_ghost(entry.rel_id, should_be_ghost)
+                report.relationships_rewritten += 1
+            else:
+                store.delete_relationship(entry.rel_id)
+                report.relationships_rewritten += 1
             report.remove_cost += self.network.local_visit()
+        store.remove_node_record(move.vertex)
+        report.remove_cost += self.network.local_visit()
+
+    # ------------------------------------------------------------------
+    # Online migration (double-write window)
+    # ------------------------------------------------------------------
+    def _notify_topology_change(self) -> None:
+        for listener in self.topology_listeners:
+            listener()
+
+    def window_target(self, vertex: int) -> Optional[int]:
+        """Target server of ``vertex``'s open double-write window, if any."""
+        return self._window.get(vertex)
+
+    @property
+    def window_open(self) -> bool:
+        """Is any vertex currently inside a double-write window?"""
+        return bool(self._window)
+
+    @property
+    def window_vertices(self) -> Dict[int, int]:
+        """Read-only view of the open double-write window (auditor hook)."""
+        return dict(self._window)
+
+    def mirror_edge(self, vertex: int, rel: Dict[str, Any]) -> None:
+        """Apply one just-written relationship to ``vertex``'s window target.
+
+        The write path calls this for every endpoint of a new edge that
+        sits inside an open double-write window, after the write has
+        fully succeeded on its primary/ghost hosts.  The record is
+        installed on the target store with its *post-migration* ghost
+        role and journalled into the live undo journal, so an aborted
+        migration unwinds mirrored writes together with the copy-steps
+        while the write itself stays durable on the source.  The
+        shipment piggybacks on the migration channel and is charged no
+        extra simulated cost.
+        """
+        target_id = self._window.get(vertex)
+        if target_id is None or self.active_journal is None:
+            return
+        final_home = self._window_final_home or {}
+        self._install_relationship(
+            self.servers[target_id], vertex, rel, final_home, self.active_journal
+        )
+
+    def check_window_coherence(self) -> List[str]:
+        """Audit the open double-write window (the simtest invariant).
+
+        For every windowed vertex: the journal must be open, the target
+        must hold a replica, the catalog must still route reads to the
+        source (reads *forward* until commit), the source copy must
+        still be available, and the two adjacency lists must agree —
+        i.e. every write that landed during the window reached both
+        sides.  Returns human-readable problems (empty when coherent).
+        """
+        problems: List[str] = []
+        if self._window and not self.journal_open:
+            problems.append("double-write window open without a live journal")
+        for vertex, target_id in sorted(self._window.items()):
+            try:
+                source_id = self.catalog.lookup(vertex)
+            except HermesError:
+                problems.append(f"windowed vertex {vertex} left the catalog")
+                continue
+            if source_id == target_id:
+                problems.append(
+                    f"windowed vertex {vertex} already committed to "
+                    f"server {target_id} with its window still open"
+                )
+                continue
+            source = self.servers[source_id].store
+            target = self.servers[target_id].store
+            if not target.has_node(vertex):
+                problems.append(
+                    f"windowed vertex {vertex} has no replica on its "
+                    f"target server {target_id}"
+                )
+                continue
+            if not (source.has_node(vertex) and source.is_available(vertex)):
+                problems.append(
+                    f"windowed vertex {vertex} is unavailable on its "
+                    f"source server {source_id} before commit"
+                )
+                continue
+            if sorted(source.neighbors(vertex)) != sorted(target.neighbors(vertex)):
+                problems.append(
+                    f"windowed vertex {vertex} adjacency diverged between "
+                    f"source {source_id} and target {target_id}"
+                )
+        return problems
+
+    def migrate_steps(
+        self, plan: MigrationPlan
+    ) -> Generator[MigrationStep, None, MigrationReport]:
+        """Online variant of :meth:`execute`: yield between copy-steps.
+
+        Runs the same two-step protocol but one vertex at a time,
+        yielding a :class:`MigrationStep` after every copy, after the
+        barrier and after every remove so the event scheduler can
+        interleave queries and writes with the migration.  Every copied
+        vertex enters the double-write window until the (atomic) catalog
+        commit: writes mirror onto the target via :meth:`mirror_edge`,
+        reads keep forwarding to the source.  An abort rolls back
+        copy-steps *and* mirrored writes through the shared undo journal
+        and clears the window — exactly the pre-call state, as with the
+        stop-the-world path.
+        """
+        report = MigrationReport()
+        if not plan.moves:
+            return report
+        final_home = self._final_placement(plan)
+        undo: List[Tuple] = []
+        self.active_journal = undo
+        self._window_final_home = final_home
+        payload_sizes: List[int] = []
+        payloads: Dict[int, Dict[str, Any]] = {}
+
+        span = self.telemetry.span("migration", moves=plan.num_moves, online=True)
+        try:
+            copy_span = self.telemetry.span("migration.copy")
+            for move in plan.moves:
+                cost_before = report.copy_cost
+                self._copy_one(
+                    move, final_home, report, undo, payload_sizes, payloads
+                )
+                self._window[move.vertex] = move.target
+                yield MigrationStep(
+                    "copy",
+                    report.copy_cost - cost_before,
+                    (move.source, move.target),
+                )
+            copy_span.set_attribute("bytes", report.bytes_transferred)
+            copy_span.finish(duration=report.copy_cost)
+
+            barrier_span = self.telemetry.span("migration.barrier")
+            report.barrier_cost = self._barrier(plan)
+            barrier_span.finish(duration=report.barrier_cost)
+            participants = sorted(
+                {move.source for move in plan.moves}
+                | {move.target for move in plan.moves}
+            )
+            yield MigrationStep("barrier", report.barrier_cost, tuple(participants))
+        except HermesError as exc:
+            if isinstance(exc, FaultInjectedError):
+                report.copy_cost += exc.cost
+            self._rollback(undo)
+            self.active_journal = None
+            self._window.clear()
+            self._window_final_home = None
+            self.telemetry.counter(
+                "migration_aborts_total", "migrations aborted and rolled back"
+            ).inc()
+            self.telemetry.event(
+                "migration_aborted",
+                moves=plan.num_moves,
+                rolled_back=report.vertices_moved,
+                reason=type(exc).__name__,
+                error=str(exc),
+                online=True,
+            )
+            span.set_attribute("aborted", True)
+            span.finish(duration=report.copy_cost + report.barrier_cost)
+            raise MigrationAbortedError(exc, report) from exc
+
+        # Atomic commit: the catalog flips for every move at once, the
+        # window closes, and in-flight traversals are told to re-resolve.
+        for move in plan.moves:
+            self.catalog.move(move.vertex, move.target)
+            if self.location_cache is not None:
+                self.location_cache.on_moved(move.vertex, move.source, move.target)
+        self.active_journal = None
+        self._window.clear()
+        self._window_final_home = None
+        self._notify_topology_change()
+
+        remove_span = self.telemetry.span("migration.remove")
+        for move in plan.moves:
+            self.servers[move.source].store.set_available(move.vertex, False)
+        for move in plan.moves:
+            cost_before = report.remove_cost
+            self._remove_one(move, final_home, report)
+            yield MigrationStep(
+                "remove", report.remove_cost - cost_before, (move.source,)
+            )
+        remove_span.set_attribute(
+            "relationships_rewritten", report.relationships_rewritten
+        )
+        remove_span.finish(duration=report.remove_cost)
+
+        for size in payload_sizes:
+            self._payload_sizes.observe(size)
+        self._vertices_moved.inc(report.vertices_moved)
+        self._rels_transferred.inc(report.relationships_transferred)
+        self._rels_rewritten.inc(report.relationships_rewritten)
+        self._bytes.inc(report.bytes_transferred)
+        self._phase_seconds["copy"].inc(report.copy_cost)
+        self._phase_seconds["barrier"].inc(report.barrier_cost)
+        self._phase_seconds["remove"].inc(report.remove_cost)
+        span.set_attribute("vertices_moved", report.vertices_moved)
+        span.finish(duration=report.total_cost)
+        return report

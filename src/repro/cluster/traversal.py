@@ -45,8 +45,8 @@ not once per frontier entry.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Set, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional, Set, Tuple
 
 from repro.cluster.catalog import Catalog, LocationCache
 from repro.cluster.faults import RetryPolicy
@@ -84,6 +84,24 @@ class TraversalResult:
         if self.processed == 0:
             return 0.0
         return len(self.response) / self.processed
+
+
+@dataclass(frozen=True)
+class DepthStep:
+    """One resumable slice of a traversal (dispatch or one frontier depth).
+
+    Yielded by :meth:`TraversalEngine.traverse_steps` after the slice's
+    cluster work has executed.  ``cost`` is the simulated client-perceived
+    time the slice added; ``busy`` maps server id to the busy-seconds the
+    slice charged that server — the occupancy the concurrent scheduler
+    queues on each server's event lane.
+    """
+
+    kind: str  # "dispatch" | "hop"
+    cost: float
+    busy: Dict[int, float] = field(default_factory=dict)
+    depth: int = -1
+    frontier: int = 0
 
 
 class _QueryState:
@@ -133,6 +151,11 @@ class TraversalEngine:
         #: optional WorkloadModel fed one observation per frontier
         #: expansion (set via HermesCluster.attach_workload_model)
         self.workload_model = None
+        #: bumped by :meth:`note_topology_change` when a migration commit
+        #: re-homes vertices; in-flight traversals re-resolve their cached
+        #: frontier hosts when they observe a new epoch (serial traversals
+        #: never do — nothing commits between their depths)
+        self.topology_epoch = 0
         self.attach_telemetry(telemetry or NULL_TELEMETRY)
         # Standalone engines get a private cache; a cluster passes the
         # shared instance the migration executor invalidates through.
@@ -160,13 +183,44 @@ class TraversalEngine:
         )
 
     def traverse(self, start: int, hops: int) -> TraversalResult:
-        """Run a ``hops``-hop traversal from ``start``.
+        """Run a ``hops``-hop traversal from ``start`` to completion.
+
+        Drives :meth:`traverse_steps` without pausing between depths —
+        the serial execution model, byte-identical to the historical
+        inline implementation.
+        """
+        steps = self.traverse_steps(start, hops)
+        while True:
+            try:
+                next(steps)
+            except StopIteration as stop:
+                return stop.value
+
+    def note_topology_change(self) -> None:
+        """A migration commit re-homed vertices: any traversal paused
+        between depths must re-resolve its frontier before expanding
+        it (its cached hosts may now point at old primaries)."""
+        self.topology_epoch += 1
+
+    def traverse_steps(
+        self, start: int, hops: int
+    ) -> Generator[DepthStep, None, TraversalResult]:
+        """Run a ``hops``-hop traversal as a resumable task.
 
         The query is dispatched to the server hosting ``start``; each
         frontier vertex is expanded on its hosting server, and stepping to
         a vertex hosted elsewhere is charged as a remote traversal (one
         aggregated message per destination server per depth in batched
         mode, one message per frontier entry in legacy mode).
+
+        Yields one :class:`DepthStep` for the client dispatch and one per
+        frontier depth, after that slice's work has executed — the
+        concurrent scheduler interleaves other operations (and online
+        migration copy-steps) between resumptions.  If a migration
+        committed while the task was paused, the frontier is re-resolved
+        through the location cache before the next depth runs, so the
+        traversal never charges forwarding costs against a host it could
+        already know is stale.
         """
         cost = self.network.config.client_dispatch_cost
         home = self.catalog.lookup(start)
@@ -175,7 +229,9 @@ class TraversalEngine:
         if injector is not None and injector.is_down(home):
             # The dispatch to the home server times out: the client gets
             # an empty partial result rather than an exception.
-            return self._degraded_dispatch(start, hops, home, cost)
+            result = self._degraded_dispatch(start, hops, home, cost)
+            yield DepthStep(kind="dispatch", cost=result.cost)
+            return result
 
         batched = self.network.config.batch_remote_hops
         state = _QueryState(
@@ -191,17 +247,42 @@ class TraversalEngine:
         # servers, that step is a remote traversal — the per-cut-edge cost
         # that makes edge-cut the dominant performance factor (Section 1).
         frontier: List[Tuple[int, int, int]] = [(start, home, home)]
+        epoch = self.topology_epoch
+        yield DepthStep(kind="dispatch", cost=cost)
 
         for depth in range(hops + 1):
+            if self.topology_epoch != epoch:
+                # A migration committed while this task was paused: the
+                # frontier's cached hosts may be stale.  Re-resolve
+                # through the location cache (participants already know
+                # the new homes) instead of paying forwarding charges —
+                # or, in legacy mode, silently dropping moved vertices.
+                frontier = self._refresh_frontier(frontier, state)
+                epoch = self.topology_epoch
             depth_span = self.telemetry.span(
                 "hop", depth=depth, frontier=len(frontier)
             )
             cost_before = state.cost
+            busy_before = [
+                server.busy_counter.value for server in self.servers
+            ]
             if batched:
                 next_frontier = self._run_depth_batched(frontier, depth, state)
             else:
                 next_frontier = self._run_depth_legacy(frontier, depth, state)
             depth_span.finish(duration=state.cost - cost_before)
+            busy = {}
+            for server_id, before in enumerate(busy_before):
+                delta = self.servers[server_id].busy_counter.value - before
+                if delta > 0.0:
+                    busy[server_id] = delta
+            yield DepthStep(
+                kind="hop",
+                cost=state.cost - cost_before,
+                busy=busy,
+                depth=depth,
+                frontier=len(frontier),
+            )
             if not next_frontier:
                 break
             frontier = next_frontier
@@ -230,6 +311,31 @@ class TraversalEngine:
             cost=state.cost,
             failed_partitions=tuple(sorted(state.failed)),
         )
+
+    def _refresh_frontier(
+        self,
+        frontier: List[Tuple[int, int, int]],
+        state: _QueryState,
+    ) -> List[Tuple[int, int, int]]:
+        """Re-resolve every frontier entry's host after a topology change.
+
+        Cached mode consults the discovering server's location cache
+        (fresh for migration participants, self-correcting otherwise);
+        legacy mode goes straight to the authoritative catalog.  Entries
+        whose vertex left the catalog entirely keep their stale host and
+        degrade through the normal unavailable-vertex path.
+        """
+        refreshed: List[Tuple[int, int, int]] = []
+        for vertex, host, from_host in frontier:
+            try:
+                if state.cached:
+                    resolved = self.location_cache.lookup_from(from_host, vertex)
+                else:
+                    resolved = self.catalog.lookup(vertex)
+            except CatalogError:
+                resolved = host
+            refreshed.append((vertex, resolved, from_host))
+        return refreshed
 
     # ------------------------------------------------------------------
     # Per-depth execution

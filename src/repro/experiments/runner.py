@@ -31,6 +31,7 @@ from repro.experiments import (
     baselines,
     batching,
     common,
+    concurrency,
     faults,
     spar,
     fig7,
@@ -61,6 +62,7 @@ EXPERIMENTS: Dict[str, Tuple[object, bool]] = {
     "spar": (spar, False),
     "faults": (faults, True),
     "batching": (batching, True),
+    "concurrency": (concurrency, True),
     "scale": (scale_experiment, False),
     "serving": (serving, True),
     "workload": (workload, True),
@@ -80,6 +82,7 @@ ORDER = [
     "spar",
     "faults",
     "batching",
+    "concurrency",
     "scale",
     "serving",
     "workload",

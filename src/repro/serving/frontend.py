@@ -41,6 +41,7 @@ from repro.serving.config import ServingConfig
 from repro.serving.queue import QueryQueue
 from repro.serving.replicas import ReplicaIndex, ReplicaSynchronizer
 from repro.serving.router import GraphRouter
+from repro.concurrency.scheduler import Work
 from repro.telemetry import NULL_TELEMETRY, Telemetry
 from repro.telemetry.registry import DEFAULT_TIME_BUCKETS
 
@@ -116,6 +117,29 @@ class ServingFrontend:
             "client-observed simulated latency (queue wait + execution)",
             buckets=DEFAULT_TIME_BUCKETS,
         )
+        #: optional ConcurrentExecutor (see :meth:`attach_engine`)
+        self.engine = None
+
+    # ------------------------------------------------------------------
+    # Concurrent execution
+    # ------------------------------------------------------------------
+    def attach_engine(self, engine) -> None:
+        """Route background work through an event scheduler.
+
+        With a :class:`~repro.concurrency.engine.ConcurrentExecutor`
+        attached, the front door becomes event-driven on the engine's
+        timeline: every arrival first drains the events that precede it
+        (pending migration copy-steps, replica-update deliveries), writes
+        ship their replica updates as scheduled delivery events that
+        occupy the replica hosts, and :meth:`rebalance` runs the physical
+        migration online through the scheduler.  ``None`` detaches and
+        restores the inline behavior.
+        """
+        self.engine = engine
+
+    def _replica_delivery_task(self, host: int, cost: float):
+        """One asynchronous replica-update delivery as an event."""
+        yield Work(demands=((host, cost),), kind="replica-update")
 
     # ------------------------------------------------------------------
     # Topology hooks
@@ -125,8 +149,24 @@ class ServingFrontend:
         self.index.note_topology_change()
 
     def rebalance(self, force: bool = False):
-        """Run the cluster's repartitioner and refresh replica placement."""
-        result = self.cluster.rebalance(force=force)
+        """Run the cluster's repartitioner and refresh replica placement.
+
+        With an engine attached (and online migration enabled) the
+        physical migration streams through the event scheduler — pending
+        events interleave with its copy-steps and the double-write
+        window covers copied vertices until the atomic commit.
+        """
+        if (
+            self.engine is not None
+            and self.engine.config.online_migration
+        ):
+            handle = self.engine.submit_rebalance(force=force, at=self.now)
+            self.engine.run()
+            if handle.error is not None:
+                raise handle.error
+            result = handle.result
+        else:
+            result = self.cluster.rebalance(force=force)
         if result is not None:
             self.note_topology_change()
         return result
@@ -154,6 +194,12 @@ class ServingFrontend:
         if now is not None and now > self.now:
             self.now = now
         arrival = self.now
+        if self.engine is not None:
+            # Event-driven front door: work scheduled before this
+            # arrival (migration copy-steps, replica-update deliveries)
+            # executes first, so the operation observes the cluster
+            # state those events produced.
+            self.engine.run_until(arrival)
         self.queue.drain(arrival)
 
         outcome = ServeOutcome(
@@ -221,6 +267,15 @@ class ServingFrontend:
             touched = [args[0]] if op == "add_vertex" else [args[0], args[1]]
             for host, async_cost in self.sync.record_write(touched, finish).items():
                 self.queue.add_backlog(host, finish, async_cost)
+                if self.engine is not None:
+                    # The shipment is also a real event: the replica
+                    # host is occupied at delivery time on the event
+                    # timeline, not just debited on its serving backlog.
+                    self.engine.submit(
+                        self._replica_delivery_task(host, async_cost),
+                        at=finish,
+                        label=f"replica-update:{host}",
+                    )
 
         # 7. Account and report.
         outcome.status = DEGRADED if degraded else COMPLETED

@@ -61,6 +61,19 @@ and TESTING.md):
     the engine's ``workload_model_observations_total`` counter, and
     after folding in the network stats the model's per-link totals
     equal the send-side message/byte counters exactly.
+``event-clock-monotonic``
+    (Clusters that ran interleaved schedules only.)  Per server, the
+    concurrent scheduler's recorded event timeline never runs
+    backwards: successive event starts/finishes are non-decreasing, no
+    event finishes before it starts, and the server's free-at
+    bookkeeping equals its last recorded finish.
+``double-write-coherence``
+    (Clusters that ran interleaved schedules only.)  Every mid-step
+    double-write coherence sweep came back clean (windowed vertices
+    readable at the source, mirrored verbatim at the target, journal
+    open while the window is), and no double-write window survives past
+    the step that opened it — online migrations commit or roll back
+    within their schedule step.
 """
 
 from __future__ import annotations
@@ -89,6 +102,8 @@ INVARIANT_NAMES = (
     "queue-conservation",
     "replica-staleness-bound",
     "workload-model-conservation",
+    "event-clock-monotonic",
+    "double-write-coherence",
 )
 
 
@@ -123,6 +138,8 @@ class InvariantAuditor:
         violations += self._check_queue_conservation(cluster)
         violations += self._check_replica_staleness(cluster)
         violations += self._check_workload_model(cluster)
+        violations += self._check_event_clock(cluster)
+        violations += self._check_double_write(cluster)
         return violations
 
     def check(self, cluster) -> None:
@@ -473,8 +490,13 @@ class InvariantAuditor:
                 )
             )
         # Folding the network stats in (idempotent) must land the model's
-        # link totals exactly on the send-side counters.
+        # link totals exactly on the send-side counters.  After a counter
+        # reset (a restarted server's stats re-started from zero) the
+        # model's accumulated totals legitimately exceed the live
+        # counters, so the equality only holds reset-free.
         model.ingest_network(cluster.network.stats)
+        if model.link_resets:
+            return out
         sent_messages = sum(
             link.messages for link in cluster.network.stats.per_link.values()
         )
@@ -495,6 +517,40 @@ class InvariantAuditor:
                     "workload-model-conservation",
                     f"model link bytes {model.link_bytes_total:g} != "
                     f"network bytes sent {sent_bytes}",
+                )
+            )
+        return out
+
+    # ------------------------------------------------------------------
+    # Concurrency invariants (no-ops without a concurrent engine)
+    # ------------------------------------------------------------------
+    def _check_event_clock(self, cluster) -> List[InvariantViolation]:
+        engine = getattr(cluster, "_concurrent_engine", None)
+        if engine is None:
+            return []
+        return [
+            InvariantViolation("event-clock-monotonic", detail)
+            for detail in engine.monotonicity_violations()
+        ]
+
+    def _check_double_write(self, cluster) -> List[InvariantViolation]:
+        out: List[InvariantViolation] = []
+        engine = getattr(cluster, "_concurrent_engine", None)
+        if engine is not None:
+            out += [
+                InvariantViolation("double-write-coherence", detail)
+                for detail in engine.coherence_violations
+            ]
+        # Window lifetime is bounded by the schedule step that opened it
+        # whether or not an engine is attached: between steps every
+        # online migration has committed or rolled back.
+        if cluster._executor.window_open:
+            leaked = sorted(cluster._executor.window_vertices.items())
+            out.append(
+                InvariantViolation(
+                    "double-write-coherence",
+                    f"double-write window still open between steps for "
+                    f"{len(leaked)} vertices (first: {leaked[:5]})",
                 )
             )
         return out

@@ -42,6 +42,12 @@ from repro.exceptions import (
     HermesError,
     MigrationAbortedError,
 )
+from repro.workloads.queries import (
+    InsertEdge,
+    InsertVertex,
+    ReadVertex,
+    Traversal,
+)
 from repro.serving.admission import Priority
 from repro.serving.frontend import DEGRADED, SHED
 from repro.simtest.invariants import InvariantAuditor, InvariantViolation
@@ -131,6 +137,8 @@ class ScenarioRunner:
             cluster.add_vertex(int(args["vertex"]))
         elif kind == "serve":
             return self._serve(cluster, args)
+        elif kind == "interleave":
+            return self._interleave(cluster, args)
         elif kind == "rebalance":
             frontend = getattr(cluster, "serving", None)
             if frontend is not None:
@@ -185,6 +193,75 @@ class ScenarioRunner:
             return "degraded"
         return None
 
+    def _interleave(self, cluster, args: Dict[str, object]) -> Optional[str]:
+        """Run a group of ops (and optionally a rebalance) concurrently.
+
+        The ops fan out round-robin over ``clients`` client tasks on a
+        fresh :class:`~repro.concurrency.engine.ConcurrentExecutor`; an
+        absorbed rebalance is submitted as its own task, so the online
+        migration's copy-steps interleave with live traffic and every
+        copied vertex crosses its double-write window under load.  The
+        engine stays on the cluster as ``_concurrent_engine`` for the
+        auditor's event-clock and double-write sweeps.  Statuses:
+        ``aborted`` if the rebalance rolled back, ``degraded`` if any op
+        hit a cluster error, ok otherwise.
+        """
+        from repro.concurrency.engine import ConcurrentExecutor
+
+        engine = ConcurrentExecutor(cluster)
+        cluster._concurrent_engine = engine
+        operations = [
+            _operation_from_dict(entry) for entry in args.get("ops", [])
+        ]
+        clients = max(1, int(args.get("clients", 4)))
+        per_client = [operations[i::clients] for i in range(clients)]
+        failed = [0]
+
+        def client_task(assigned):
+            for operation in assigned:
+                try:
+                    yield from engine.operation_task(operation)
+                except HermesError:
+                    failed[0] += 1
+
+        for index, assigned in enumerate(per_client):
+            if assigned:
+                engine.submit(client_task(assigned), label=f"client-{index}")
+        rebalance_handle = None
+        if "rebalance" in args:
+            rebalance_handle = engine.submit_rebalance(
+                force=bool(dict(args["rebalance"]).get("force", False))
+            )
+        engine.run()
+        if rebalance_handle is not None and isinstance(
+            rebalance_handle.error, MigrationAbortedError
+        ):
+            return "aborted"
+        if failed[0]:
+            return "degraded"
+        return None
+
+
+def _operation_from_dict(entry: Dict[str, object]):
+    """Rebuild a workload Operation from an interleave step's op dict.
+
+    The dicts are the plain step dicts the generator grouped (same shape
+    as serial ``traverse``/``read``/``add_edge``/``add_vertex`` steps),
+    so a shrunk interleave group can be spliced back into a serial
+    schedule without translation.
+    """
+    kind = str(entry["kind"])
+    args = dict(entry.get("args", {}))
+    if kind == "traverse":
+        return Traversal(int(args["start"]), hops=int(args.get("hops", 1)))
+    if kind == "read":
+        return ReadVertex(int(args["vertex"]))
+    if kind == "add_edge":
+        return InsertEdge(int(args["u"]), int(args["v"]))
+    if kind == "add_vertex":
+        return InsertVertex(int(args["vertex"]))
+    raise ValueError(f"unknown interleave op kind {kind!r}")
+
 
 def _frontend(cluster):
     """The cluster's serving front door, attached on first use for
@@ -213,12 +290,19 @@ def _corrupt(cluster, mode: str) -> None:
                     return
         raise ValueError("no ghost record to flip")
     elif mode == "drop_record":
+        # Drop one copy of a *replicated* (inter-partition) relationship
+        # so the surviving copy is what the auditor trips over; a
+        # single-copy record would vanish without a surviving witness.
+        copies: Dict[int, List[int]] = {}
         for server in range(cluster.num_servers):
             store = cluster.servers[server].store
             for record in store.relationships.records():
-                store.delete_relationship(record.rel_id)
+                copies.setdefault(record.rel_id, []).append(server)
+        for rel_id, holders in sorted(copies.items()):
+            if len(holders) >= 2:
+                cluster.servers[holders[0]].store.delete_relationship(rel_id)
                 return
-        raise ValueError("no relationship record to drop")
+        raise ValueError("no replicated relationship record to drop")
     elif mode == "cache_poison":
         cluster.location_cache.learn(0, 10**9, 0)
     elif mode == "journal_leak":
@@ -235,8 +319,39 @@ def _corrupt(cluster, mode: str) -> None:
         frontend.sync.max_served_staleness = (
             frontend.config.max_staleness * 10
         )
+    elif mode == "event_skew":
+        # Forge an event that finishes before it starts on server 0's
+        # timeline: breaks event-clock monotonicity.
+        engine = _concurrent_engine(cluster)
+        from repro.concurrency.scheduler import EventRecord
+
+        engine.scheduler.records.append(
+            EventRecord(
+                seq=10**9, task=0, server=0, kind="forged",
+                start=5.0, finish=1.0,
+            )
+        )
+    elif mode == "window_leak":
+        # A double-write window entry that outlived its migration (no
+        # journal open, catalog never flipped): breaks window coherence.
+        _concurrent_engine(cluster)
+        vertex = next(iter(cluster.graph.vertices()))
+        home = cluster.catalog.lookup(vertex)
+        cluster._executor._window[vertex] = (home + 1) % cluster.num_servers
     else:
         raise ValueError(f"unknown corruption mode {mode!r}")
+
+
+def _concurrent_engine(cluster):
+    """The cluster's concurrent engine, attached on first use (mirrors
+    ``_frontend`` for hand-written corruption schedules)."""
+    engine = getattr(cluster, "_concurrent_engine", None)
+    if engine is None:
+        from repro.concurrency.engine import ConcurrentExecutor
+
+        engine = ConcurrentExecutor(cluster)
+        cluster._concurrent_engine = engine
+    return engine
 
 
 #: corruption modes understood by the test-only ``corrupt`` step
@@ -249,4 +364,6 @@ CORRUPT_MODES = (
     "stats_skew",
     "queue_skew",
     "stale_serve",
+    "event_skew",
+    "window_leak",
 )

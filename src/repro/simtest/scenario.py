@@ -37,6 +37,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.cluster.hermes import HermesCluster
 from repro.cluster.network import NetworkConfig
+from repro.concurrency.config import ConcurrencyConfig
 from repro.core.config import RepartitionerConfig
 from repro.graph.adjacency import SocialGraph
 from repro.partitioning.hashing import HashPartitioner
@@ -72,6 +73,11 @@ class ScenarioSpec:
     #: route the workload through a ServingFrontend (serve steps) and
     #: audit the serving-layer invariants
     serving: bool = False
+    #: run through the per-server event scheduler: workload stretches
+    #: become ``interleave`` steps (or, with serving, the front door goes
+    #: event-driven), rebalances migrate online, and the auditor adds the
+    #: event-clock and double-write invariants
+    concurrency: bool = False
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -84,6 +90,7 @@ class ScenarioSpec:
             "epsilon": self.epsilon,
             "k": self.k,
             "serving": self.serving,
+            "concurrency": self.concurrency,
         }
 
     @classmethod
@@ -100,6 +107,8 @@ class ScenarioSpec:
             # Absent from pre-serving artifacts: default off so they
             # load and replay unchanged.
             serving=bool(data.get("serving", False)),
+            # Same contract for pre-concurrency artifacts.
+            concurrency=bool(data.get("concurrency", False)),
         )
 
 
@@ -155,11 +164,24 @@ def build_cluster(spec: ScenarioSpec) -> HermesCluster:
         partitioning=placement,
         network=NetworkConfig(batch_remote_hops=spec.batch_remote_hops),
         repartitioner=RepartitionerConfig(epsilon=spec.epsilon, k=spec.k),
+        concurrency=(
+            ConcurrencyConfig(enabled=True) if spec.concurrency else None
+        ),
     )
     if spec.serving:
         from repro.serving.frontend import ServingFrontend
 
         cluster.serving = ServingFrontend(cluster)
+        if spec.concurrency:
+            # Event-driven front door: one engine lives for the whole
+            # schedule — arrivals drain preceding events, writes ship
+            # replica updates as delivery events, rebalances migrate
+            # online.  The auditor sweeps it via _concurrent_engine.
+            from repro.concurrency.engine import ConcurrentExecutor
+
+            engine = ConcurrentExecutor(cluster)
+            cluster._concurrent_engine = engine
+            cluster.serving.attach_engine(engine)
     # Passive traffic observer: costs, schedules and results are
     # untouched, but every scenario now exercises the workload-model
     # conservation invariant (heat >= 0, decay-bounded, counter match).
@@ -181,7 +203,19 @@ class ScenarioGenerator:
         self.seed = seed
         self._num_steps = num_steps
 
-    def generate(self) -> Tuple[ScenarioSpec, Schedule]:
+    def generate(
+        self, concurrency: Optional[bool] = None
+    ) -> Tuple[ScenarioSpec, Schedule]:
+        """Generate this seed's ``(spec, schedule)``.
+
+        ``concurrency`` overrides the seeded concurrency decision:
+        ``False`` forces the serial harness (the byte-identical parity
+        suite uses this to compare against pre-concurrency fixtures),
+        ``True`` forces the event scheduler, ``None`` (default) draws
+        from the ``("hermes-concurrency", seed)`` stream.  The base spec
+        and schedule are drawn first, from their own streams, so they
+        are byte-identical per seed in every mode.
+        """
         rng = random.Random(("hermes-simtest", self.seed).__repr__())
         num_vertices = rng.randint(28, 56)
         spec = ScenarioSpec(
@@ -202,6 +236,23 @@ class ScenarioGenerator:
         if serving_rng.random() < 0.5:
             spec = replace(spec, serving=True)
             schedule = self._serving_schedule(schedule, serving_rng)
+        # Concurrency draws from its own stream too, after the serving
+        # decision, so serial and serving schedules per seed stay
+        # byte-identical to what pre-concurrency harnesses generated.
+        concurrency_rng = random.Random(
+            ("hermes-concurrency", self.seed).__repr__()
+        )
+        drawn = concurrency_rng.random() < 0.5
+        enabled = drawn if concurrency is None else concurrency
+        if enabled:
+            spec = replace(spec, concurrency=True)
+            if not spec.serving:
+                # Serving schedules keep their serve steps (the attached
+                # engine makes the front door event-driven); plain
+                # schedules group workload stretches into interleave
+                # steps that run through the scheduler, absorbing an
+                # adjacent rebalance so migration runs under traffic.
+                schedule = self._interleave_schedule(schedule, concurrency_rng)
         return spec, schedule
 
     # ------------------------------------------------------------------
@@ -300,6 +351,53 @@ class ScenarioGenerator:
                     },
                 )
             )
+        return converted
+
+    def _interleave_schedule(
+        self, schedule: Schedule, rng: random.Random
+    ) -> Schedule:
+        """Group workload stretches into concurrent ``interleave`` steps.
+
+        Consecutive runs of plain workload steps become one
+        ``interleave`` step carrying the original op dicts (in order)
+        plus a client count — the runner fans them out round-robin over
+        that many client tasks on the event scheduler.  A ``rebalance``
+        immediately following a group of two or more ops is absorbed
+        into the group, so the online migration runs *while* those ops
+        are in flight — the interleaving the serial harness can never
+        produce.  Maintenance and fault steps pass through and act as
+        barriers (the scheduler drains between steps).
+        """
+        converted: Schedule = []
+        group: List[Step] = []
+
+        def flush(rebalance: Optional[Step] = None) -> None:
+            absorbed = rebalance is not None and len(group) >= 2
+            if len(group) >= 2:
+                args: Dict[str, object] = {
+                    "ops": [step.to_dict() for step in group],
+                    "clients": rng.choice([2, 3, 4, 6, 8]),
+                }
+                if absorbed:
+                    args["rebalance"] = {
+                        "force": bool(rebalance.args.get("force", False))
+                    }
+                converted.append(Step("interleave", args))
+            else:
+                converted.extend(group)
+            group.clear()
+            if rebalance is not None and not absorbed:
+                converted.append(rebalance)
+
+        for step in schedule:
+            if step.kind in FRONT_DOOR_KINDS:
+                group.append(step)
+            elif step.kind == "rebalance":
+                flush(rebalance=step)
+            else:
+                flush()
+                converted.append(step)
+        flush()
         return converted
 
     def _add_edge_step(

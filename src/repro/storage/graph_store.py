@@ -229,6 +229,20 @@ class GraphStore:
     def has_relationship(self, rel_id: int) -> bool:
         return rel_id in self.relationships
 
+    def chain_contains(self, node_id: int, rel_id: int) -> bool:
+        """True when ``rel_id`` is already linked into ``node_id``'s chain.
+
+        Guards against double-linking when a record was created with both
+        endpoints local (``create_relationship`` links every local
+        endpoint) and a later path would attach one of them again.
+        """
+        return any(
+            entry.rel_id == rel_id
+            for entry in self.neighbor_entries(
+                node_id, include_unavailable=True
+            )
+        )
+
     def relationship(self, rel_id: int) -> RelationshipRecord:
         return self.relationships.read(rel_id)
 

@@ -85,6 +85,11 @@ class WorkloadModel:
         #: simtest invariant — observe_edge calls and total raw weight
         self.observations = 0
         self.observed_weight = 0.0
+        #: times a link's NetworkStats counters went backwards (the
+        #: sending server restarted and its stats re-started from zero);
+        #: while non-zero the model's link totals legitimately exceed
+        #: the live send-side counters
+        self.link_resets = 0
         self.recording = record
         self._log: List[Tuple] = []
 
@@ -210,10 +215,17 @@ class WorkloadModel:
             d_msgs = link.messages - seen_msgs
             d_bytes = link.bytes - seen_bytes
             if d_msgs < 0 or d_bytes < 0:
-                raise WorkloadError(
-                    f"link {key} counters went backwards; NetworkStats are "
-                    "monotone — was a different stats object ingested?"
-                )
+                # The counters went backwards: the sending server was
+                # restarted (crash-recovery episode) and its NetworkStats
+                # re-started from zero.  Treat the new values as a fresh
+                # counting epoch — everything since the restart is new
+                # traffic — instead of raising (or worse, silently
+                # clamping a huge negative delta into the heat).
+                d_msgs = link.messages
+                d_bytes = link.bytes
+                self.link_resets += 1
+                if self.recording:
+                    self._log.append(("link_reset", src, dst))
             if d_msgs == 0 and d_bytes == 0:
                 continue
             entry = self._links.setdefault(
@@ -296,6 +308,7 @@ class WorkloadModel:
             "now": self.now,
             "observations": self.observations,
             "observed_weight": self.observed_weight,
+            "link_resets": self.link_resets,
             "edges": [
                 [u, v, heat, stamp]
                 for (u, v), (heat, stamp) in sorted(self._edges.items())
@@ -321,6 +334,7 @@ class WorkloadModel:
         model.now = float(data.get("now", 0.0))
         model.observations = int(data.get("observations", 0))
         model.observed_weight = float(data.get("observed_weight", 0.0))
+        model.link_resets = int(data.get("link_resets", 0))
         for u, v, heat, stamp in data.get("edges", []):
             model._edges[(int(u), int(v))] = (float(heat), float(stamp))
         for src, dst, messages, nbytes in data.get("links", []):
@@ -368,6 +382,8 @@ class WorkloadModel:
                 )
                 bucket["messages"] += float(d_msgs)
                 bucket["bytes"] += float(d_bytes)
+            elif kind == "link_reset":
+                model.link_resets += 1
             else:
                 raise WorkloadError(f"unknown log entry kind {kind!r}")
         return model

@@ -1,0 +1,149 @@
+"""Unit tests for the per-server event-queue scheduler."""
+
+import pytest
+
+from repro.concurrency.scheduler import EventRecord, EventScheduler, Work
+from repro.exceptions import HermesError
+
+
+def make_task(steps):
+    """A task yielding the given Work items, returning the step count."""
+
+    def task():
+        for work in steps:
+            yield work
+        return len(steps)
+
+    return task()
+
+
+class TestDispatch:
+    def test_single_task_runs_to_completion(self):
+        scheduler = EventScheduler(2)
+        handle = scheduler.spawn(
+            make_task([Work(demands=((0, 1.0),)), Work(demands=((1, 2.0),))])
+        )
+        makespan = scheduler.run()
+        assert handle.done and handle.ok
+        assert handle.result == 2
+        assert handle.steps == 2
+        # step 1 occupies server 0 over [0, 1], step 2 server 1 over [1, 3]
+        assert makespan == pytest.approx(3.0)
+
+    def test_fifo_per_server_queueing(self):
+        scheduler = EventScheduler(1)
+        a = scheduler.spawn(make_task([Work(demands=((0, 1.0),))]))
+        b = scheduler.spawn(make_task([Work(demands=((0, 1.0),))]))
+        scheduler.run()
+        lane = scheduler.per_server_records()[0]
+        # Spawn order breaks the t=0 tie: a's event runs [0,1], b's [1,2].
+        assert [record.task for record in lane] == [a.task_id, b.task_id]
+        assert lane[0].finish == pytest.approx(1.0)
+        assert lane[1].start == pytest.approx(1.0)
+        assert lane[1].finish == pytest.approx(2.0)
+
+    def test_latency_without_demands_occupies_no_server(self):
+        scheduler = EventScheduler(1)
+        scheduler.spawn(make_task([Work(latency=5.0)]))
+        makespan = scheduler.run()
+        assert makespan == pytest.approx(5.0)
+        assert scheduler.server_free == [0.0]
+        assert scheduler.records == []
+
+    def test_parallel_tasks_on_distinct_servers_overlap(self):
+        scheduler = EventScheduler(2)
+        scheduler.spawn(make_task([Work(demands=((0, 3.0),))]))
+        scheduler.spawn(make_task([Work(demands=((1, 3.0),))]))
+        assert scheduler.run() == pytest.approx(3.0)
+
+    def test_submission_offset_delays_first_step(self):
+        scheduler = EventScheduler(1)
+        scheduler.spawn(make_task([Work(demands=((0, 1.0),))]), at=10.0)
+        scheduler.run()
+        record = scheduler.records[0]
+        assert record.start == pytest.approx(10.0)
+        assert record.finish == pytest.approx(11.0)
+
+    def test_run_until_dispatches_only_ready_events(self):
+        scheduler = EventScheduler(1)
+        scheduler.spawn(make_task([Work(demands=((0, 1.0),))]), at=0.0)
+        late = scheduler.spawn(make_task([Work(demands=((0, 1.0),))]), at=50.0)
+        scheduler.run_until(10.0)
+        assert not late.done
+        assert scheduler.pending == 1  # only the late task remains
+        scheduler.run()
+        assert late.done
+
+    def test_determinism(self):
+        def build():
+            scheduler = EventScheduler(3)
+            for i in range(5):
+                scheduler.spawn(
+                    make_task(
+                        [Work(demands=((i % 3, 0.5 + i),)) for _ in range(3)]
+                    )
+                )
+            scheduler.run()
+            return [
+                (r.seq, r.task, r.server, r.start, r.finish)
+                for r in scheduler.records
+            ]
+
+        assert build() == build()
+
+
+class TestErrors:
+    def test_cluster_error_ends_task_cleanly(self):
+        def failing():
+            yield Work(demands=((0, 1.0),))
+            raise HermesError("boom")
+
+        scheduler = EventScheduler(1)
+        bad = scheduler.spawn(failing())
+        good = scheduler.spawn(make_task([Work(demands=((0, 1.0),))]))
+        scheduler.run()
+        assert bad.done and not bad.ok
+        assert isinstance(bad.error, HermesError)
+        assert good.done and good.ok
+
+    def test_non_cluster_error_propagates(self):
+        def broken():
+            raise RuntimeError("programming bug")
+            yield  # pragma: no cover
+
+        scheduler = EventScheduler(1)
+        scheduler.spawn(broken())
+        with pytest.raises(RuntimeError):
+            scheduler.run()
+
+
+class TestMonotonicity:
+    def test_clean_timeline_has_no_violations(self):
+        scheduler = EventScheduler(2)
+        for i in range(4):
+            scheduler.spawn(
+                make_task([Work(demands=((i % 2, 1.0),)) for _ in range(2)])
+            )
+        scheduler.run()
+        assert scheduler.monotonicity_violations() == []
+
+    def test_forged_backwards_event_is_caught(self):
+        scheduler = EventScheduler(1)
+        scheduler.spawn(make_task([Work(demands=((0, 1.0),))]))
+        scheduler.run()
+        scheduler.records.append(
+            EventRecord(
+                seq=99, task=0, server=0, kind="forged", start=5.0, finish=1.0
+            )
+        )
+        problems = scheduler.monotonicity_violations()
+        assert problems
+        assert any("finishes at" in p for p in problems)
+
+    def test_free_at_drift_is_caught(self):
+        scheduler = EventScheduler(1)
+        scheduler.spawn(make_task([Work(demands=((0, 1.0),))]))
+        scheduler.run()
+        scheduler.server_free[0] += 7.0
+        problems = scheduler.monotonicity_violations()
+        assert any("free-at" in p for p in problems)

@@ -39,6 +39,8 @@ EXPECTED_INVARIANT = {
     "stats_skew": "telemetry-conservation",
     "queue_skew": "queue-conservation",
     "stale_serve": "replica-staleness-bound",
+    "event_skew": "event-clock-monotonic",
+    "window_leak": "double-write-coherence",
 }
 
 

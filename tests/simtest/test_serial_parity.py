@@ -1,0 +1,112 @@
+"""Serial mode must stay byte-identical to the pre-concurrency harness.
+
+``ConcurrencyConfig.enabled=False`` (the legacy default) is a hard
+compatibility contract: every seeded simtest scenario run in serial mode
+must reproduce the exact per-step statuses, clock, edge-cut, placement
+digest and network counters that the harness produced before the event
+scheduler existed.  ``tests/simtest/fixtures/serial_reference.json``
+pins those digests for seeds 0-29; regenerating it is deliberately
+manual (see the recipe below) so a drift cannot silently re-baseline.
+
+The flip side is covered too: forcing ``concurrency=True`` on the same
+seeds must produce interleaved schedules that hold every invariant in
+the extended catalog (the original eleven plus ``event-clock-monotonic``
+and ``double-write-coherence``).
+"""
+
+import hashlib
+import json
+import os
+
+import pytest
+
+from repro.simtest import ScenarioGenerator, ScenarioRunner
+from repro.simtest.scenario import build_cluster
+
+FIXTURE = os.path.join(
+    os.path.dirname(__file__), "fixtures", "serial_reference.json"
+)
+
+with open(FIXTURE) as fh:
+    REFERENCE = json.load(fh)["seeds"]
+
+
+def digest(spec, schedule):
+    """The fixture's digest recipe, byte for byte.
+
+    Statuses come from ``runner._apply`` per step with no interleaved
+    audits (audits do not mutate the cluster, but the reference was
+    recorded without them, so the replay matches exactly).  Floats are
+    ``repr``'d: parity means the same bits, not approximately equal.
+    """
+    runner = ScenarioRunner()
+    cluster = build_cluster(spec)
+    statuses = [runner._apply(cluster, step) for step in schedule]
+    catalog_sha = hashlib.sha256(
+        json.dumps(sorted(cluster.catalog.as_mapping().items())).encode()
+    ).hexdigest()
+    return {
+        "spec": spec.to_dict(),
+        "statuses": statuses,
+        "now": repr(cluster.now),
+        "edge_cut": cluster.edge_cut(),
+        "imbalance": repr(cluster.imbalance()),
+        "vertices": cluster.graph.num_vertices,
+        "edges": cluster.graph.num_edges,
+        "catalog_sha": catalog_sha,
+        "net_messages": cluster.network.stats.messages,
+        "net_bytes": cluster.network.stats.bytes_sent,
+    }
+
+
+@pytest.mark.parametrize("seed", sorted(int(s) for s in REFERENCE))
+def test_serial_mode_is_byte_identical_to_reference(seed):
+    spec, schedule = ScenarioGenerator(seed).generate(concurrency=False)
+    assert spec.concurrency is False
+    observed = digest(spec, schedule)
+    expected = dict(REFERENCE[str(seed)])
+    # The fixture predates the ``concurrency`` spec key; serial mode must
+    # agree on every key the fixture pins, and the new key must be False.
+    observed_spec = observed.pop("spec")
+    expected_spec = dict(expected.pop("spec"))
+    assert observed_spec.pop("concurrency") is False
+    assert observed_spec == expected_spec
+    assert observed == expected
+
+
+def test_reference_covers_thirty_seeds():
+    assert sorted(int(s) for s in REFERENCE) == list(range(30))
+
+
+@pytest.mark.parametrize("seed", range(0, 30, 3))
+def test_forced_interleaving_preserves_every_invariant(seed):
+    spec, schedule = ScenarioGenerator(seed).generate(concurrency=True)
+    assert spec.concurrency is True
+    outcome = ScenarioRunner().run(spec, schedule)
+    assert outcome.ok, outcome.summary()
+
+
+def test_forced_interleaving_actually_interleaves():
+    """The concurrency override must change the execution shape — plain
+    schedules gain interleave steps (serving ones keep serve steps and
+    go event-driven) — otherwise the invariant sweep above is vacuous."""
+    interleaved = 0
+    serving = 0
+    migrations_under_traffic = 0
+    for seed in range(30):
+        spec, schedule = ScenarioGenerator(seed).generate(concurrency=True)
+        kinds = {step.kind for step in schedule}
+        if spec.serving:
+            serving += 1
+            assert "serve" in kinds
+        else:
+            assert "interleave" in kinds
+            interleaved += 1
+        # Migration-under-traffic: an interleave step that absorbed an
+        # adjacent rebalance runs the online migration amid its ops.
+        migrations_under_traffic += any(
+            step.kind == "interleave" and "rebalance" in step.args
+            for step in schedule
+        )
+    assert interleaved > 0 and serving > 0
+    assert migrations_under_traffic > 0

@@ -3,6 +3,8 @@
 import pytest
 
 from repro.cluster.clients import ClientPool
+from repro.cluster.server import HermesServer
+from repro.concurrency import ConcurrencyConfig
 from repro.exceptions import WorkloadError
 from repro.graph.generators import community_graph
 from repro.cluster.hermes import HermesCluster
@@ -92,3 +94,134 @@ class TestClientPool:
         assert report.wall_time == 0.0
         assert report.throughput_vertices_per_second == 0.0
         assert report.response_processed_ratio == 0.0
+
+    def test_serial_run_has_no_measured_wall_time(self, cluster):
+        pool = ClientPool(cluster, num_clients=2)
+        report = pool.run(mixed_trace(cluster.graph, 10, 0.0, seed=11))
+        assert report.measured_wall_time is None
+        assert pool.last_engine is None
+
+
+class TestClientPoolConcurrent:
+    """The same trace through the event scheduler: identical totals,
+    measured (overlapped) wall time, failures recorded not raised."""
+
+    def build(self, **kwargs):
+        graph = community_graph(80, seed=6)
+        return HermesCluster.from_graph(
+            graph,
+            num_servers=3,
+            partitioner=HashPartitioner(),
+            concurrency=ConcurrencyConfig(enabled=True),
+            **kwargs,
+        )
+
+    def test_concurrent_run_matches_serial_totals(self):
+        serial_cluster = HermesCluster.from_graph(
+            community_graph(80, seed=6),
+            num_servers=3,
+            partitioner=HashPartitioner(),
+        )
+        concurrent_cluster = self.build()
+        trace = list(
+            mixed_trace(serial_cluster.graph, 60, write_fraction=0.2, seed=12)
+        )
+        serial = ClientPool(serial_cluster, num_clients=4).run(list(trace))
+        concurrent = ClientPool(concurrent_cluster, num_clients=4).run(
+            list(trace)
+        )
+        assert concurrent.operations == serial.operations
+        assert concurrent.traversals == serial.traversals
+        assert concurrent.writes == serial.writes
+        assert concurrent.total_cost == pytest.approx(serial.total_cost)
+        assert concurrent.failed_operations == 0
+        concurrent_cluster.validate()
+
+    def test_measured_wall_time_reflects_overlap(self):
+        cluster = self.build()
+        pool = ClientPool(cluster, num_clients=8)
+        report = pool.run(
+            mixed_trace(cluster.graph, 80, write_fraction=0.0, seed=13)
+        )
+        assert report.measured_wall_time is not None
+        assert report.wall_time == report.measured_wall_time
+        # Eight clients over three servers: the makespan sits strictly
+        # between perfect server-parallelism and the serial sum.
+        assert report.wall_time < report.total_cost
+        assert report.wall_time >= report.max_server_busy
+        assert pool.last_engine is not None
+        assert pool.last_engine.monotonicity_violations() == []
+
+    def test_failed_operation_counted_and_trace_continues(self):
+        cluster = self.build()
+        pool = ClientPool(cluster, num_clients=1)
+        vertex = next(iter(cluster.graph.vertices()))
+        report = pool.run(
+            [ReadVertex(10**9), ReadVertex(vertex), ReadVertex(vertex)]
+        )
+        assert report.failed_operations == 1
+        assert report.reads == 2
+
+
+class TestMidRunServerRegistration:
+    """Satellite regression: a server registered after the run starts
+    (elastic scale-out) must be baselined at first observation — its
+    pre-join busy time must not be double-counted into the report's
+    ``max_server_busy`` (which would crater the serial wall-time bound),
+    nor raise a KeyError."""
+
+    def make_cluster(self, concurrent):
+        graph = community_graph(60, seed=14)
+        config = ConcurrencyConfig(enabled=True) if concurrent else None
+        return HermesCluster.from_graph(
+            graph,
+            num_servers=3,
+            partitioner=HashPartitioner(),
+            concurrency=config,
+        )
+
+    def join_busy_server(self, cluster, busy=100.0):
+        # Stripe the new server's id allocator over the grown fleet so
+        # its own id is a valid stripe.
+        server = HermesServer(
+            len(cluster.servers),
+            len(cluster.servers) + 1,
+            clock=lambda: cluster.now,
+            telemetry=cluster.telemetry,
+        )
+        server.busy_seconds = busy
+        cluster.servers.append(server)
+        return server
+
+    @pytest.mark.parametrize("concurrent", [False, True])
+    def test_prejoin_busy_time_is_not_double_counted(self, concurrent):
+        cluster = self.make_cluster(concurrent)
+        pool = ClientPool(cluster, num_clients=2)
+
+        class JoinMidRun:
+            """Trace that registers a hot server after the first op."""
+
+            def __init__(self, ops, hook):
+                self.ops, self.hook = ops, hook
+
+            def __iter__(self):
+                for index, op in enumerate(self.ops):
+                    if index == 1:
+                        self.hook()
+                    yield op
+
+        ops = list(mixed_trace(cluster.graph, 30, 0.0, seed=15))
+        trace = JoinMidRun(ops, lambda: self.join_busy_server(cluster))
+        report = pool.run(trace, duration=10**9)
+        joined_id = len(cluster.servers) - 1
+        # The late server did no work during the run: its delta is zero,
+        # and the hottest-server bound comes from the original three.
+        assert report.server_busy[joined_id] == pytest.approx(0.0)
+        assert report.max_server_busy < 100.0
+        assert report.max_server_busy == pytest.approx(
+            max(
+                delta
+                for server_id, delta in report.server_busy.items()
+                if server_id != joined_id
+            )
+        )

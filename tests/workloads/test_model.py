@@ -284,17 +284,47 @@ class TestLinkIngestion:
         assert model.link_messages_total == 2
         assert model.link_bytes_total == 30
 
-    def test_rejects_regressed_stats(self):
+    def test_counter_reset_starts_fresh_epoch(self):
+        # A restarted server re-creates its NetworkStats from zero: the
+        # regressed counters are a *reset*, not a negative delta — the
+        # post-restart traffic is counted in full and the reset recorded.
         stats = NetworkStats()
         stats.record(0, 1, 10)
         model = WorkloadModel()
         model.ingest_network(stats)
-        fresh = NetworkStats()  # a different (empty) object looks regressed
+        assert model.link_resets == 0
+        fresh = NetworkStats()  # restart: counters back to zero
         fresh.record(0, 1, 5)
-        model2 = WorkloadModel()
-        model2.ingest_network(stats)
-        with pytest.raises(WorkloadError):
-            model2.ingest_network(fresh)
+        model.ingest_network(fresh)
+        assert model.link_resets == 1
+        # Pre-restart delta (1 msg / 10 bytes) + post-restart traffic
+        # (1 msg / 5 bytes): nothing lost, nothing clamped negative.
+        assert model.link_messages_total == 2
+        assert model.link_bytes_total == 15
+        assert model.link_heat(0, 1)["messages"] == 2.0
+        # The new snapshot is the fresh epoch: re-ingesting is idempotent.
+        model.ingest_network(fresh)
+        assert model.link_messages_total == 2
+        assert model.link_resets == 1
+
+    def test_reset_mid_stream_keeps_counting_increments(self):
+        stats = NetworkStats()
+        stats.record(0, 1, 10)
+        model = WorkloadModel()
+        model.ingest_network(stats)
+        restarted = NetworkStats()
+        restarted.record(0, 1, 5)
+        model.ingest_network(restarted)
+        # Traffic after the restart accumulates as ordinary deltas again.
+        restarted.record(0, 1, 20)
+        model.ingest_network(restarted)
+        assert model.link_messages_total == 3
+        assert model.link_bytes_total == 35
+        assert model.link_resets == 1
+        # The reset survives a serialization round trip.
+        clone = WorkloadModel.from_json(model.to_json())
+        assert clone.link_resets == 1
+        assert clone.link_messages_total == 3
 
 
 class TestNormalization:
