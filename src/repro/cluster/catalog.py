@@ -72,6 +72,10 @@ class Catalog:
     def sizes(self) -> list:
         return self._placement.sizes()
 
+    def add_server(self) -> int:
+        """Grow the directory by one (empty) server; returns its id."""
+        return self._placement.add_partition()
+
     def snapshot(self) -> Partitioning:
         """An independent copy of the current placement."""
         return self._placement.copy()
@@ -152,6 +156,21 @@ class LocationCache:
         """Drop ``vertex`` from every per-server view (vertex deleted)."""
         for entries in self._entries:
             entries.pop(vertex, None)
+
+    def add_server(self) -> None:
+        """Grow the cache with an (empty) view for a joining server."""
+        self._entries.append({})
+        self.num_servers += 1
+
+    def purge_host(self, host: int) -> None:
+        """Drop every entry pointing at ``host`` plus that server's own
+        view — a detached server must appear in no location cache, and a
+        hint aimed at it could never be resolved by forwarding."""
+        for entries in self._entries:
+            stale = [vertex for vertex, cached in entries.items() if cached == host]
+            for vertex in stale:
+                del entries[vertex]
+        self._entries[host].clear()
 
     def clear(self) -> None:
         for entries in self._entries:

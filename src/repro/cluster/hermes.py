@@ -29,7 +29,9 @@ import json
 import os
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.cluster import server as server_states
 from repro.cluster.catalog import Catalog, LocationCache
+from repro.cluster.durability import ServerJournal, logical_store_snapshot
 from repro.cluster.faults import FaultInjector, FaultPlan, RetryPolicy
 from repro.cluster.migration_executor import (
     MigrationExecutor,
@@ -75,6 +77,7 @@ class HermesCluster:
         sharded_aux: bool = False,
         telemetry: Optional[Telemetry] = None,
         concurrency: Optional[ConcurrencyConfig] = None,
+        durability: bool = False,
     ):
         if num_servers < 1:
             raise ClusterError("need at least one server")
@@ -148,6 +151,20 @@ class HermesCluster:
         # migration commits underneath them (serial mode never observes
         # the epoch change: no traversal is paused during a migration).
         self._executor.topology_listeners.append(self._engine.note_topology_change)
+        self._lock_timeout = lock_timeout
+        #: WAL-backed per-server journals (crash-recovery episodes); off by
+        #: default so the historical simulation stays byte-identical.
+        self.durability = durability
+        self.journals: Dict[int, ServerJournal] = {}
+        #: one entry per completed recovery episode: the durable pre-crash
+        #: image and the post-rebuild snapshot (audited by the simtest
+        #: recovery-fidelity invariant on every sweep)
+        self.recovery_log: List[Dict[str, Any]] = []
+        if durability:
+            for server in self.servers:
+                journal = ServerJournal()
+                journal.attach(server.store)
+                self.journals[server.server_id] = journal
 
     # ==================================================================
     # Workload model
@@ -344,11 +361,7 @@ class HermesCluster:
         """Insert a new user; placed by hash unless ``server`` is given."""
         if vertex in self.catalog:
             raise ClusterError(f"vertex {vertex} already exists")
-        target = (
-            server
-            if server is not None
-            else self._placer.place(vertex, self.num_servers)
-        )
+        target = server if server is not None else self.placement_target(vertex)
         if self.faults is not None and self.faults.is_down(target):
             # The insert times out against the crashed placement target;
             # no layer has been touched, so the failure is clean.
@@ -589,6 +602,255 @@ class HermesCluster:
             raise
         self._advance(report.total_cost)
         return report
+
+    # ==================================================================
+    # Elastic membership (join / drain / crash-recover)
+    # ==================================================================
+    def active_servers(self) -> List[int]:
+        """Ids of servers currently schedulable as placement targets."""
+        return [
+            server.server_id
+            for server in self.servers
+            if server.state == server_states.ACTIVE
+        ]
+
+    def placement_target(self, vertex: int) -> int:
+        """Hash placement over the *active* membership.
+
+        With every server active this is exactly the historical
+        ``place(vertex, num_servers)`` — the active list is then the
+        identity mapping — so pre-elasticity schedules are unchanged.
+        """
+        active = self.active_servers()
+        if not active:
+            raise ClusterError("no active servers to place on")
+        return active[self._placer.place(vertex, len(active))]
+
+    def _member(self, server_id: int) -> HermesServer:
+        """The addressed member, or ClusterError for an id never joined
+        (membership steps against unknown servers degrade, not crash)."""
+        if not 0 <= server_id < self.num_servers:
+            raise ClusterError(f"unknown server {server_id}")
+        return self.servers[server_id]
+
+    def set_server_capacity(self, server_id: int, capacity: float) -> None:
+        """Change one server's relative capacity (weighted balance)."""
+        self._member(server_id).capacity = capacity
+        self.aux.set_capacity(server_id, capacity)
+
+    def add_server(
+        self, capacity: float = 1.0, reshard: bool = True
+    ) -> Tuple[int, Optional[Tuple[RepartitionResult, MigrationReport]]]:
+        """Join one server: register everywhere, then scale-out reshard.
+
+        Registration order matters: the id-generation rebase must use a
+        floor computed *before* any layer could mint ids under the new
+        stripe count.  With ``reshard`` the join ends with a forced
+        capacity-weighted rebalance that moves load onto the (initially
+        empty) newcomer; an aborted reshard leaves a consistent cluster
+        with an empty-but-ACTIVE new server.
+        """
+        span = self.telemetry.span("add_server")
+        new_id = self.num_servers
+        new_total = self.num_servers + 1
+        # Every existing allocator's next id, before anything changes:
+        # rebasing all stripes above this floor makes future ids collision
+        # free against both history and each other.
+        floor = max(server.store.next_id_bound() for server in self.servers)
+        server = HermesServer(
+            new_id,
+            new_total,
+            clock=lambda: self.now,
+            lock_timeout=self._lock_timeout,
+            telemetry=self.telemetry,
+            labels={"cluster": self.cluster_id},
+        )
+        server.state = server_states.JOINING
+        server.capacity = capacity
+        if self.faults is not None:
+            server.attach_faults(self.faults)
+        self.servers.append(server)
+        self.num_servers = new_total
+        self.network.add_server()
+        self.catalog.add_server()
+        self.location_cache.add_server()
+        self.aux.add_partition(capacity)
+        for member in self.servers:
+            member.store.rebase_ids(new_total, floor)
+            journal = self.journals.get(member.server_id)
+            if journal is not None:
+                journal.note_meta()
+        if self.durability:
+            journal = ServerJournal()
+            journal.attach(server.store)
+            self.journals[new_id] = journal
+        # Grow whatever traffic surfaces are attached to this cluster.
+        serving = getattr(self, "serving", None)
+        if serving is not None:
+            serving.queue.add_server()
+            serving.note_topology_change()
+        engine = getattr(self, "_concurrent_engine", None)
+        if engine is not None:
+            engine.scheduler.add_server()
+        server.state = server_states.ACTIVE
+        self.telemetry.event("server_joined", server=new_id, capacity=capacity)
+        span.set_attribute("server", new_id)
+        result: Optional[Tuple[RepartitionResult, MigrationReport]] = None
+        try:
+            if reshard:
+                result = self.rebalance(force=True)
+        finally:
+            span.finish()
+        return new_id, result
+
+    def _drain_plan(self, server_id: int) -> Dict[int, Tuple[int, int]]:
+        """Deterministic evacuation plan for one server's primaries.
+
+        Each vertex goes to the ACTIVE candidate holding most of its
+        neighbors (minimizing new edge-cut); ties break toward the least
+        projected load relative to capacity, then the lowest id.  Running
+        weights make the plan spread load instead of dogpiling one host.
+        """
+        candidates = [
+            other.server_id
+            for other in self.servers
+            if other.state == server_states.ACTIVE and other.server_id != server_id
+        ]
+        if not candidates:
+            raise ClusterError("cannot drain the only active server")
+        weights = list(self.aux.partition_weights)
+        moves: Dict[int, Tuple[int, int]] = {}
+        for vertex in sorted(self.catalog.vertices_on(server_id)):
+            counts = self.aux.neighbor_counts(vertex)
+            vertex_weight = self.aux.weight_of(vertex)
+
+            def rank(candidate: int) -> Tuple[float, float, int]:
+                capacity = max(self.servers[candidate].capacity, 1e-12)
+                projected = (weights[candidate] + vertex_weight) / capacity
+                return (-counts.get(candidate, 0), projected, candidate)
+
+            target = min(candidates, key=rank)
+            weights[target] += vertex_weight
+            moves[vertex] = (server_id, target)
+        return moves
+
+    def drain_server(self, server_id: int) -> Optional[MigrationReport]:
+        """Graceful leave: unschedulable, evacuate primaries, detach.
+
+        The drained server keeps its id (the server list never shrinks)
+        but ends DETACHED with zero primaries, zero capacity and no
+        location-cache entry pointing at it.  An aborted evacuation rolls
+        everything back and the server returns to ACTIVE.
+        """
+        server = self._member(server_id)
+        if server.state != server_states.ACTIVE:
+            raise ClusterError(
+                f"server {server_id} is {server.state}; only ACTIVE servers drain"
+            )
+        span = self.telemetry.span("drain_server", server=server_id)
+        old_capacity = server.capacity
+        server.state = server_states.DRAINING
+        server.capacity = 0.0
+        self.aux.set_capacity(server_id, 0.0)
+        moves = self._drain_plan(server_id)
+        for vertex, (_, target) in moves.items():
+            self.aux.apply_move(vertex, target, self.graph.neighbors(vertex))
+        report: Optional[MigrationReport] = None
+        try:
+            if moves:
+                report = self._apply_moves(moves)
+        except MigrationAbortedError:
+            self._rollback_aux(moves)
+            self.aux.set_capacity(server_id, old_capacity)
+            server.capacity = old_capacity
+            server.state = server_states.ACTIVE
+            span.set_attribute("aborted", True)
+            span.finish()
+            raise
+        self.location_cache.purge_host(server_id)
+        server.state = server_states.DETACHED
+        serving = getattr(self, "serving", None)
+        if serving is not None:
+            serving.note_topology_change()
+        self.telemetry.event(
+            "server_drained", server=server_id, vertices_moved=len(moves)
+        )
+        span.set_attribute("vertices_moved", len(moves))
+        span.finish()
+        return report
+
+    def _require_journal(self, server_id: int) -> ServerJournal:
+        journal = self.journals.get(server_id)
+        if journal is None:
+            raise ClusterError(
+                f"server {server_id} has no durability journal "
+                "(build the cluster with durability=True)"
+            )
+        return journal
+
+    def crash_server(self, server_id: int, keep_unflushed_bytes: int = 0):
+        """Crash episode: lose the page cache + unflushed WAL tail and
+        replay the durable log.  The server is CRASHED (unreadable) until
+        :meth:`recover_server` rebuilds its store."""
+        server = self._member(server_id)
+        if server.state != server_states.ACTIVE:
+            raise ClusterError(
+                f"server {server_id} is {server.state}; only ACTIVE servers crash"
+            )
+        journal = self._require_journal(server_id)
+        report = journal.crash(keep_unflushed_bytes)
+        server.state = server_states.CRASHED
+        self.telemetry.event(
+            "server_crashed",
+            server=server_id,
+            rolled_back_txns=len(report.rolled_back_txns),
+        )
+        return report
+
+    def recover_server(self, server_id: int) -> Dict[str, Any]:
+        """Replay the WAL into a fresh GraphStore and re-validate.
+
+        The recovered store must agree with the catalog on exactly which
+        vertices this server serves; the (pre-crash durable, post-rebuild)
+        snapshot pair is appended to :attr:`recovery_log` for the
+        recovery-fidelity invariant to audit.
+        """
+        server = self._member(server_id)
+        if server.state != server_states.CRASHED:
+            raise ClusterError(
+                f"server {server_id} is {server.state}; nothing to recover"
+            )
+        journal = self._require_journal(server_id)
+        server.state = server_states.RECOVERING
+        pre = journal.snapshot()
+        store = journal.rebuild(server_id)
+        server.store = store
+        journal.attach(store)
+        post = logical_store_snapshot(store)
+        available, _ = store.membership()
+        expected = frozenset(self.catalog.vertices_on(server_id))
+        if available != expected:
+            raise ClusterError(
+                f"recovered server {server_id} serves {len(available)} vertices; "
+                f"catalog expects {len(expected)}"
+            )
+        episode = {"server": server_id, "pre": pre, "post": post}
+        self.recovery_log.append(episode)
+        server.state = server_states.ACTIVE
+        self.telemetry.event(
+            "server_recovered",
+            server=server_id,
+            nodes=len(post["nodes"]),
+            rels=len(post["rels"]),
+        )
+        return episode
+
+    def crash_recover_server(
+        self, server_id: int, keep_unflushed_bytes: int = 0
+    ) -> Dict[str, Any]:
+        """One whole crash-recovery episode (the simtest step kind)."""
+        self.crash_server(server_id, keep_unflushed_bytes)
+        return self.recover_server(server_id)
 
     # ==================================================================
     # Whole-cluster persistence

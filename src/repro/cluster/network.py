@@ -199,6 +199,13 @@ class SimulatedNetwork:
             **extra,
         )
 
+    def add_server(self) -> int:
+        """Admit one more endpoint; returns its id.  Stats dicts grow
+        lazily, so widening the id range is all a join needs."""
+        server = self.num_servers
+        self.num_servers += 1
+        return server
+
     def _check(self, server: int) -> None:
         if not 0 <= server < self.num_servers:
             raise ClusterError(

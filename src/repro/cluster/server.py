@@ -27,6 +27,19 @@ from repro.txn.locks import LockMode
 from repro.txn.manager import TransactionManager
 
 
+#: membership state machine (DESIGN.md §14):
+#: JOINING -> ACTIVE -> DRAINING -> DETACHED, ACTIVE -> CRASHED ->
+#: RECOVERING -> ACTIVE.  Servers are never deleted from the cluster's
+#: server list — ids stay dense and valid — but only ACTIVE servers are
+#: schedulable placement targets.
+JOINING = "joining"
+ACTIVE = "active"
+DRAINING = "draining"
+DETACHED = "detached"
+CRASHED = "crashed"
+RECOVERING = "recovering"
+
+
 class HermesServer:
     """A single database server hosting one partition."""
 
@@ -43,6 +56,10 @@ class HermesServer:
         self.store = GraphStore(server_id=server_id, num_servers=num_servers)
         self.txns = TransactionManager(clock=clock, lock_timeout=lock_timeout)
         self.faults: Optional[FaultInjector] = None
+        #: membership state (module-level constants above)
+        self.state = ACTIVE
+        #: relative serving capacity (1.0 = one standard server)
+        self.capacity = 1.0
         # The legacy attribute API reads through these instruments, so the
         # registry must be real even without an attached sink: a bare
         # Telemetry() is exactly that (in-memory numbers, no recording).

@@ -115,6 +115,14 @@ class EventScheduler:
         #: largest event finish dispatched so far (the makespan so far)
         self.now = 0.0
 
+    def add_server(self) -> int:
+        """Open an event lane for a server joining mid-run; the lane is
+        free from time zero (it has no history)."""
+        server = self.num_servers
+        self.num_servers += 1
+        self.server_free.append(0.0)
+        return server
+
     # ------------------------------------------------------------------
     def spawn(self, task: Task, at: float = 0.0, label: str = "") -> TaskHandle:
         """Register a task; its first step becomes runnable at ``at``."""

@@ -33,6 +33,7 @@ DESIGN.md, "Hot-path engineering"):
 
 from __future__ import annotations
 
+import math
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Set, Tuple
 
 from repro.exceptions import PartitioningError, VertexNotFoundError
@@ -43,6 +44,52 @@ from repro.partitioning.base import Partitioning
 def decayed_weight(weight: float, factor: float, floor: float) -> float:
     """The shared popularity-aging rule: multiply, but never below floor."""
     return max(floor, weight * factor)
+
+
+def is_uniform_capacity(capacities: Iterable[float]) -> bool:
+    """True when every partition has the default capacity of exactly 1.0.
+
+    The uniform case keeps the historical balance expressions (weight
+    divided by the plain average), so capacity-unaware clusters stay
+    bit-identical to the pre-capacity implementation.
+    """
+    return all(capacity == 1.0 for capacity in capacities)
+
+
+def check_capacity(capacity: float) -> None:
+    if not (capacity >= 0.0 and math.isfinite(capacity)):
+        raise PartitioningError(
+            f"capacity must be a finite non-negative number, got {capacity}"
+        )
+
+
+def capacity_targets(total_weight: float, capacities: List[float]) -> List[float]:
+    """Capacity-weighted balance target per partition.
+
+    ``target_p = total_weight * cap_p / sum(cap)``.  Both auxiliary
+    implementations evaluate this one shared expression, so they agree on
+    weighted imbalance bit for bit.  An all-zero capacity vector yields
+    all-zero targets (every non-empty partition reads as overloaded).
+    """
+    total_capacity = sum(capacities)
+    if total_capacity <= 0.0:
+        return [0.0] * len(capacities)
+    return [
+        total_weight * (capacity / total_capacity) for capacity in capacities
+    ]
+
+
+def weighted_imbalance(weight: float, target: float) -> float:
+    """Imbalance of one partition against its capacity-weighted target.
+
+    A zero-capacity partition (e.g. one being drained) has target 0: it
+    is infinitely overloaded while it still holds weight and exactly
+    balanced once empty, so the balancer sheds from it and never moves
+    load toward it.
+    """
+    if target == 0.0:
+        return 1.0 if weight == 0.0 else math.inf
+    return weight / target
 
 
 def check_decay_factor(factor: float) -> None:
@@ -56,6 +103,8 @@ class AuxiliaryData:
     __slots__ = (
         "num_partitions",
         "partition_weights",
+        "capacities",
+        "_uniform_capacity",
         "_vertex_partition",
         "_vertex_weights",
         "_neighbor_counts",
@@ -75,12 +124,26 @@ class AuxiliaryData:
     #: shared empty heat map returned for unheated vertices (do not mutate)
     _NO_HEAT: Dict[int, float] = {}
 
-    def __init__(self, num_partitions: int):
+    def __init__(
+        self, num_partitions: int, capacities: Optional[List[float]] = None
+    ):
         if num_partitions < 1:
             raise PartitioningError("need at least one partition")
         self.num_partitions = num_partitions
         #: aggregate weight of each partition (known to every server)
         self.partition_weights: List[float] = [0.0] * num_partitions
+        #: relative serving capacity per partition (1.0 = one standard
+        #: server); balance targets are weighted by this vector
+        if capacities is None:
+            capacities = [1.0] * num_partitions
+        elif len(capacities) != num_partitions:
+            raise PartitioningError(
+                f"{len(capacities)} capacities for {num_partitions} partitions"
+            )
+        for capacity in capacities:
+            check_capacity(capacity)
+        self.capacities: List[float] = list(capacities)
+        self._uniform_capacity = is_uniform_capacity(self.capacities)
         self._vertex_partition: Dict[int, int] = {}
         self._vertex_weights: Dict[int, float] = {}
         #: sparse counters: vertex -> {partition: neighbor count > 0}
@@ -556,6 +619,55 @@ class AuxiliaryData:
         return len(self._vertex_partition)
 
     # ------------------------------------------------------------------
+    # Capacity management (heterogeneous and elastic clusters)
+    # ------------------------------------------------------------------
+    @property
+    def uniform_capacity(self) -> bool:
+        """True while every partition has the default capacity 1.0 —
+        balance queries then take the exact historical code path."""
+        return self._uniform_capacity
+
+    def capacity_of(self, partition: int) -> float:
+        self._check_partition(partition)
+        return self.capacities[partition]
+
+    def set_capacity(self, partition: int, capacity: float) -> None:
+        """Change one partition's relative capacity (0 = draining)."""
+        self._check_partition(partition)
+        check_capacity(capacity)
+        self.capacities[partition] = capacity
+        self._uniform_capacity = is_uniform_capacity(self.capacities)
+
+    def add_partition(self, capacity: float = 1.0) -> int:
+        """Grow the cluster by one (initially empty) partition.
+
+        Returns the new partition's ID.  All derived structures — the
+        weight vector, membership and directional boundary sets — gain an
+        empty slot; existing vertices' high/low boundary classification
+        is unaffected because nobody has a neighbor there yet.
+        """
+        check_capacity(capacity)
+        partition = self.num_partitions
+        self.num_partitions += 1
+        self.partition_weights.append(0.0)
+        self.capacities.append(capacity)
+        self._members.append(set())
+        self._boundary_high.append(set())
+        self._boundary_low.append(set())
+        self._weights_dirty = True
+        self._uniform_capacity = is_uniform_capacity(self.capacities)
+        return partition
+
+    def total_weight(self) -> float:
+        if self._weights_dirty:
+            self._refresh_weight_cache()
+        return self._cached_total_weight
+
+    def balance_targets(self) -> List[float]:
+        """Capacity-weighted target weight per partition (fresh list)."""
+        return capacity_targets(self.total_weight(), self.capacities)
+
+    # ------------------------------------------------------------------
     # Balance queries (Algorithm 1 lines 2, 5 and 11)
     # ------------------------------------------------------------------
     def _refresh_weight_cache(self) -> None:
@@ -571,18 +683,26 @@ class AuxiliaryData:
         return self._cached_total_weight / self.num_partitions
 
     def imbalance_factor(self, partition: int, weight_delta: float = 0.0) -> float:
-        """Ratio of (partition weight + delta) to the average weight.
+        """Ratio of (partition weight + delta) to its balance target.
 
         ``weight_delta`` expresses the hypotheticals of Algorithm 1:
         ``imbalance_factor(P - {v})`` passes ``-w(v)`` and
         ``imbalance_factor(P + {v})`` passes ``+w(v)``.  Total system
-        weight — and hence the average — is unchanged by migrations.
+        weight — and hence every target — is unchanged by migrations.
+        With uniform capacities the target is the plain average weight
+        (the historical expression, kept byte-identical); otherwise it is
+        the capacity-weighted share from :func:`capacity_targets`.
         """
         self._check_partition(partition)
-        average = self.average_weight()
-        if average == 0:
-            return 1.0
-        return (self.partition_weights[partition] + weight_delta) / average
+        if self._uniform_capacity:
+            average = self.average_weight()
+            if average == 0:
+                return 1.0
+            return (self.partition_weights[partition] + weight_delta) / average
+        target = capacity_targets(self.total_weight(), self.capacities)[partition]
+        return weighted_imbalance(
+            self.partition_weights[partition] + weight_delta, target
+        )
 
     def is_overloaded(self, partition: int, epsilon: float) -> bool:
         return self.imbalance_factor(partition) > epsilon
@@ -591,10 +711,16 @@ class AuxiliaryData:
         return self.imbalance_factor(partition) < 2.0 - epsilon
 
     def max_imbalance(self) -> float:
-        average = self.average_weight()
-        if average == 0:
-            return 1.0
-        return self._cached_max_weight / average
+        if self._uniform_capacity:
+            average = self.average_weight()
+            if average == 0:
+                return 1.0
+            return self._cached_max_weight / average
+        targets = self.balance_targets()
+        return max(
+            weighted_imbalance(weight, target)
+            for weight, target in zip(self.partition_weights, targets)
+        )
 
     # ------------------------------------------------------------------
     # Derived whole-system metrics (for instrumentation, not the algorithm)

@@ -28,7 +28,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.core.auxiliary import AuxiliaryData
+from repro.core.auxiliary import AuxiliaryData, weighted_imbalance
 from repro.core.candidates import (
     STAGE_ANY_DIRECTION,
     STAGE_HIGH_TO_LOW,
@@ -320,10 +320,22 @@ class LightweightRepartitioner:
         """
         if selection is None:
             selection = SerialSelectionStrategy()
-        average = aux.average_weight()
+        if getattr(aux, "uniform_capacity", True):
+            average = aux.average_weight()
 
-        def select_one(source: int) -> List[MigrationCandidate]:
-            return self._select_candidates(aux, source, stage, k, average)
+            def select_one(source: int) -> List[MigrationCandidate]:
+                return self._select_candidates(aux, source, stage, k, average)
+
+        else:
+            # Heterogeneous capacities: freeze the capacity-weighted
+            # targets once per stage, exactly as the average is frozen on
+            # the uniform path (migrations never change the total weight).
+            targets = aux.balance_targets()
+
+            def select_one(source: int) -> List[MigrationCandidate]:
+                return self._select_candidates_capacity(
+                    aux, source, stage, k, targets
+                )
 
         per_source = selection.select(select_one, range(aux.num_partitions))
         chosen = [candidate for batch in per_source for candidate in batch]
@@ -360,6 +372,14 @@ class LightweightRepartitioner:
         historical ``imbalance_factor`` float expressions term for term,
         so the selected candidates are bit-identical.
         """
+        if not getattr(aux, "uniform_capacity", True):
+            # Heterogeneous capacities select against capacity-weighted
+            # targets in their own method, keeping this static hot loop's
+            # float arithmetic untouched (capacity=1 everywhere stays
+            # bit-identical to the pinned fixture).
+            return self._select_candidates_capacity(
+                aux, source, stage, k, aux.balance_targets()
+            )
         alpha = self.config.workload_alpha
         if alpha > 0.0 and getattr(aux, "has_heat", False):
             # Workload-aware selection runs in its own method so the
@@ -466,6 +486,129 @@ class LightweightRepartitioner:
                         average == 0
                         or (partition_weights[candidate_partition] + weight)
                         / average
+                        < epsilon
+                    ):
+                        target = candidate_partition
+                        best_gain = candidate_gain
+            if target is None:
+                continue
+            entry = (best_gain, tiebreak, vertex, target)
+            tiebreak += 1
+            if len(top_k) < k:
+                heappush(top_k, entry)
+            elif best_gain > top_k[0][0]:
+                heapreplace(top_k, entry)
+        return [
+            MigrationCandidate(entry[2], source, entry[3], entry[0])
+            for entry in top_k
+        ]
+
+    def _select_candidates_capacity(
+        self,
+        aux: AuxiliaryData,
+        source: int,
+        stage: int,
+        k: int,
+        targets: List[float],
+    ) -> List[MigrationCandidate]:
+        """Capacity-aware variant of :meth:`_select_candidates`.
+
+        Same structure — frozen per-stage targets, directional boundary
+        scan, top-k min-heap — but every balance test compares a
+        partition's weight against its *capacity-weighted* target
+        (:func:`~repro.core.auxiliary.capacity_targets`) instead of the
+        plain average.  A zero-capacity partition (a draining server) has
+        target 0: it reads as infinitely overloaded while non-empty, so
+        it sheds interior vertices at negative gain, and it is never an
+        admissible move target.
+        """
+        epsilon = self.config.epsilon
+        partition_weights = aux.partition_weights
+        source_weight = partition_weights[source]
+        overloaded = weighted_imbalance(source_weight, targets[source]) > epsilon
+        draining = targets[source] == 0.0
+        weights, counters = aux.selection_view(source)
+        two_minus_eps = 2.0 - epsilon
+        if stage == STAGE_LOW_TO_HIGH:
+            cp_lo, cp_hi = source + 1, aux.num_partitions - 1
+            scan = (
+                aux.vertices_in(source)
+                if overloaded
+                else aux.boundary_toward_higher(source)
+            )
+        elif stage == STAGE_HIGH_TO_LOW:
+            cp_lo, cp_hi = 0, source - 1
+            scan = (
+                aux.vertices_in(source)
+                if overloaded
+                else aux.boundary_toward_lower(source)
+            )
+        else:  # STAGE_ANY_DIRECTION (ablation only)
+            cp_lo, cp_hi = 0, aux.num_partitions - 1
+            scan = (
+                aux.vertices_in(source)
+                if overloaded
+                else aux.boundary_vertices(source)
+            )
+        dense_targets = range(cp_lo, cp_hi + 1)
+
+        top_k: List[Tuple[int, int, int, int]] = []
+        heappush, heapreplace = heapq.heappush, heapq.heapreplace
+        tiebreak = 0
+        for vertex in sorted(scan):
+            weight = weights[vertex]
+            # Algorithm 1 line 2: moving v must not underload the source —
+            # unless the source is draining, which must shed everything.
+            if (
+                not draining
+                and weighted_imbalance(source_weight - weight, targets[source])
+                < two_minus_eps
+            ):
+                continue
+            counts = counters[vertex]
+            d_source = counts.get(source, 0)
+            target = None
+            if overloaded:
+                best_gain = float("-inf")
+                for candidate_partition in dense_targets:
+                    if candidate_partition == source:
+                        continue
+                    candidate_gain = (
+                        counts.get(candidate_partition, 0) - d_source
+                    )
+                    if candidate_gain <= best_gain:
+                        continue
+                    if (
+                        targets[candidate_partition] > 0.0
+                        and weighted_imbalance(
+                            partition_weights[candidate_partition] + weight,
+                            targets[candidate_partition],
+                        )
+                        < epsilon
+                    ):
+                        target = candidate_partition
+                        best_gain = candidate_gain
+            else:
+                best_gain = 0
+                for candidate_partition, count in counts.items():
+                    if (
+                        candidate_partition < cp_lo
+                        or candidate_partition > cp_hi
+                        or candidate_partition == source
+                    ):
+                        continue
+                    candidate_gain = count - d_source
+                    if candidate_gain < best_gain or (
+                        candidate_gain == best_gain
+                        and (target is None or candidate_partition > target)
+                    ):
+                        continue
+                    if (
+                        targets[candidate_partition] > 0.0
+                        and weighted_imbalance(
+                            partition_weights[candidate_partition] + weight,
+                            targets[candidate_partition],
+                        )
                         < epsilon
                     ):
                         target = candidate_partition

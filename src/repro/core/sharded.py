@@ -45,7 +45,15 @@ from typing import (
     Tuple,
 )
 
-from repro.core.auxiliary import AuxiliaryData, check_decay_factor, decayed_weight
+from repro.core.auxiliary import (
+    AuxiliaryData,
+    capacity_targets,
+    check_capacity,
+    check_decay_factor,
+    decayed_weight,
+    is_uniform_capacity,
+    weighted_imbalance,
+)
 from repro.exceptions import PartitioningError, VertexNotFoundError
 from repro.graph.compact import GraphRead
 from repro.partitioning.base import Partitioning
@@ -175,7 +183,9 @@ class AuxiliaryShard:
 class ShardedAuxiliaryData:
     """Drop-in AuxiliaryData with per-server shards + weight gossip."""
 
-    def __init__(self, num_partitions: int):
+    def __init__(
+        self, num_partitions: int, capacities: Optional[List[float]] = None
+    ):
         if num_partitions < 1:
             raise PartitioningError("need at least one partition")
         self.num_partitions = num_partitions
@@ -186,6 +196,18 @@ class ShardedAuxiliaryData:
         self._home: Dict[int, int] = {}
         #: the replicated aggregate-weight vector every server holds
         self.partition_weights: List[float] = [0.0] * num_partitions
+        #: replicated relative-capacity vector (gossiped alongside the
+        #: weights; capacity changes are rare control-plane events)
+        if capacities is None:
+            capacities = [1.0] * num_partitions
+        elif len(capacities) != num_partitions:
+            raise PartitioningError(
+                f"{len(capacities)} capacities for {num_partitions} partitions"
+            )
+        for capacity in capacities:
+            check_capacity(capacity)
+        self.capacities: List[float] = list(capacities)
+        self._uniform_capacity = is_uniform_capacity(self.capacities)
         #: instrumentation: migration/update messages between shards
         self.messages_sent = 0
         #: canonicalized observed-traffic edge heat; None = unheated.
@@ -541,6 +563,61 @@ class ShardedAuxiliaryData:
         return len(self._home)
 
     # ------------------------------------------------------------------
+    # Capacity management (heterogeneous and elastic clusters)
+    # ------------------------------------------------------------------
+    @property
+    def uniform_capacity(self) -> bool:
+        """True while every partition has the default capacity 1.0 —
+        balance queries then take the exact historical code path."""
+        return self._uniform_capacity
+
+    def capacity_of(self, partition: int) -> float:
+        self._check_partition(partition)
+        return self.capacities[partition]
+
+    def set_capacity(self, partition: int, capacity: float) -> None:
+        """Change one partition's relative capacity (0 = draining).
+
+        Replicating the new vector to every server is one broadcast —
+        the same channel the weight gossip uses.
+        """
+        self._check_partition(partition)
+        check_capacity(capacity)
+        self.capacities[partition] = capacity
+        self._uniform_capacity = is_uniform_capacity(self.capacities)
+        self.messages_sent += self.num_partitions - 1
+
+    def add_partition(self, capacity: float = 1.0) -> int:
+        """Grow the cluster by one (initially empty) shard.
+
+        Returns the new partition's ID.  Existing shards' boundary sets
+        are untouched: nobody has a neighbor on the new server yet, and
+        the new server's ID is the highest so no vertex's high/low
+        classification can change.
+        """
+        check_capacity(capacity)
+        partition = self.num_partitions
+        self.num_partitions += 1
+        self.shards.append(AuxiliaryShard(partition, self.num_partitions))
+        for shard in self.shards:
+            shard.num_partitions = self.num_partitions
+        self.partition_weights.append(0.0)
+        self.capacities.append(capacity)
+        self._weights_dirty = True
+        self._uniform_capacity = is_uniform_capacity(self.capacities)
+        self.messages_sent += self.num_partitions - 1  # membership gossip
+        return partition
+
+    def total_weight(self) -> float:
+        if self._weights_dirty:
+            self._refresh_weight_cache()
+        return self._cached_total_weight
+
+    def balance_targets(self) -> List[float]:
+        """Capacity-weighted target weight per partition (fresh list)."""
+        return capacity_targets(self.total_weight(), self.capacities)
+
+    # ------------------------------------------------------------------
     # Balance queries
     # ------------------------------------------------------------------
     def _refresh_weight_cache(self) -> None:
@@ -555,10 +632,15 @@ class ShardedAuxiliaryData:
 
     def imbalance_factor(self, partition: int, weight_delta: float = 0.0) -> float:
         self._check_partition(partition)
-        average = self.average_weight()
-        if average == 0:
-            return 1.0
-        return (self.partition_weights[partition] + weight_delta) / average
+        if self._uniform_capacity:
+            average = self.average_weight()
+            if average == 0:
+                return 1.0
+            return (self.partition_weights[partition] + weight_delta) / average
+        target = capacity_targets(self.total_weight(), self.capacities)[partition]
+        return weighted_imbalance(
+            self.partition_weights[partition] + weight_delta, target
+        )
 
     def is_overloaded(self, partition: int, epsilon: float) -> bool:
         return self.imbalance_factor(partition) > epsilon
@@ -567,10 +649,16 @@ class ShardedAuxiliaryData:
         return self.imbalance_factor(partition) < 2.0 - epsilon
 
     def max_imbalance(self) -> float:
-        average = self.average_weight()
-        if average == 0:
-            return 1.0
-        return self._cached_max_weight / average
+        if self._uniform_capacity:
+            average = self.average_weight()
+            if average == 0:
+                return 1.0
+            return self._cached_max_weight / average
+        targets = self.balance_targets()
+        return max(
+            weighted_imbalance(weight, target)
+            for weight, target in zip(self.partition_weights, targets)
+        )
 
     # ------------------------------------------------------------------
     def edge_cut(self) -> int:
@@ -586,7 +674,7 @@ class ShardedAuxiliaryData:
 
     def to_centralized(self) -> AuxiliaryData:
         """Materialize the equivalent centralized AuxiliaryData (tests)."""
-        central = AuxiliaryData(self.num_partitions)
+        central = AuxiliaryData(self.num_partitions, capacities=self.capacities)
         for vertex, partition in self._home.items():
             central.add_vertex(vertex, partition, self.weight_of(vertex))
         for vertex in self._home:

@@ -117,6 +117,13 @@ class Partitioning:
         """Vertex count per partition."""
         return [len(members) for members in self._members]
 
+    def add_partition(self) -> int:
+        """Grow the assignment by one (empty) partition; returns its id."""
+        partition = self._num_partitions
+        self._num_partitions += 1
+        self._members.append(set())
+        return partition
+
     # ------------------------------------------------------------------
     def copy(self) -> "Partitioning":
         clone = Partitioning(self._num_partitions)

@@ -233,8 +233,9 @@ class ServingFrontend:
             if args[0] in self.cluster.catalog:
                 raise ClusterError(f"vertex {args[0]} already exists")
             # The vertex does not exist yet: its home is the hash
-            # placement target the cluster will pick.
-            target = self.cluster._placer.place(args[0], self.cluster.num_servers)
+            # placement target the cluster will pick (over the live
+            # active membership, so joined servers receive inserts).
+            target = self.cluster.placement_target(args[0])
         else:
             # traverse starts at its root's primary; add_edge's record
             # home is the src primary.

@@ -64,6 +64,13 @@ class QueryQueue:
         self.shed: Dict[str, int] = {reason: 0 for reason in SHED_REASONS}
         self._attach_instruments()
 
+    def add_server(self) -> int:
+        """Open an admission lane for a server joining mid-traffic."""
+        server = self.num_servers
+        self.num_servers += 1
+        self.free_at.append(0.0)
+        return server
+
     def _attach_instruments(self) -> None:
         telemetry = self.telemetry
         self._submitted_c = telemetry.counter(

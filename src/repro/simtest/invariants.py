@@ -41,6 +41,18 @@ and TESTING.md):
 ``mirror-consistency``
     The cluster's own :meth:`~repro.cluster.hermes.HermesCluster.validate`
     deep check (adjacency chains, ghost conventions, aux counters).
+``drain-completeness``
+    Elastic membership is quiescent between steps: no server is stuck
+    in a transitional state (joining/draining/recovering), and every
+    *detached* server owns zero catalogued vertices, holds an empty
+    store, and appears in no location cache — neither as a cached home
+    for some vertex nor as a viewer with leftover entries of its own.
+``recovery-fidelity``
+    Every crash-recovery episode on record rebuilt exactly the durable
+    image it replayed: the pre-crash journal snapshot and the
+    post-recovery deep store snapshot of each
+    :attr:`~repro.cluster.hermes.HermesCluster.recovery_log` entry are
+    equal, re-checked on every sweep.
 ``queue-conservation``
     (Serving clusters only.)  The front door's admission ledger
     balances: submitted == admitted + shed, admitted == completed +
@@ -82,6 +94,7 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
+from repro.cluster import server as server_states
 from repro.cluster.replication import OneHopReplicator
 from repro.exceptions import ClusterError, InvariantViolationError
 from repro.telemetry.conservation import (
@@ -99,6 +112,8 @@ INVARIANT_NAMES = (
     "telemetry-conservation",
     "undo-journal-closed",
     "mirror-consistency",
+    "drain-completeness",
+    "recovery-fidelity",
     "queue-conservation",
     "replica-staleness-bound",
     "workload-model-conservation",
@@ -135,6 +150,8 @@ class InvariantAuditor:
         violations += self._check_telemetry(cluster)
         violations += self._check_journal(cluster)
         violations += self._check_mirror(cluster)
+        violations += self._check_drain(cluster)
+        violations += self._check_recovery(cluster)
         violations += self._check_queue_conservation(cluster)
         violations += self._check_replica_staleness(cluster)
         violations += self._check_workload_model(cluster)
@@ -367,6 +384,84 @@ class InvariantAuditor:
         except ClusterError as exc:
             return [InvariantViolation("mirror-consistency", str(exc))]
         return []
+
+    # ------------------------------------------------------------------
+    # Elastic-membership invariants
+    # ------------------------------------------------------------------
+    def _check_drain(self, cluster) -> List[InvariantViolation]:
+        out: List[InvariantViolation] = []
+        transitional = (
+            server_states.JOINING,
+            server_states.DRAINING,
+            server_states.RECOVERING,
+        )
+        detached = set()
+        for server in cluster.servers:
+            state = getattr(server, "state", server_states.ACTIVE)
+            if state in transitional:
+                out.append(
+                    InvariantViolation(
+                        "drain-completeness",
+                        f"server {server.server_id} is mid-transition "
+                        f"({state}) between steps",
+                    )
+                )
+            elif state == server_states.DETACHED:
+                detached.add(server.server_id)
+        for server_id in sorted(detached):
+            owned = sorted(cluster.catalog.vertices_on(server_id))
+            if owned:
+                out.append(
+                    InvariantViolation(
+                        "drain-completeness",
+                        f"detached server {server_id} still owns "
+                        f"{len(owned)} catalogued vertices "
+                        f"(first: {owned[:5]})",
+                    )
+                )
+            available, unavailable = cluster.servers[server_id].store.membership()
+            if available or unavailable:
+                out.append(
+                    InvariantViolation(
+                        "drain-completeness",
+                        f"detached server {server_id}'s store still holds "
+                        f"{len(available)} available / {len(unavailable)} "
+                        f"unavailable nodes",
+                    )
+                )
+        if detached:
+            for viewer, vertex, host in cluster.location_cache.all_entries():
+                if host in detached:
+                    out.append(
+                        InvariantViolation(
+                            "drain-completeness",
+                            f"server {viewer} caches vertex {vertex} on "
+                            f"detached server {host}",
+                        )
+                    )
+                elif viewer in detached:
+                    out.append(
+                        InvariantViolation(
+                            "drain-completeness",
+                            f"detached server {viewer} still holds a cache "
+                            f"entry for vertex {vertex}",
+                        )
+                    )
+        return out
+
+    def _check_recovery(self, cluster) -> List[InvariantViolation]:
+        out: List[InvariantViolation] = []
+        for index, episode in enumerate(getattr(cluster, "recovery_log", [])):
+            if episode["pre"] != episode["post"]:
+                out.append(
+                    InvariantViolation(
+                        "recovery-fidelity",
+                        f"recovery episode {index} (server "
+                        f"{episode['server']}) rebuilt a store that differs "
+                        f"from the durable image it replayed",
+                    )
+                )
+        return out
 
     # ------------------------------------------------------------------
     # Serving-layer invariants (no-ops for clusters without a front door)

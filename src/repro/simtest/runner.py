@@ -14,7 +14,10 @@ them abort the run:
 * ``degraded`` — a read/write timed out against a crash window or lost
   message (the cluster stayed consistent, the operation did not happen);
 * ``skipped`` — the step was invalidated by an earlier degraded write
-  (e.g. an ``add_edge`` whose endpoint vertex never got inserted);
+  (e.g. an ``add_edge`` whose endpoint vertex never got inserted), or
+  was a membership step against a server in the wrong state (e.g. a
+  ``drain_server`` whose target already crashed earlier in the
+  schedule);
 * ``shed`` — a ``serve`` step was rejected by the front door's
   admission control (queue full, overload, or out of credits) before
   reaching any server;
@@ -147,6 +150,18 @@ class ScenarioRunner:
                 frontend.rebalance(force=bool(args.get("force", False)))
             else:
                 cluster.rebalance(force=bool(args.get("force", False)))
+        elif kind == "add_server":
+            cluster.add_server(
+                capacity=float(args.get("capacity", 1.0)),
+                reshard=bool(args.get("reshard", True)),
+            )
+        elif kind == "drain_server":
+            cluster.drain_server(int(args["server"]))
+        elif kind == "crash_recover":
+            cluster.crash_recover_server(
+                int(args["server"]),
+                keep_unflushed_bytes=int(args.get("keep_unflushed_bytes", 0)),
+            )
         elif kind == "decay":
             cluster.decay_weights(float(args.get("factor", 0.5)))
         elif kind == "attach_faults":
@@ -338,6 +353,34 @@ def _corrupt(cluster, mode: str) -> None:
         vertex = next(iter(cluster.graph.vertices()))
         home = cluster.catalog.lookup(vertex)
         cluster._executor._window[vertex] = (home + 1) % cluster.num_servers
+    elif mode == "phantom_primary":
+        # Mark a populated server detached without draining it: every
+        # primary it owns becomes a phantom a drained server must not
+        # hold.  Only drain-completeness looks at membership state, so
+        # the corruption is surgical.
+        from repro.cluster import server as server_states
+
+        for server in cluster.servers:
+            if cluster.catalog.vertices_on(server.server_id):
+                server.state = server_states.DETACHED
+                return
+        raise ValueError("no populated server to detach")
+    elif mode == "stale_recovery":
+        # Forge a recovery episode whose rebuilt image disagrees with
+        # the durable snapshot it was replayed from: breaks
+        # recovery-fidelity without touching any live structure.
+        cluster.recovery_log.append(
+            {
+                "server": 0,
+                "pre": {
+                    "nodes": {
+                        0: {"weight": 1.0, "available": True, "properties": {}}
+                    },
+                    "rels": {},
+                },
+                "post": {"nodes": {}, "rels": {}},
+            }
+        )
     else:
         raise ValueError(f"unknown corruption mode {mode!r}")
 
@@ -366,4 +409,6 @@ CORRUPT_MODES = (
     "stale_serve",
     "event_skew",
     "window_leak",
+    "phantom_primary",
+    "stale_recovery",
 )

@@ -78,6 +78,11 @@ class ScenarioSpec:
     #: event-driven), rebalances migrate online, and the auditor adds the
     #: event-clock and double-write invariants
     concurrency: bool = False
+    #: weave elastic-membership steps (add_server / drain_server /
+    #: crash_recover) into the schedule, build the cluster with
+    #: durability journals, and audit the drain-completeness and
+    #: recovery-fidelity invariants
+    elasticity: bool = False
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -91,6 +96,7 @@ class ScenarioSpec:
             "k": self.k,
             "serving": self.serving,
             "concurrency": self.concurrency,
+            "elasticity": self.elasticity,
         }
 
     @classmethod
@@ -109,6 +115,8 @@ class ScenarioSpec:
             serving=bool(data.get("serving", False)),
             # Same contract for pre-concurrency artifacts.
             concurrency=bool(data.get("concurrency", False)),
+            # And for pre-elasticity artifacts.
+            elasticity=bool(data.get("elasticity", False)),
         )
 
 
@@ -167,6 +175,7 @@ def build_cluster(spec: ScenarioSpec) -> HermesCluster:
         concurrency=(
             ConcurrencyConfig(enabled=True) if spec.concurrency else None
         ),
+        durability=spec.elasticity,
     )
     if spec.serving:
         from repro.serving.frontend import ServingFrontend
@@ -204,7 +213,9 @@ class ScenarioGenerator:
         self._num_steps = num_steps
 
     def generate(
-        self, concurrency: Optional[bool] = None
+        self,
+        concurrency: Optional[bool] = None,
+        elasticity: Optional[bool] = None,
     ) -> Tuple[ScenarioSpec, Schedule]:
         """Generate this seed's ``(spec, schedule)``.
 
@@ -212,9 +223,11 @@ class ScenarioGenerator:
         ``False`` forces the serial harness (the byte-identical parity
         suite uses this to compare against pre-concurrency fixtures),
         ``True`` forces the event scheduler, ``None`` (default) draws
-        from the ``("hermes-concurrency", seed)`` stream.  The base spec
-        and schedule are drawn first, from their own streams, so they
-        are byte-identical per seed in every mode.
+        from the ``("hermes-concurrency", seed)`` stream.  ``elasticity``
+        does the same for the membership-churn decision, drawn last from
+        ``("hermes-elasticity", seed)``.  The base spec and schedule are
+        drawn first, from their own streams, so they are byte-identical
+        per seed in every mode.
         """
         rng = random.Random(("hermes-simtest", self.seed).__repr__())
         num_vertices = rng.randint(28, 56)
@@ -253,6 +266,17 @@ class ScenarioGenerator:
                 # steps that run through the scheduler, absorbing an
                 # adjacent rebalance so migration runs under traffic.
                 schedule = self._interleave_schedule(schedule, concurrency_rng)
+        # Elasticity draws last, from its own stream, so every earlier
+        # mode combination per seed is byte-identical to what
+        # pre-elasticity harnesses generated.
+        elasticity_rng = random.Random(
+            ("hermes-elasticity", self.seed).__repr__()
+        )
+        drawn_elastic = elasticity_rng.random() < 0.5
+        elastic_enabled = drawn_elastic if elasticity is None else elasticity
+        if elastic_enabled:
+            spec = replace(spec, elasticity=True)
+            schedule = self._elasticity_schedule(spec, schedule, elasticity_rng)
         return spec, schedule
 
     # ------------------------------------------------------------------
@@ -398,6 +422,54 @@ class ScenarioGenerator:
                 flush()
                 converted.append(step)
         flush()
+        return converted
+
+    def _elasticity_schedule(
+        self, spec: ScenarioSpec, schedule: Schedule, rng: random.Random
+    ) -> Schedule:
+        """Weave membership churn into an already-built schedule.
+
+        The generator tracks the active-server set so every emitted step
+        is valid if all prior steps succeed: drains keep at least two
+        servers active, crash-recover episodes target servers still in
+        the cluster.  Steps are inserted at random schedule positions —
+        membership changes land mid-traffic, including inside fault
+        windows (a drain aborted by an injected fault must roll back).
+        """
+        active = set(range(spec.num_servers))
+        next_server = spec.num_servers
+        events: List[Step] = []
+        for _ in range(rng.randint(2, 4)):
+            draw = rng.random()
+            if draw < 0.45:
+                events.append(
+                    Step(
+                        "add_server",
+                        {
+                            "capacity": rng.choice([0.5, 1.0, 1.0, 2.0]),
+                            "reshard": rng.random() < 0.8,
+                        },
+                    )
+                )
+                active.add(next_server)
+                next_server += 1
+            elif draw < 0.70 and len(active) >= 3:
+                server = rng.choice(sorted(active))
+                active.discard(server)
+                events.append(Step("drain_server", {"server": server}))
+            else:
+                events.append(
+                    Step("crash_recover", {"server": rng.choice(sorted(active))})
+                )
+        converted = list(schedule)
+        # Positions are drawn independently but assigned to the events in
+        # sorted order, so their causal order survives the weave — a
+        # drain or crash never precedes the join that created its target.
+        # Inserting rear-first keeps earlier positions stable (and puts
+        # the earlier event first when two positions collide).
+        positions = sorted(rng.randrange(len(converted) + 1) for _ in events)
+        for event, position in reversed(list(zip(events, positions))):
+            converted.insert(position, event)
         return converted
 
     def _add_edge_step(

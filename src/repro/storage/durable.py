@@ -193,7 +193,9 @@ class DurableRecordStore:
         store reverts to its last-checkpoint disk state, and the durable
         log replays on top of it (repeat history + undo losers)."""
         self.wal.simulate_crash(keep_unflushed_bytes)
-        self.store = FixedRecordStore(self.codec)
+        # Rebuild with the same store class so injected backends (e.g. the
+        # cluster journal's dict store) survive the crash simulation.
+        self.store = self.store.__class__(self.codec)
         for record_id, image in self._checkpoint_images.items():
             self.store.write(record_id, self.codec.unpack(image))
         self.last_recovery = self._recover()

@@ -70,6 +70,27 @@ class GraphStore:
         self.properties = PropertyStore()
         self._rel_ids = IdAllocator(stripe=server_id, num_stripes=num_servers)
         self._prop_ids = IdAllocator(stripe=server_id, num_stripes=num_servers)
+        #: optional durability observer (see cluster/durability.ServerJournal);
+        #: notified after every *logical* mutation — pointer-only chain
+        #: rewrites are derived state and stay silent.
+        self.observer = None
+
+    # -- observer notifications ----------------------------------------
+    def _notify_node(self, node_id: int) -> None:
+        if self.observer is not None:
+            self.observer.node_changed(node_id)
+
+    def _notify_node_removed(self, node_id: int) -> None:
+        if self.observer is not None:
+            self.observer.node_removed(node_id)
+
+    def _notify_rel(self, rel_id: int) -> None:
+        if self.observer is not None:
+            self.observer.rel_changed(rel_id)
+
+    def _notify_rel_removed(self, rel_id: int) -> None:
+        if self.observer is not None:
+            self.observer.rel_removed(rel_id)
 
     # ==================================================================
     # Nodes
@@ -87,6 +108,7 @@ class GraphStore:
         self.nodes.write(record)
         for key, value in (properties or {}).items():
             self.set_node_property(node_id, key, value)
+        self._notify_node(node_id)
         return self.nodes.read(node_id)
 
     def has_node(self, node_id: int) -> bool:
@@ -104,6 +126,7 @@ class GraphStore:
 
     def set_available(self, node_id: int, available: bool) -> None:
         self.nodes.write(self.nodes.read(node_id).with_available(available))
+        self._notify_node(node_id)
 
     def _require_available(self, node_id: int) -> NodeRecord:
         record = self.nodes.read(node_id)
@@ -120,6 +143,7 @@ class GraphStore:
         record = self.nodes.read(node_id)
         updated = record.with_weight(record.weight + delta)
         self.nodes.write(updated)
+        self._notify_node(node_id)
         return updated.weight
 
     def delete_node(self, node_id: int) -> None:
@@ -130,6 +154,7 @@ class GraphStore:
             self.delete_relationship(entry.rel_id)
         self._delete_property_chain(record.first_prop)
         self.nodes.delete(node_id)
+        self._notify_node_removed(node_id)
 
     def node_ids(self) -> Iterator[int]:
         return self.nodes.ids()
@@ -196,6 +221,7 @@ class GraphStore:
         self.relationships.write(record)
         for key, value in (properties or {}).items():
             self.set_relationship_property(rel_id, key, value)
+        self._notify_rel(rel_id)
         return self.relationships.read(rel_id)
 
     def _link_into_chain(
@@ -255,6 +281,7 @@ class GraphStore:
             self._unlink_from_chain(record, record.dst)
         self._delete_property_chain(record.first_prop)
         self.relationships.delete(rel_id)
+        self._notify_rel_removed(rel_id)
 
     def attach_endpoint(self, rel_id: int, node_id: int) -> None:
         """Link an existing relationship record into a local node's chain.
@@ -289,6 +316,7 @@ class GraphStore:
             )
         self._delete_property_chain(record.first_prop)
         self.nodes.delete(node_id)
+        self._notify_node_removed(node_id)
 
     def set_ghost(self, rel_id: int, ghost: bool) -> None:
         """Flip a record between primary and ghost (migration merge step).
@@ -301,6 +329,7 @@ class GraphStore:
             self._delete_property_chain(record.first_prop)
             record = record.with_first_prop(NULL_REF)
         self.relationships.write(record.with_ghost(ghost))
+        self._notify_rel(rel_id)
 
     # ==================================================================
     # Adjacency (fully local thanks to ghost records)
@@ -349,6 +378,7 @@ class GraphStore:
         new_first = self._set_property(node.first_prop, node_id, key, value)
         if new_first != node.first_prop:
             self.nodes.write(node.with_first_prop(new_first))
+        self._notify_node(node_id)
 
     def get_node_property(self, node_id: int, key: str, default: Any = None) -> Any:
         node = self._require_available(node_id)
@@ -363,6 +393,8 @@ class GraphStore:
         new_first, removed = self._remove_property(node.first_prop, key)
         if new_first != node.first_prop:
             self.nodes.write(node.with_first_prop(new_first))
+        if removed:
+            self._notify_node(node_id)
         return removed
 
     def set_relationship_property(self, rel_id: int, key: str, value: Any) -> None:
@@ -374,6 +406,7 @@ class GraphStore:
         new_first = self._set_property(rel.first_prop, rel_id, key, value)
         if new_first != rel.first_prop:
             self.relationships.write(rel.with_first_prop(new_first))
+        self._notify_rel(rel_id)
 
     def get_relationship_property(
         self, rel_id: int, key: str, default: Any = None
@@ -390,6 +423,8 @@ class GraphStore:
         new_first, removed = self._remove_property(rel.first_prop, key)
         if new_first != rel.first_prop:
             self.relationships.write(rel.with_first_prop(new_first))
+        if removed:
+            self._notify_rel(rel_id)
         return removed
 
     # -- property chain helpers ----------------------------------------
@@ -492,6 +527,76 @@ class GraphStore:
         )
 
     # ==================================================================
+    # Logical images (durability journal / recovery fidelity)
+    # ==================================================================
+    def node_image(self, node_id: int) -> Dict[str, Any]:
+        """Pointer-free logical content of one node, availability included.
+
+        Unlike :meth:`node_properties` this never raises for unavailable
+        nodes — the journal must capture mid-migration states too.
+        """
+        record = self.nodes.read(node_id)
+        return {
+            "weight": record.weight,
+            "available": record.available,
+            "properties": self._collect_properties(record.first_prop),
+        }
+
+    def relationship_image(self, rel_id: int) -> Dict[str, Any]:
+        """Pointer-free logical content of one relationship record."""
+        record = self.relationships.read(rel_id)
+        return {
+            "src": record.src,
+            "dst": record.dst,
+            "ghost": record.ghost,
+            "properties": (
+                {} if record.ghost else self._collect_properties(record.first_prop)
+            ),
+        }
+
+    # ==================================================================
+    # ID allocator control (membership changes / recovery)
+    # ==================================================================
+    def next_id_bound(self) -> int:
+        """Smallest id strictly greater than anything this store has
+        allocated or observed, across both allocators."""
+        return max(self._rel_ids.peek(), self._prop_ids.peek())
+
+    def rebase_ids(self, num_stripes: int, floor: int) -> None:
+        """Re-stripe both allocators for a new server count.
+
+        Every id minted after the rebase is strictly greater than
+        ``floor`` (no collision with history) and congruent to this
+        server's stripe mod ``num_stripes`` (no collision with peers) —
+        the "generation" jump that makes server join safe.
+        """
+        start = floor // num_stripes + 1
+        self._rel_ids = IdAllocator(
+            stripe=self.server_id, num_stripes=num_stripes, start=start
+        )
+        self._prop_ids = IdAllocator(
+            stripe=self.server_id, num_stripes=num_stripes, start=start
+        )
+
+    def set_allocator_state(
+        self, num_stripes: int, rel_counter: int, prop_counter: int
+    ) -> None:
+        """Restore exact allocator positions (WAL recovery rebuild)."""
+        self._rel_ids = IdAllocator(
+            stripe=self.server_id, num_stripes=num_stripes, start=rel_counter
+        )
+        self._prop_ids = IdAllocator(
+            stripe=self.server_id, num_stripes=num_stripes, start=prop_counter
+        )
+
+    def allocator_state(self) -> Dict[str, int]:
+        return {
+            "num_stripes": self._rel_ids.num_stripes,
+            "rel_counter": self._rel_ids.allocated_count,
+            "prop_counter": self._prop_ids.allocated_count,
+        }
+
+    # ==================================================================
     # Stats / persistence
     # ==================================================================
     def stats(self) -> StoreStats:
@@ -550,4 +655,5 @@ class GraphStore:
             num_stripes=meta["num_servers"],
             start=meta["prop_counter"],
         )
+        store.observer = None
         return store

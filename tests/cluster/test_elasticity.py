@@ -1,0 +1,328 @@
+"""Elastic cluster membership: join, drain, and WAL-backed crash recovery.
+
+Three layers of coverage:
+
+* **ServerJournal round-trips** — a scripted sequence of primitive
+  store mutations, crashed at *every* journal boundary (each logical
+  mutation is one flushed journal transaction): the rebuilt store's
+  logical snapshot must equal the live store's at that boundary, the
+  RecoveryReport must account for the applied image, and recovering
+  twice must be idempotent.
+* **Cluster membership** — ``add_server`` (capacity-weighted scale-out
+  reshard, id-generation rebase), ``drain_server`` (zero primaries,
+  purged caches, rollback on abort), ``crash_recover_server``
+  (recovery-fidelity episode), each followed by the cluster's deep
+  ``validate()``.
+* **Mid-run routing regression** — a server added while traffic flows
+  must start receiving routed work (the latent bug this PR fixes:
+  placement hashed over ``num_servers`` recorded at frontend build
+  time instead of the live active membership).
+"""
+
+import pytest
+
+from repro.cluster import server as server_states
+from repro.cluster.durability import ServerJournal, logical_store_snapshot
+from repro.cluster.hermes import HermesCluster
+from repro.core.config import RepartitionerConfig
+from repro.exceptions import ClusterError
+from repro.partitioning.hashing import HashPartitioner
+from repro.serving.frontend import ServingFrontend
+from repro.storage.graph_store import GraphStore
+from tests.conftest import make_random_graph
+
+
+def durable_cluster(num_servers=4, num_vertices=48, num_edges=120, seed=7):
+    return HermesCluster.from_graph(
+        make_random_graph(num_vertices, num_edges, seed=seed),
+        num_servers=num_servers,
+        partitioner=HashPartitioner(),
+        repartitioner=RepartitionerConfig(k=2),
+        durability=True,
+    )
+
+
+# ----------------------------------------------------------------------
+# ServerJournal: crash at every journal boundary
+# ----------------------------------------------------------------------
+def scripted_store():
+    """A fresh single-stripe store + the mutation script to run on it.
+
+    Every entry is exactly one logical mutation — one journal
+    transaction — so index ``k`` is the ``k``-th journal boundary.
+    """
+    store = GraphStore(server_id=0, num_servers=1)
+    rel_a = store.allocate_rel_id()
+    rel_b = store.allocate_rel_id()
+    script = [
+        lambda: store.create_node(1, weight=2.0),
+        lambda: store.create_node(2, weight=1.0, properties={"name": "b"}),
+        lambda: store.create_node(3, weight=3.5),
+        lambda: store.create_relationship(rel_a, 1, 2),
+        lambda: store.create_relationship(rel_b, 2, 3, ghost=True),
+        lambda: store.set_node_property(1, "city", "zurich"),
+        lambda: store.set_relationship_property(rel_a, "since", 2011),
+        lambda: store.add_node_weight(2, 4.0),
+        lambda: store.remove_node_property(2, "name"),
+        lambda: store.set_ghost(rel_b, False),
+        lambda: store.delete_relationship(rel_a),
+        lambda: store.set_available(3, False),
+    ]
+    return store, script
+
+
+BOUNDARIES = range(len(scripted_store()[1]) + 1)
+
+
+@pytest.mark.parametrize("boundary", BOUNDARIES)
+def test_crash_at_every_journal_boundary_rebuilds_exactly(boundary):
+    store, script = scripted_store()
+    journal = ServerJournal()
+    journal.attach(store)
+    for mutation in script[:boundary]:
+        mutation()
+    expected = logical_store_snapshot(store)
+    report = journal.crash()
+    # Every journal txn commits and flushes at the mutation boundary:
+    # nothing is ever rolled back, nothing undone.
+    assert not report.rolled_back_txns
+    assert report.undone_updates == 0
+    assert journal.snapshot() == expected
+    rebuilt = journal.rebuild(server_id=0)
+    assert logical_store_snapshot(rebuilt) == expected
+    # Allocator positions survive: ids minted after recovery never
+    # collide with ids minted before the crash.
+    assert rebuilt.next_id_bound() >= store.next_id_bound()
+
+
+@pytest.mark.parametrize("boundary", [0, 3, 7, len(scripted_store()[1])])
+def test_double_recovery_is_idempotent(boundary):
+    store, script = scripted_store()
+    journal = ServerJournal()
+    journal.attach(store)
+    for mutation in script[:boundary]:
+        mutation()
+    expected = logical_store_snapshot(store)
+    journal.crash()
+    first = logical_store_snapshot(journal.rebuild(server_id=0))
+    journal.crash()
+    second = logical_store_snapshot(journal.rebuild(server_id=0))
+    assert first == second == expected
+
+
+def test_torn_wal_tail_is_discarded():
+    """A crash that keeps a prefix of the unflushed tail must recover
+    the same state as one that loses it all — the torn frame's CRC
+    fails and replay stops at the last complete record."""
+    store, script = scripted_store()
+    journal = ServerJournal()
+    journal.attach(store)
+    for mutation in script:
+        mutation()
+    expected = logical_store_snapshot(store)
+    for keep in (0, 1, 5, 17):
+        journal.crash(keep_unflushed_bytes=keep)
+        assert journal.snapshot() == expected
+
+
+# ----------------------------------------------------------------------
+# Cluster membership: join
+# ----------------------------------------------------------------------
+class TestJoin:
+    def test_join_reshards_onto_newcomer(self):
+        cluster = durable_cluster()
+        new_id, result = cluster.add_server(capacity=2.0)
+        assert new_id == 4
+        assert cluster.num_servers == 5
+        assert cluster.servers[new_id].state == server_states.ACTIVE
+        assert result is not None
+        assert cluster.catalog.vertices_on(new_id)
+        cluster.validate()
+
+    def test_join_without_reshard_leaves_newcomer_empty(self):
+        cluster = durable_cluster()
+        new_id, result = cluster.add_server(reshard=False)
+        assert result is None
+        assert not cluster.catalog.vertices_on(new_id)
+        cluster.validate()
+
+    def test_join_rebases_id_generation(self):
+        """Ids minted after a join stay collision-free across all
+        servers: every store moves to the new stripe count above a
+        common floor, so new ids are distinct and above history."""
+        cluster = durable_cluster()
+        floor = max(s.store.next_id_bound() for s in cluster.servers)
+        cluster.add_server(reshard=False)
+        minted = [s.store.allocate_rel_id() for s in cluster.servers]
+        assert len(set(minted)) == len(minted)
+        assert min(minted) > floor
+        assert {rel % cluster.num_servers for rel in minted} == set(
+            range(cluster.num_servers)
+        )
+
+    def test_joined_server_receives_routed_inserts(self):
+        """The latent-bug regression: inserts routed after a join must
+        hash over the live active membership, so the newcomer receives
+        a share of new vertices even without a reshard."""
+        cluster = durable_cluster()
+        new_id, _ = cluster.add_server(reshard=False)
+        for vertex in range(1000, 1100):
+            cluster.add_vertex(vertex)
+        assert cluster.catalog.vertices_on(new_id)
+        cluster.validate()
+
+    def test_capacity_weighted_reshard_respects_capacity(self):
+        """A double-capacity newcomer ends up with roughly double the
+        per-unit share a capacity-1 join would take."""
+        small = durable_cluster()
+        small.add_server(capacity=0.5)
+        big = durable_cluster()
+        big.add_server(capacity=2.0)
+        assert len(big.catalog.vertices_on(4)) > len(
+            small.catalog.vertices_on(4)
+        )
+        small.validate()
+        big.validate()
+
+
+# ----------------------------------------------------------------------
+# Cluster membership: drain
+# ----------------------------------------------------------------------
+class TestDrain:
+    def test_drain_leaves_zero_primaries(self):
+        cluster = durable_cluster()
+        # Warm location caches so the purge arm is actually exercised.
+        for vertex in sorted(cluster.graph.vertices())[:10]:
+            cluster.traverse(vertex, hops=1)
+        cluster.drain_server(1)
+        server = cluster.servers[1]
+        assert server.state == server_states.DETACHED
+        assert server.capacity == 0.0
+        assert not cluster.catalog.vertices_on(1)
+        available, unavailable = server.store.membership()
+        assert not available and not unavailable
+        for viewer, vertex, host in cluster.location_cache.all_entries():
+            assert host != 1 and viewer != 1
+        cluster.validate()
+
+    def test_drained_server_is_not_a_placement_target(self):
+        cluster = durable_cluster()
+        cluster.drain_server(2)
+        assert 2 not in cluster.active_servers()
+        for vertex in range(2000, 2050):
+            cluster.add_vertex(vertex)
+            assert cluster.catalog.lookup(vertex) != 2
+        cluster.validate()
+
+    def test_drain_requires_active_state(self):
+        cluster = durable_cluster()
+        cluster.drain_server(0)
+        with pytest.raises(ClusterError):
+            cluster.drain_server(0)
+
+    def test_cannot_drain_the_last_active_server(self):
+        cluster = durable_cluster(num_servers=2)
+        cluster.drain_server(0)
+        with pytest.raises(ClusterError):
+            cluster.drain_server(1)
+
+    def test_unknown_server_rejected(self):
+        cluster = durable_cluster()
+        with pytest.raises(ClusterError):
+            cluster.drain_server(99)
+        with pytest.raises(ClusterError):
+            cluster.crash_server(99)
+
+
+# ----------------------------------------------------------------------
+# Cluster membership: crash-recovery
+# ----------------------------------------------------------------------
+class TestCrashRecovery:
+    def test_episode_is_faithful(self):
+        cluster = durable_cluster()
+        for vertex in range(3000, 3010):
+            cluster.add_vertex(vertex, weight=2.0, properties={"k": "v"})
+        episode = cluster.crash_recover_server(2)
+        assert episode["pre"] == episode["post"]
+        assert cluster.servers[2].state == server_states.ACTIVE
+        assert cluster.recovery_log == [episode]
+        cluster.validate()
+
+    def test_every_server_recovers_under_churn(self):
+        cluster = durable_cluster()
+        cluster.add_server(capacity=1.5)
+        for vertex in range(4000, 4030):
+            cluster.add_vertex(vertex)
+        for server_id in cluster.active_servers():
+            before = logical_store_snapshot(cluster.servers[server_id].store)
+            episode = cluster.crash_recover_server(server_id)
+            after = logical_store_snapshot(cluster.servers[server_id].store)
+            assert episode["pre"] == episode["post"]
+            assert before == after
+            cluster.validate()
+
+    def test_crash_requires_durability(self):
+        cluster = HermesCluster.from_graph(
+            make_random_graph(20, 40, seed=3), num_servers=3
+        )
+        with pytest.raises(ClusterError):
+            cluster.crash_server(0)
+
+    def test_recover_requires_crashed_state(self):
+        cluster = durable_cluster()
+        with pytest.raises(ClusterError):
+            cluster.recover_server(0)
+
+    def test_crashed_then_drained_is_rejected(self):
+        cluster = durable_cluster()
+        cluster.crash_server(1)
+        with pytest.raises(ClusterError):
+            cluster.drain_server(1)
+        cluster.recover_server(1)
+        cluster.validate()
+
+
+# ----------------------------------------------------------------------
+# Serving layer rides membership changes
+# ----------------------------------------------------------------------
+class TestServingElasticity:
+    def test_frontend_routes_inserts_to_joined_server(self):
+        cluster = durable_cluster()
+        frontend = ServingFrontend(cluster)
+        cluster.serving = frontend
+        new_id, _ = cluster.add_server(reshard=False)
+        served_by = set()
+        for vertex in range(5000, 5080):
+            outcome = frontend.submit("add_vertex", vertex)
+            if outcome.status == "completed":
+                served_by.add(outcome.served_by)
+        assert new_id in served_by
+        cluster.validate()
+
+    def test_concurrent_engine_grows_event_lanes_on_join(self):
+        """A join mid-concurrent-run must open an event lane (and an
+        admission lane) for the newcomer instead of leaving it
+        unschedulable."""
+        from repro.concurrency.engine import ConcurrentExecutor
+
+        cluster = durable_cluster()
+        frontend = ServingFrontend(cluster)
+        cluster.serving = frontend
+        engine = ConcurrentExecutor(cluster)
+        cluster._concurrent_engine = engine
+        cluster.add_server(reshard=False)
+        assert len(engine.scheduler.server_free) == cluster.num_servers
+        assert len(frontend.queue.free_at) == cluster.num_servers
+        assert frontend.queue.num_servers == cluster.num_servers
+
+    def test_frontend_survives_drain(self):
+        cluster = durable_cluster()
+        frontend = ServingFrontend(cluster)
+        cluster.serving = frontend
+        for vertex in sorted(cluster.graph.vertices())[:5]:
+            frontend.submit("read", vertex)
+        cluster.drain_server(3)
+        for vertex in sorted(cluster.graph.vertices())[:10]:
+            outcome = frontend.submit("read", vertex)
+            assert outcome.served_by != 3
+        cluster.validate()

@@ -1,0 +1,147 @@
+"""Property-based tests (hypothesis) on capacity-weighted balance.
+
+Two contracts, each load-bearing for elastic membership:
+
+1. **Implementation agreement** — the centralized
+   :class:`~repro.core.auxiliary.AuxiliaryData` and the sharded
+   :class:`~repro.core.sharded.ShardedAuxiliaryData` evaluate the same
+   shared :func:`~repro.core.auxiliary.capacity_targets` /
+   :func:`~repro.core.auxiliary.weighted_imbalance` expressions, so for
+   any capacity vector they must agree on targets, per-partition
+   imbalance factors and the max imbalance bit for bit.
+
+2. **Uniform-capacity reduction** — with every capacity at the default
+   1.0, the weighted expressions must reduce *exactly* (same float
+   bits, not approximately) to the historical plain-average formulas;
+   this is what keeps capacity-unaware clusters byte-identical to the
+   pre-capacity implementation.
+"""
+
+import math
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.auxiliary import (
+    AuxiliaryData,
+    capacity_targets,
+    weighted_imbalance,
+)
+from repro.core.sharded import ShardedAuxiliaryData
+from repro.graph.adjacency import SocialGraph
+from repro.partitioning.base import Partitioning
+
+
+@st.composite
+def weighted_cluster(draw):
+    """A random small graph + assignment + per-partition capacities."""
+    num_vertices = draw(st.integers(min_value=4, max_value=24))
+    num_partitions = draw(st.integers(min_value=2, max_value=5))
+    seed = draw(st.integers(min_value=0, max_value=10**6))
+    capacities = draw(
+        st.lists(
+            st.sampled_from([0.0, 0.5, 1.0, 1.0, 2.0, 4.0]),
+            min_size=num_partitions,
+            max_size=num_partitions,
+        )
+    )
+    rng = random.Random(seed)
+    graph = SocialGraph()
+    for vertex in range(num_vertices):
+        graph.add_vertex(vertex, weight=rng.choice([1.0, 1.0, 2.0, 3.0]))
+    for u in range(num_vertices):
+        for v in range(u + 1, num_vertices):
+            if rng.random() < 0.25:
+                graph.add_edge(u, v)
+    partitioning = Partitioning(num_partitions)
+    for vertex in range(num_vertices):
+        partitioning.assign(vertex, rng.randrange(num_partitions))
+    return graph, partitioning, capacities
+
+
+def both_impls(graph, partitioning, capacities):
+    out = []
+    for cls in (AuxiliaryData, ShardedAuxiliaryData):
+        aux = cls.from_graph(graph, partitioning)
+        for partition, capacity in enumerate(capacities):
+            aux.set_capacity(partition, capacity)
+        out.append(aux)
+    return out
+
+
+@given(weighted_cluster())
+@settings(max_examples=60, deadline=None)
+def test_both_impls_agree_on_weighted_imbalance(data):
+    graph, partitioning, capacities = data
+    central, sharded = both_impls(graph, partitioning, capacities)
+    assert central.uniform_capacity == sharded.uniform_capacity
+    assert central.balance_targets() == sharded.balance_targets()
+    assert central.max_imbalance() == sharded.max_imbalance()
+    for partition in range(partitioning.num_partitions):
+        assert central.capacity_of(partition) == sharded.capacity_of(partition)
+        assert central.imbalance_factor(partition) == sharded.imbalance_factor(
+            partition
+        )
+    # The hypotheticals of Algorithm 1 agree too (leave/join deltas).
+    for vertex in graph.vertices():
+        delta = graph.weight_of(vertex)
+        home = partitioning.partition_of(vertex)
+        assert central.imbalance_factor(home, -delta) == sharded.imbalance_factor(
+            home, -delta
+        )
+
+
+@given(weighted_cluster())
+@settings(max_examples=60, deadline=None)
+def test_capacity_one_reduces_exactly_to_unweighted(data):
+    """All-1.0 capacities must reproduce the historical expressions with
+    the same float bits — the byte-identity contract the PR-1 fixtures
+    pin at the cluster level."""
+    graph, partitioning, _ = data
+    for cls in (AuxiliaryData, ShardedAuxiliaryData):
+        plain = cls.from_graph(graph, partitioning)
+        explicit = cls.from_graph(graph, partitioning)
+        for partition in range(partitioning.num_partitions):
+            explicit.set_capacity(partition, 1.0)
+        assert explicit.uniform_capacity
+        average = plain.average_weight()
+        for partition in range(partitioning.num_partitions):
+            expected = (
+                1.0
+                if average == 0
+                else plain.partition_weights[partition] / average
+            )
+            assert plain.imbalance_factor(partition) == expected
+            assert explicit.imbalance_factor(partition) == expected
+        assert plain.max_imbalance() == explicit.max_imbalance()
+
+
+@given(weighted_cluster())
+@settings(max_examples=60, deadline=None)
+def test_capacity_targets_conserve_total_weight(data):
+    graph, partitioning, capacities = data
+    central, _ = both_impls(graph, partitioning, capacities)
+    targets = central.balance_targets()
+    if sum(capacities) > 0.0:
+        assert math.isclose(
+            sum(targets), central.total_weight(), rel_tol=1e-9, abs_tol=1e-6
+        )
+    else:
+        assert targets == [0.0] * len(capacities)
+    for partition, capacity in enumerate(capacities):
+        if capacity == 0.0:
+            # A draining partition's target is zero: infinitely
+            # overloaded while it holds weight, balanced once empty.
+            assert targets[partition] == 0.0
+            weight = central.partition_weights[partition]
+            factor = central.imbalance_factor(partition)
+            assert factor == (1.0 if weight == 0.0 else math.inf)
+
+
+def test_weighted_imbalance_zero_target_semantics():
+    assert weighted_imbalance(0.0, 0.0) == 1.0
+    assert weighted_imbalance(3.0, 0.0) == math.inf
+    assert weighted_imbalance(6.0, 3.0) == 2.0
+    assert capacity_targets(10.0, [0.0, 0.0]) == [0.0, 0.0]
+    assert capacity_targets(12.0, [1.0, 2.0, 1.0]) == [3.0, 6.0, 3.0]

@@ -41,6 +41,8 @@ EXPECTED_INVARIANT = {
     "stale_serve": "replica-staleness-bound",
     "event_skew": "event-clock-monotonic",
     "window_leak": "double-write-coherence",
+    "phantom_primary": "drain-completeness",
+    "stale_recovery": "recovery-fidelity",
 }
 
 

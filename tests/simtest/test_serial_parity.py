@@ -61,15 +61,20 @@ def digest(spec, schedule):
 
 @pytest.mark.parametrize("seed", sorted(int(s) for s in REFERENCE))
 def test_serial_mode_is_byte_identical_to_reference(seed):
-    spec, schedule = ScenarioGenerator(seed).generate(concurrency=False)
+    spec, schedule = ScenarioGenerator(seed).generate(
+        concurrency=False, elasticity=False
+    )
     assert spec.concurrency is False
+    assert spec.elasticity is False
     observed = digest(spec, schedule)
     expected = dict(REFERENCE[str(seed)])
-    # The fixture predates the ``concurrency`` spec key; serial mode must
-    # agree on every key the fixture pins, and the new key must be False.
+    # The fixture predates the ``concurrency`` and ``elasticity`` spec
+    # keys; serial mode must agree on every key the fixture pins, and
+    # the new keys must be False.
     observed_spec = observed.pop("spec")
     expected_spec = dict(expected.pop("spec"))
     assert observed_spec.pop("concurrency") is False
+    assert observed_spec.pop("elasticity") is False
     assert observed_spec == expected_spec
     assert observed == expected
 
@@ -84,6 +89,34 @@ def test_forced_interleaving_preserves_every_invariant(seed):
     assert spec.concurrency is True
     outcome = ScenarioRunner().run(spec, schedule)
     assert outcome.ok, outcome.summary()
+
+
+@pytest.mark.parametrize("seed", range(0, 30, 3))
+def test_forced_elasticity_preserves_every_invariant(seed):
+    """Membership churn (joins, drains, crash-recoveries) woven into the
+    schedule must leave the extended invariant catalog — including
+    ``drain-completeness`` and ``recovery-fidelity`` — intact."""
+    spec, schedule = ScenarioGenerator(seed).generate(elasticity=True)
+    assert spec.elasticity is True
+    outcome = ScenarioRunner().run(spec, schedule)
+    assert outcome.ok, outcome.summary()
+
+
+def test_forced_elasticity_actually_churns_membership():
+    """The elasticity override must weave real membership steps into the
+    schedules — and across the seed range all three kinds must appear —
+    otherwise the invariant sweep above is vacuous."""
+    kinds = set()
+    for seed in range(30):
+        spec, schedule = ScenarioGenerator(seed).generate(elasticity=True)
+        elastic = [
+            step.kind
+            for step in schedule
+            if step.kind in ("add_server", "drain_server", "crash_recover")
+        ]
+        assert elastic, f"seed {seed} wove no membership steps"
+        kinds.update(elastic)
+    assert kinds == {"add_server", "drain_server", "crash_recover"}
 
 
 def test_forced_interleaving_actually_interleaves():

@@ -20,11 +20,16 @@ from repro.simtest import (
 
 NUM_SEEDS = int(os.environ.get("SIMTEST_SEEDS", "30"))
 ARTIFACT_DIR = os.environ.get("SIMTEST_ARTIFACT_DIR", "")
+#: force membership churn into every schedule (CI elasticity sweep);
+#: unset, each seed draws elasticity from its own RNG stream
+FORCE_ELASTICITY = os.environ.get("SIMTEST_ELASTICITY", "") == "1"
 
 
 @pytest.mark.parametrize("seed", range(NUM_SEEDS))
 def test_seeded_scenario_holds_every_invariant(seed):
-    spec, schedule = ScenarioGenerator(seed).generate()
+    spec, schedule = ScenarioGenerator(seed).generate(
+        elasticity=True if FORCE_ELASTICITY else None
+    )
     outcome = ScenarioRunner().run(spec, schedule)
     if not outcome.ok and ARTIFACT_DIR:
         os.makedirs(ARTIFACT_DIR, exist_ok=True)
